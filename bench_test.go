@@ -1,0 +1,175 @@
+package sqlancerpp
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out. Each
+// bench regenerates its table/figure at a reduced budget and reports
+// throughput metrics; run cmd/experiments for full-scale output.
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/core/campaign"
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/experiments"
+)
+
+func benchScale() experiments.Scale {
+	s := experiments.DefaultScale()
+	s.Table2Cases = 800
+	s.Table3Cases = 800
+	s.Table4Cases = 1000
+	s.Table5Cases = 1200
+	s.Table5Runs = 2
+	s.Fig6Cases = 600
+	s.AblationCases = 800
+	return s
+}
+
+// BenchmarkFigure1DialectLOC regenerates the per-DBMS LOC comparison
+// (paper Figure 1).
+func BenchmarkFigure1DialectLOC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[len(rows)-2].PerDBMSLOC), "adapter-loc/dbms")
+	}
+}
+
+// BenchmarkTable1ToolComparison regenerates the qualitative comparison
+// (paper Table 1).
+func BenchmarkTable1ToolComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Table1()
+		if len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2BugCampaign regenerates the 18-DBMS bug-finding
+// campaign (paper Table 2).
+func BenchmarkTable2BugCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchScale(), int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalUnique), "unique-bugs")
+		b.ReportMetric(float64(res.TotalLogic), "logic-bugs")
+	}
+}
+
+// BenchmarkTable3Coverage regenerates the coverage comparison (paper
+// Table 3).
+func BenchmarkTable3Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchScale(), int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Cells[0].LinePct, "adaptive-sqlite-line%")
+	}
+}
+
+// BenchmarkTable4Validity regenerates the validity comparison (paper
+// Table 4).
+func BenchmarkTable4Validity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(benchScale(), int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Cells[0].Validity, "adaptive-sqlite-validity%")
+	}
+}
+
+// BenchmarkTable5Prioritization regenerates the CrateDB prioritization
+// study (paper Table 5).
+func BenchmarkTable5Prioritization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table5(benchScale(), int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Detected, "detected")
+		b.ReportMetric(res.Rows[0].Prioritized, "prioritized")
+		b.ReportMetric(res.Rows[0].Unique, "unique")
+	}
+}
+
+// BenchmarkFigure6CrossDBMSValidity regenerates the SQL feature study
+// (paper Figure 6).
+func BenchmarkFigure6CrossDBMSValidity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchScale(), int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Overall, "cross-validity%")
+	}
+}
+
+// BenchmarkFigure7FeatureVenn regenerates the feature-overlap study
+// (paper Figure 7) and Table 6's feature counts.
+func BenchmarkFigure7FeatureVenn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7()
+		rows, _ := experiments.Table6()
+		b.ReportMetric(float64(res.FuncRegions["A"]), "adaptive-only-funcs")
+		b.ReportMetric(float64(rows[3].Count), "grammar-functions")
+	}
+}
+
+// BenchmarkAblationThreshold sweeps the Bayesian threshold p.
+func BenchmarkAblationThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationThreshold(benchScale(), int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDepthSchedule compares depth schedules.
+func BenchmarkAblationDepthSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationDepthSchedule(benchScale(), int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationUpdateInterval sweeps the feedback update interval.
+func BenchmarkAblationUpdateInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationUpdateInterval(benchScale(), int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPrioritizer compares dedup strategies.
+func BenchmarkAblationPrioritizer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationPrioritizer(benchScale(), int64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignThroughput measures raw oracle checks per second on
+// SQLite (context for the statement-budget ↔ wall-clock substitution).
+func BenchmarkCampaignThroughput(b *testing.B) {
+	d := dialect.MustGet("sqlite")
+	b.ResetTimer()
+	runner, err := campaign.New(campaign.Config{
+		Dialect: d, Mode: campaign.Adaptive, TestCases: b.N + 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := runner.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (Tables 1–6, Figures 1, 6, 7) plus the design-choice
+// ablations, printing each as a text table with the paper's reported
+// values quoted for comparison.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table2|table3|table4|table5|table6|fig1|fig6|fig7|ablations|series]
+//	            [-scale default|full] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sqlancerpp/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	scaleName := flag.String("scale", "default", "budget scale: default or full")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *scaleName == "full" {
+		scale = experiments.FullScale()
+	}
+
+	run := func(name string, f func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	run("table1", func() (string, error) {
+		_, s := experiments.Table1()
+		return s, nil
+	})
+	run("fig1", func() (string, error) {
+		_, s, err := experiments.Fig1()
+		return s, err
+	})
+	run("table6", func() (string, error) {
+		_, s := experiments.Table6()
+		return s, nil
+	})
+	run("fig7", func() (string, error) {
+		return experiments.Fig7().Rendered, nil
+	})
+	run("table2", func() (string, error) {
+		res, err := experiments.Table2(scale, *seed)
+		if err != nil {
+			return "", err
+		}
+		return res.Rendered, nil
+	})
+	run("fig6", func() (string, error) {
+		res, err := experiments.Fig6(scale, *seed)
+		if err != nil {
+			return "", err
+		}
+		return res.Rendered, nil
+	})
+	run("table3", func() (string, error) {
+		res, err := experiments.Table3(scale, *seed)
+		if err != nil {
+			return "", err
+		}
+		return res.Rendered, nil
+	})
+	run("table4", func() (string, error) {
+		res, err := experiments.Table4(scale, *seed)
+		if err != nil {
+			return "", err
+		}
+		return res.Rendered, nil
+	})
+	run("series", func() (string, error) {
+		_, s, err := experiments.ValiditySeries("postgresql", 6, 800, *seed)
+		if err != nil {
+			return "", err
+		}
+		_, s2, err := experiments.ValiditySeries("sqlite", 6, 800, *seed)
+		return s + s2, err
+	})
+	run("table5", func() (string, error) {
+		res, err := experiments.Table5(scale, *seed)
+		if err != nil {
+			return "", err
+		}
+		return res.Rendered, nil
+	})
+	run("ablations", func() (string, error) {
+		_, s1, err := experiments.AblationThreshold(scale, *seed)
+		if err != nil {
+			return "", err
+		}
+		_, s2, err := experiments.AblationDepthSchedule(scale, *seed)
+		if err != nil {
+			return "", err
+		}
+		_, s3, err := experiments.AblationUpdateInterval(scale, *seed)
+		if err != nil {
+			return "", err
+		}
+		_, s4, err := experiments.AblationPrioritizer(scale, *seed)
+		if err != nil {
+			return "", err
+		}
+		return s1 + "\n" + s2 + "\n" + s3 + "\n" + s4, nil
+	})
+}

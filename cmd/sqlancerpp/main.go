@@ -1,0 +1,105 @@
+// Command sqlancerpp runs a SQLancer++ testing campaign against one of
+// the simulated DBMS dialects and prints the prioritized bug reports.
+//
+// Usage:
+//
+//	sqlancerpp -dbms cratedb [-cases 20000] [-oracle both|tlp|norec]
+//	           [-seed 1] [-no-feedback] [-baseline] [-reduce]
+//	           [-state feedback.json] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sqlancerpp"
+)
+
+func main() {
+	dbms := flag.String("dbms", "", "dialect under test (see -list)")
+	cases := flag.Int("cases", 10000, "number of oracle test cases")
+	oracleName := flag.String("oracle", "both", "test oracle: tlp, norec, or both")
+	seed := flag.Int64("seed", 1, "random seed")
+	noFeedback := flag.Bool("no-feedback", false, "disable validity feedback (SQLancer++ Rand)")
+	baselineMode := flag.Bool("baseline", false, "use the per-DBMS baseline generator (SQLancer)")
+	reduceBugs := flag.Bool("reduce", true, "reduce prioritized logic bugs")
+	statePath := flag.String("state", "", "load/persist learned feature probabilities (JSON)")
+	list := flag.Bool("list", false, "list registered dialects and exit")
+	maxPrint := flag.Int("max-print", 5, "bug reports to print in full")
+	flag.Parse()
+
+	if *list {
+		for _, d := range sqlancerpp.Dialects() {
+			fmt.Println(d)
+		}
+		return
+	}
+	if *dbms == "" {
+		fmt.Fprintln(os.Stderr, "sqlancerpp: -dbms is required (use -list to see options)")
+		os.Exit(2)
+	}
+
+	opts := sqlancerpp.Options{
+		DBMS:       *dbms,
+		Oracle:     orEmpty(*oracleName),
+		TestCases:  *cases,
+		Seed:       *seed,
+		NoFeedback: *noFeedback,
+		Baseline:   *baselineMode,
+		Reduce:     *reduceBugs,
+	}
+	if *statePath != "" {
+		if data, err := os.ReadFile(*statePath); err == nil {
+			opts.FeedbackState = data
+		}
+	}
+
+	report, err := sqlancerpp.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sqlancerpp: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("== %s (%s) ==\n", report.DBMS, report.Mode)
+	fmt.Printf("test cases: %d  valid: %d (%.1f%%)\n",
+		report.TestCases, report.ValidCases, 100*report.ValidityRate)
+	fmt.Printf("bug-inducing cases: %d  prioritized: %d  unique bugs (ground truth): %d\n",
+		report.Detected, report.Prioritized, report.UniqueBugs)
+	if report.FalsePositives > 0 {
+		fmt.Printf("WARNING: %d false positives — engine defect!\n", report.FalsePositives)
+	}
+	if len(report.UnsupportedFeatures) > 0 {
+		fmt.Printf("learned unsupported features: %s\n",
+			strings.Join(report.UnsupportedFeatures, ", "))
+	}
+	for i, b := range report.Bugs {
+		if i >= *maxPrint {
+			fmt.Printf("... and %d more prioritized reports\n", len(report.Bugs)-i)
+			break
+		}
+		fmt.Printf("\n-- bug #%d [%s/%s] %s\n", b.ID, b.Class, b.Oracle, b.Detail)
+		fmt.Printf("   ground truth: %s\n", strings.Join(b.GroundTruthFaults, ", "))
+		stmts := b.Reduced
+		if len(stmts) == 0 {
+			stmts = append(append([]string{}, b.Setup...), b.Queries...)
+		}
+		for _, s := range stmts {
+			fmt.Printf("   %s;\n", s)
+		}
+	}
+
+	if *statePath != "" && report.FeedbackState != nil {
+		if err := os.WriteFile(*statePath, report.FeedbackState, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sqlancerpp: persisting state: %v\n", err)
+		}
+	}
+}
+
+func orEmpty(s string) string {
+	if s == "both" {
+		return ""
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+// Prioritization: a walk-through of the paper's Figure 4 on a live
+// campaign. Every bug-inducing test case carries the set of SQL features
+// that were enabled when it was generated; a case whose feature set is a
+// superset of an already-reported case is a potential duplicate and is
+// deprioritized.
+//
+// Run: go run ./examples/prioritization
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sqlancerpp"
+)
+
+func main() {
+	report, err := sqlancerpp.Run(sqlancerpp.Options{
+		DBMS:      "umbra", // the buggiest system in the paper's Table 2
+		TestCases: 6000,
+		Seed:      5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("detected %d bug-inducing cases; the prioritizer reported %d\n",
+		report.Detected, report.Prioritized)
+	fmt.Printf("ground truth: %d distinct injected bugs were hit\n\n", report.UniqueBugs)
+
+	fmt.Println("reported cases and their (deduplication) feature sets:")
+	shown := 0
+	for _, bug := range report.Bugs {
+		if shown >= 8 {
+			fmt.Printf("  ... and %d more\n", len(report.Bugs)-shown)
+			break
+		}
+		core := coreFeatures(bug.Features)
+		fmt.Printf("  #%-3d %-6s {%s}\n", bug.ID, bug.Class, strings.Join(core, ", "))
+		shown++
+	}
+
+	fmt.Println("\nevery later case whose feature set contains one of these sets")
+	fmt.Println("was marked a potential duplicate — the paper reduces >99% of")
+	fmt.Println("the ~68K hourly CrateDB cases this way (Table 5).")
+}
+
+// coreFeatures trims a feature set to the short operator/function form
+// the paper's Figure 4 uses.
+func coreFeatures(features []string) []string {
+	var out []string
+	for _, f := range features {
+		if strings.Contains(f, "#") || strings.Contains(f, " ") ||
+			f == "CONSTANT" || f == "COLUMN" || f == "SELECT" || f == "WHERE" {
+			continue
+		}
+		out = append(out, f)
+		if len(out) >= 6 {
+			out = append(out, "…")
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+// Quickstart: point SQLancer++ at a DBMS and let it find logic bugs.
+//
+// This example tests the simulated CrateDB dialect — the paper's case
+// study system — with both oracles, prints the campaign statistics, and
+// shows the first reduced bug report.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sqlancerpp"
+)
+
+func main() {
+	report, err := sqlancerpp.Run(sqlancerpp.Options{
+		DBMS:      "cratedb",
+		TestCases: 8000,
+		Seed:      42,
+		Reduce:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tested %s with %d oracle checks (%.1f%% valid)\n",
+		report.DBMS, report.TestCases, 100*report.ValidityRate)
+	fmt.Printf("bug-inducing cases: %d, prioritized: %d, unique bugs: %d\n",
+		report.Detected, report.Prioritized, report.UniqueBugs)
+	fmt.Printf("features learned unsupported: %s\n\n",
+		strings.Join(report.UnsupportedFeatures, ", "))
+
+	for _, bug := range report.Bugs {
+		if bug.Class != "logic" || len(bug.Reduced) == 0 {
+			continue
+		}
+		fmt.Printf("reduced %s bug (oracle %s, ground truth %s):\n",
+			bug.Class, bug.Oracle, strings.Join(bug.GroundTruthFaults, "+"))
+		for _, stmt := range bug.Reduced {
+			fmt.Printf("  %s;\n", stmt)
+		}
+		fmt.Printf("  -- %s\n", bug.Detail)
+		break
+	}
+}

@@ -1,0 +1,102 @@
+// Package baseline provides the stand-in for SQLancer's hand-written
+// per-DBMS generators (the paper's main point of comparison).
+//
+// A baseline generator differs from the adaptive one in exactly the ways
+// the paper describes:
+//
+//   - It knows the dialect's feature matrix perfectly (an expert wrote
+//     it), so it never emits a syntactically unsupported feature — the
+//     counterpart of SQLancer's ~3.7 kLOC of per-DBMS generator code
+//     (Figure 1).
+//   - It knows the dialect's typing discipline, so on statically typed
+//     systems it generates type-correct statements.
+//   - It also generates the dialect's *specific* functions, which the
+//     adaptive grammar lacks (Figure 7's baseline-only Venn regions and
+//     Table 3's coverage edge) — including complex, failure-prone ones
+//     (the paper attributes SQLancer's low PostgreSQL validity rate to
+//     exactly those dialect-specific features' runtime complexity).
+package baseline
+
+import (
+	"sqlancerpp/internal/core/campaign"
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/feature"
+)
+
+// Policy answers feature-support queries from the dialect's ground-truth
+// matrix instead of learned feedback.
+type Policy struct {
+	d *dialect.Dialect
+}
+
+// NewPolicy builds the dialect-truth policy.
+func NewPolicy(d *dialect.Dialect) *Policy { return &Policy{d: d} }
+
+// Supported consults the dialect's feature matrix. Composite per-argument
+// type features (FN#i=TYPE) are reported supported only for the declared
+// type on static dialects — the expert-written generator does not probe
+// the type system.
+func (p *Policy) Supported(f string) bool {
+	if f == feature.PropImplicitCast {
+		// The baseline generator never experiments with implicit casts on
+		// statically typed systems.
+		return p.d.TypeSystem == dialect.Dynamic
+	}
+	if i := indexByte(f, '#'); i > 0 {
+		// Composite FN#arg=TYPE feature: supported iff the function is.
+		return p.d.SupportsFunction(f[:i])
+	}
+	if p.d.SupportsStatement(f) || p.d.SupportsClause(f) ||
+		p.d.SupportsOperator(f) || p.d.SupportsFunction(f) ||
+		p.d.SupportsType(f) {
+		return true
+	}
+	return false
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// ExtraFunctions returns the dialect-specific functions outside the
+// universal grammar that the baseline generator additionally knows.
+func ExtraFunctions(d *dialect.Dialect) []string {
+	universal := map[string]bool{}
+	for _, f := range feature.Functions {
+		universal[f] = true
+	}
+	for _, f := range feature.Aggregates {
+		universal[f] = true
+	}
+	var out []string
+	for _, f := range d.FunctionList() {
+		if !universal[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Configure fills a campaign config with the baseline generator setup
+// for a dialect.
+func Configure(cfg campaign.Config, d *dialect.Dialect) campaign.Config {
+	cfg.Dialect = d
+	cfg.Mode = campaign.Baseline
+	cfg.Policy = NewPolicy(d)
+	cfg.ExtraFunctions = ExtraFunctions(d)
+	cfg.TypeCorrect = d.TypeSystem == dialect.Static
+	// The hand-written generators exercise complex, failure-prone
+	// dialect constructs without learning to avoid them (the paper's
+	// explanation for SQLancer's 25.1% validity on PostgreSQL).
+	cfg.RiskyProb = 0.35
+	// Mature hand-written generators emit complex expressions from the
+	// start — no shallow warm-up phase.
+	cfg.StartDepth = 3
+	cfg.MaxDepth = 3
+	return cfg
+}

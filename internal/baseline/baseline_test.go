@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/core/campaign"
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/feature"
+)
+
+func TestPolicyMatchesDialectTruth(t *testing.T) {
+	d := dialect.MustGet("postgresql")
+	p := NewPolicy(d)
+	if p.Supported("<=>") {
+		t.Error("baseline policy must reject <=> on postgresql")
+	}
+	if !p.Supported("=") || !p.Supported("ABS") ||
+		!p.Supported(feature.StmtCreateTable) || !p.Supported(feature.JoinLeft) {
+		t.Error("baseline policy must accept supported features")
+	}
+	if !p.Supported("GREATEST") {
+		t.Error("baseline policy must know dialect extras")
+	}
+	if p.Supported(feature.PropImplicitCast) {
+		t.Error("type-correct baseline must not experiment with implicit casts on a static dialect")
+	}
+	my := NewPolicy(dialect.MustGet("mysql"))
+	if !my.Supported(feature.PropImplicitCast) {
+		t.Error("dynamic dialects coerce, so the baseline may mix types")
+	}
+	// Composite FN#arg=TYPE features follow the function's support.
+	if !p.Supported("ABS#1=INTEGER") {
+		t.Error("composite feature of a supported function must pass")
+	}
+	if p.Supported("GCD#1=INTEGER") != p.Supported("GCD") {
+		t.Error("composite features must track their function")
+	}
+}
+
+func TestExtraFunctionsDisjointFromUniversal(t *testing.T) {
+	universal := map[string]bool{}
+	for _, f := range feature.Functions {
+		universal[f] = true
+	}
+	for _, name := range dialect.Names() {
+		for _, fn := range ExtraFunctions(dialect.MustGet(name)) {
+			if universal[fn] {
+				t.Errorf("%s: extra function %q is already universal", name, fn)
+			}
+		}
+	}
+	// The comparison systems must have extras (Figure 7's baseline-only
+	// regions).
+	for _, name := range []string{"sqlite", "postgresql", "duckdb"} {
+		if len(ExtraFunctions(dialect.MustGet(name))) == 0 {
+			t.Errorf("%s: baseline generator needs dialect-specific extras", name)
+		}
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	d := dialect.MustGet("postgresql")
+	cfg := Configure(campaign.Config{TestCases: 10}, d)
+	if cfg.Mode != campaign.Baseline || cfg.Policy == nil || !cfg.TypeCorrect {
+		t.Fatal("Configure must set baseline mode, policy, and typing discipline")
+	}
+	if cfg.RiskyProb == 0 || cfg.StartDepth != 3 {
+		t.Fatal("Configure must set the failure-prone expert-generator profile")
+	}
+	dyn := Configure(campaign.Config{}, dialect.MustGet("sqlite"))
+	if dyn.TypeCorrect {
+		t.Fatal("dynamic dialects do not need type-correct generation")
+	}
+}
+
+// TestBaselineCampaignZeroFalsePositives runs the baseline generator end
+// to end on a clean system.
+func TestBaselineCampaignZeroFalsePositives(t *testing.T) {
+	d := dialect.MustGet("postgresql")
+	cfg := Configure(campaign.Config{TestCases: 500, Seed: 5}, d)
+	r, err := campaign.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected != 0 {
+		t.Fatalf("baseline campaign on clean postgresql reported %d bugs", rep.Detected)
+	}
+	if rep.ValidCases == 0 {
+		t.Fatal("baseline campaign made no progress")
+	}
+}

@@ -1,0 +1,597 @@
+// Package campaign orchestrates a SQLancer++ testing run (paper Figure
+// 2): the adaptive statement generator builds a database state while
+// maintaining the schema model, issues oracle-checked queries, feeds
+// execution statuses back into the Bayesian tracker, prioritizes
+// bug-inducing cases by feature-set subsumption, and reduces the
+// prioritized ones.
+package campaign
+
+import (
+	"fmt"
+
+	"sqlancerpp/internal/core/feedback"
+	"sqlancerpp/internal/core/gen"
+	"sqlancerpp/internal/core/oracle"
+	"sqlancerpp/internal/core/prioritize"
+	"sqlancerpp/internal/core/reduce"
+	"sqlancerpp/internal/coverage"
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/sqlast"
+)
+
+// Mode selects the generator policy, matching the paper's configurations.
+type Mode int
+
+// Modes.
+const (
+	// Adaptive is SQLancer++ with validity feedback enabled.
+	Adaptive Mode = iota
+	// Rand is SQLancer++ without feedback ("SQLancer++ Rand").
+	Rand
+	// Baseline is the hand-written per-DBMS generator stand-in
+	// ("SQLancer"): it knows the dialect's exact feature matrix.
+	Baseline
+)
+
+// String returns the paper's label for the mode.
+func (m Mode) String() string {
+	switch m {
+	case Adaptive:
+		return "SQLancer++"
+	case Rand:
+		return "SQLancer++ Rand"
+	default:
+		return "SQLancer"
+	}
+}
+
+// Config parameterizes a campaign run.
+type Config struct {
+	Dialect *dialect.Dialect
+	Mode    Mode
+	// Policy overrides the mode's default policy (used by the baseline
+	// package and by tests).
+	Policy gen.Policy
+	// ExtraFunctions extends the generator grammar (baseline mode).
+	ExtraFunctions []string
+	// TypeCorrect forces type-correct generation (baseline mode on
+	// statically typed dialects).
+	TypeCorrect bool
+	// RiskyProb forwards to the generator (baseline mode sets it high).
+	RiskyProb float64
+
+	// TestCases is the number of oracle checks to run (the time-budget
+	// stand-in; the paper uses wall-clock hours).
+	TestCases int
+	// SetupStmts is the number of DDL/DML statements per database state.
+	SetupStmts int
+	// CasesPerDB re-creates the database state every N test cases.
+	CasesPerDB int
+	// SmokeEvery issues one free-form (non-oracle) query every N cases,
+	// exercising the full clause grammar.
+	SmokeEvery int
+
+	Seed int64
+	// UseTLP / UseNoREC select the oracles (both by default).
+	UseTLP   bool
+	UseNoREC bool
+
+	// Threshold, Confidence, UpdateInterval, DDLMaxFailures configure the
+	// Bayesian tracker (zero selects the paper defaults).
+	Threshold      float64
+	Confidence     float64
+	UpdateInterval int
+	DDLMaxFailures int
+
+	// Depth schedule overrides (zero selects 1→3, the paper's setting).
+	StartDepth    int
+	MaxDepth      int
+	DepthInterval int
+
+	// ReduceBugs runs the reducer on prioritized logic bugs.
+	ReduceBugs bool
+	// PerfCostLimit flags queries whose executor cost exceeds the limit
+	// as performance bugs (0 disables).
+	PerfCostLimit int64
+
+	// Coverage, when set, records engine coverage.
+	Coverage *coverage.Recorder
+	// KeepAllCases retains every detected case (features + ground truth
+	// only) in Report.AllCases — used by the prioritizer ablation.
+	KeepAllCases bool
+	// FeedbackState, when set, seeds the tracker (paper Figure 5: the
+	// learned probabilities can be persisted and reloaded).
+	FeedbackState []byte
+}
+
+// BugClass labels a bug-inducing case.
+type BugClass string
+
+// Bug classes (paper §6).
+const (
+	ClassLogic BugClass = "logic"
+	ClassCrash BugClass = "crash"
+	ClassError BugClass = "error"
+	ClassPerf  BugClass = "perf"
+)
+
+// BugCase is one bug-inducing test case.
+type BugCase struct {
+	ID       int
+	Class    BugClass
+	Oracle   oracle.Name
+	Setup    []string // DDL/DML statements that built the database state
+	Queries  []string // the oracle's queries (or the failing statement)
+	Features []string
+	Detail   string
+	// Triggered is ground truth: the injected fault IDs that fired.
+	Triggered []string
+	// Duplicate marks cases the prioritizer deprioritized.
+	Duplicate bool
+	// Reduced holds the reduced statement sequence (prioritized logic
+	// bugs only, when reduction is enabled).
+	Reduced []string
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	Dialect string
+	Mode    string
+
+	// Detected counts all bug-inducing test cases; Prioritized those the
+	// prioritizer reported; UniqueGroundTruth the distinct injected
+	// faults among the detected cases (the paper's "unique bugs",
+	// determined there by fix commits).
+	Detected           int
+	Prioritized        int
+	UniqueGroundTruth  int
+	UniquePrioritized  int
+	DetectedByClass    map[BugClass]int
+	PrioritizedByClass map[BugClass]int
+
+	// FalsePositives counts bug reports with no ground-truth fault — any
+	// non-zero value indicates a defect in this engine, not a found bug.
+	FalsePositives int
+
+	// Validity statistics (paper Table 4): a test case is valid when all
+	// its oracle queries executed.
+	TestCases  int
+	ValidCases int
+	// Setup statement statistics.
+	SetupTotal int
+	SetupOK    int
+
+	// Bugs holds the prioritized cases (duplicates are counted, not kept).
+	Bugs []*BugCase
+	// AllCases holds every detected case when Config.KeepAllCases is set.
+	AllCases []*BugCase
+
+	// FeedbackState is the tracker's final state for persistence.
+	FeedbackState []byte
+	// Unsupported lists the features learned to be unsupported.
+	Unsupported []string
+}
+
+// ValidityRate returns valid/total test cases.
+func (r *Report) ValidityRate() float64 {
+	if r.TestCases == 0 {
+		return 0
+	}
+	return float64(r.ValidCases) / float64(r.TestCases)
+}
+
+// Runner executes a campaign.
+type Runner struct {
+	cfg     Config
+	tracker *feedback.Tracker
+	g       *gen.Generator
+	pri     *prioritize.Prioritizer
+	report  *Report
+
+	db    *engine.DB
+	setup []*gen.Statement // successfully executed setup statements
+	bugID int
+	// allFaults accumulates every ground-truth fault triggered by a
+	// detected bug case (unique-bug accounting).
+	allFaults map[string]bool
+}
+
+// New prepares a campaign runner.
+func New(cfg Config) (*Runner, error) {
+	if cfg.Dialect == nil {
+		return nil, fmt.Errorf("campaign: no dialect configured")
+	}
+	if cfg.TestCases == 0 {
+		cfg.TestCases = 1000
+	}
+	if cfg.SetupStmts == 0 {
+		cfg.SetupStmts = 14
+	}
+	if cfg.CasesPerDB == 0 {
+		cfg.CasesPerDB = 200
+	}
+	if cfg.SmokeEvery == 0 {
+		cfg.SmokeEvery = 5
+	}
+	if !cfg.UseTLP && !cfg.UseNoREC {
+		cfg.UseTLP = true
+		cfg.UseNoREC = true
+	}
+	if cfg.Threshold == 0 {
+		// The paper's p = 1% needs ~300 zero-success observations per
+		// feature — proportionate to its 100K-statement update windows.
+		// Scaled-down budgets use 5% so the posterior concludes after
+		// ~60 observations; see EXPERIMENTS.md.
+		cfg.Threshold = 0.05
+	}
+
+	var topts []feedback.Option
+	if cfg.Threshold > 0 {
+		topts = append(topts, feedback.WithThreshold(cfg.Threshold))
+	}
+	if cfg.Confidence > 0 {
+		topts = append(topts, feedback.WithConfidence(cfg.Confidence))
+	}
+	if cfg.UpdateInterval > 0 {
+		topts = append(topts, feedback.WithUpdateInterval(cfg.UpdateInterval))
+	}
+	if cfg.DDLMaxFailures > 0 {
+		topts = append(topts, feedback.WithDDLMaxFailures(cfg.DDLMaxFailures))
+	}
+	if cfg.Mode != Adaptive {
+		topts = append(topts, feedback.Disabled())
+	}
+	tracker := feedback.New(topts...)
+	if cfg.FeedbackState != nil {
+		if err := tracker.Load(cfg.FeedbackState); err != nil {
+			return nil, fmt.Errorf("campaign: loading feedback state: %w", err)
+		}
+	}
+
+	policy := cfg.Policy
+	if policy == nil {
+		switch cfg.Mode {
+		case Adaptive:
+			policy = tracker
+		default:
+			policy = gen.AllowAll{}
+		}
+	}
+
+	g := gen.New(gen.Config{
+		Seed:           cfg.Seed,
+		Policy:         policy,
+		StartDepth:     cfg.StartDepth,
+		MaxDepth:       cfg.MaxDepth,
+		DepthInterval:  cfg.DepthInterval,
+		ExtraFunctions: cfg.ExtraFunctions,
+		TypeCorrect:    cfg.TypeCorrect,
+		RiskyProb:      cfg.RiskyProb,
+	})
+
+	return &Runner{
+		cfg:     cfg,
+		tracker: tracker,
+		g:       g,
+		pri:     prioritize.New(),
+		report: &Report{
+			Dialect:            cfg.Dialect.Name,
+			Mode:               cfg.Mode.String(),
+			DetectedByClass:    map[BugClass]int{},
+			PrioritizedByClass: map[BugClass]int{},
+		},
+	}, nil
+}
+
+// Tracker exposes the feedback tracker (tests and experiments).
+func (r *Runner) Tracker() *feedback.Tracker { return r.tracker }
+
+// Run executes the campaign and returns its report.
+func (r *Runner) Run() (*Report, error) {
+	casesInDB := r.cfg.CasesPerDB // force a fresh DB on the first case
+	for i := 0; i < r.cfg.TestCases; i++ {
+		if casesInDB >= r.cfg.CasesPerDB {
+			r.newDatabase()
+			casesInDB = 0
+		}
+		if r.cfg.SmokeEvery > 0 && i%r.cfg.SmokeEvery == 0 {
+			r.runSmokeQuery()
+		}
+		r.runOracleCase()
+		casesInDB++
+	}
+	r.finishReport()
+	return r.report, nil
+}
+
+// newDatabase opens a fresh DBMS instance and generates a database state
+// (Figure 2 step 1), keeping the learned feedback across states.
+func (r *Runner) newDatabase() {
+	opts := []engine.Option{}
+	if r.cfg.Coverage != nil {
+		opts = append(opts, engine.WithCoverage(r.cfg.Coverage))
+	}
+	r.db = engine.Open(r.cfg.Dialect, opts...)
+	r.g.ResetModel()
+	r.setup = nil
+	for i := 0; i < r.cfg.SetupStmts; i++ {
+		st := r.g.GenSetup()
+		r.execSetup(st)
+	}
+	// Guarantee at least one table with rows so oracle cases exist.
+	if len(r.g.Model().Tables()) == 0 {
+		for i := 0; i < 10 && len(r.g.Model().Tables()) == 0; i++ {
+			st := r.g.GenSetup()
+			r.execSetup(st)
+		}
+	}
+}
+
+// execSetup runs one setup statement, records feedback, updates the
+// model on success, and issues the dialect's REFRESH adapter statement
+// after inserts (paper §6, "Manual effort": ~16 LOC per DBMS).
+func (r *Runner) execSetup(st *gen.Statement) {
+	err := r.db.Exec(st.SQL)
+	r.report.SetupTotal++
+	ok := err == nil
+	if ok {
+		r.report.SetupOK++
+		if st.OnSuccess != nil {
+			st.OnSuccess()
+		}
+		r.setup = append(r.setup, st)
+	}
+	// The paper's simple consecutive-failure rule applies to the DDL/DML
+	// *statement* features; expression features inside DML statements are
+	// judged by the Bayesian query model, so that, say, a streak of
+	// failing UPDATEs cannot condemn AND or CASE.
+	ddlFeats, exprFeats := splitSetupFeatures(st.Features)
+	r.tracker.RecordDDL(ddlFeats, ok)
+	if len(exprFeats) > 0 {
+		r.tracker.RecordQuery(exprFeats, ok)
+	}
+	r.handleExecError(st, err)
+
+	if ok {
+		if ins, isInsert := st.Stmt.(*sqlast.Insert); isInsert && r.cfg.Dialect.RequiresRefresh {
+			ref := r.g.GenRefresh(ins.Table)
+			if rerr := r.db.Exec(ref.SQL); rerr == nil {
+				r.setup = append(r.setup, ref)
+			}
+		}
+	}
+}
+
+// runSmokeQuery issues one free-form query for feedback and coverage —
+// every third one a compound (set-operation) query.
+func (r *Runner) runSmokeQuery() {
+	st := r.g.GenQuery()
+	if r.report.TestCases%3 == 0 {
+		if cq := r.g.GenCompoundQuery(); cq != nil {
+			st = cq
+		}
+	}
+	_, err := r.db.Query(st.SQL)
+	r.tracker.RecordQuery(st.Features, err == nil)
+	r.handleExecError(st, err)
+}
+
+// runOracleCase runs one oracle check (Figure 2 steps 2–5).
+func (r *Runner) runOracleCase() {
+	oc := r.g.GenOracleCase()
+	r.report.TestCases++
+	if oc == nil {
+		return
+	}
+	var res oracle.Result
+	useTLP := r.cfg.UseTLP
+	if useTLP && r.cfg.UseNoREC {
+		useTLP = r.report.TestCases%2 == 0
+	}
+	if useTLP {
+		// Rotate through the TLP variants: classic WHERE partitioning,
+		// the server-side UNION ALL composition, and the aggregate form.
+		switch r.report.TestCases % 10 {
+		case 0, 2:
+			res = oracle.TLPComposed(r.db, oc.Base, oc.Pred)
+		case 4:
+			res = oracle.TLPAggregate(r.db, oc.Base, oc.Pred, r.report.TestCases/10)
+		default:
+			res = oracle.TLP(r.db, oc.Base, oc.Pred)
+		}
+	} else {
+		res = oracle.NoREC(r.db, oc.Base, oc.Pred)
+	}
+
+	switch res.Outcome {
+	case oracle.OK:
+		r.report.ValidCases++
+		r.tracker.RecordQuery(oc.Features, true)
+		if r.cfg.PerfCostLimit > 0 && res.MaxCost > r.cfg.PerfCostLimit {
+			r.recordBug(&BugCase{
+				Class:     ClassPerf,
+				Oracle:    res.Oracle,
+				Queries:   res.Queries,
+				Features:  oc.Features,
+				Triggered: res.Triggered,
+				Detail:    fmt.Sprintf("executor cost %d exceeds limit %d", res.MaxCost, r.cfg.PerfCostLimit),
+			}, nil)
+		}
+	case oracle.Invalid:
+		r.tracker.RecordQuery(oc.Features, false)
+		if res.Err != nil {
+			if engine.IsCrash(res.Err) {
+				r.recordErrorBug(ClassCrash, res, oc.Features)
+				r.db.Restart()
+			} else if engine.IsInternal(res.Err) {
+				r.recordErrorBug(ClassError, res, oc.Features)
+			}
+		}
+	case oracle.Bug:
+		r.report.ValidCases++
+		r.tracker.RecordQuery(oc.Features, true)
+		r.recordBug(&BugCase{
+			Class:     ClassLogic,
+			Oracle:    res.Oracle,
+			Queries:   res.Queries,
+			Features:  oc.Features,
+			Triggered: res.Triggered,
+			Detail:    res.Detail,
+		}, oc)
+	}
+}
+
+// handleExecError turns crashes and internal errors of non-oracle
+// statements into bug cases.
+func (r *Runner) handleExecError(st *gen.Statement, err error) {
+	if err == nil {
+		return
+	}
+	if engine.IsCrash(err) {
+		r.recordBug(&BugCase{
+			Class:     ClassCrash,
+			Queries:   []string{st.SQL},
+			Features:  st.Features,
+			Triggered: r.db.TriggeredFaults(),
+			Detail:    err.Error(),
+		}, nil)
+		r.db.Restart()
+		return
+	}
+	if engine.IsInternal(err) {
+		r.recordBug(&BugCase{
+			Class:     ClassError,
+			Queries:   []string{st.SQL},
+			Features:  st.Features,
+			Triggered: r.db.TriggeredFaults(),
+			Detail:    err.Error(),
+		}, nil)
+	}
+}
+
+func (r *Runner) recordErrorBug(class BugClass, res oracle.Result, features []string) {
+	r.recordBug(&BugCase{
+		Class:     class,
+		Oracle:    res.Oracle,
+		Queries:   res.Queries,
+		Features:  features,
+		Triggered: res.Triggered,
+		Detail:    fmt.Sprint(res.Err),
+	}, nil)
+}
+
+// recordBug runs the prioritizer and stores prioritized cases.
+func (r *Runner) recordBug(bug *BugCase, oc *gen.OracleCase) {
+	r.bugID++
+	bug.ID = r.bugID
+	r.report.Detected++
+	r.report.DetectedByClass[bug.Class]++
+	if len(bug.Triggered) == 0 {
+		r.report.FalsePositives++
+	}
+	r.noteFaults(bug.Triggered)
+	if r.cfg.KeepAllCases {
+		r.report.AllCases = append(r.report.AllCases, &BugCase{
+			ID: bug.ID, Class: bug.Class, Features: bug.Features,
+			Triggered: bug.Triggered,
+		})
+	}
+
+	if !r.pri.Report(prioritizerFeatures(bug.Features)) {
+		bug.Duplicate = true
+		return
+	}
+	r.report.Prioritized++
+	r.report.PrioritizedByClass[bug.Class]++
+	for _, s := range r.setup {
+		bug.Setup = append(bug.Setup, s.SQL)
+	}
+	if r.cfg.ReduceBugs && bug.Class == ClassLogic && oc != nil {
+		bug.Reduced = r.reduceLogicBug(bug, oc)
+	}
+	r.report.Bugs = append(r.report.Bugs, bug)
+}
+
+// reduceLogicBug shrinks the setup+query sequence while the oracle keeps
+// failing, replaying on fresh pristine instances.
+func (r *Runner) reduceLogicBug(bug *BugCase, oc *gen.OracleCase) []string {
+	var stmts []sqlast.Stmt
+	for _, s := range r.setup {
+		stmts = append(stmts, sqlast.CloneStmt(s.Stmt))
+	}
+	base := sqlast.CloneSelect(oc.Base)
+	pred := sqlast.CloneExpr(oc.Pred)
+	useTLP := bug.Oracle == oracle.TLPName
+
+	// The query under reduction is carried as a SELECT statement holding
+	// the predicate in WHERE; the property re-splits it.
+	carrier := sqlast.CloneSelect(base)
+	carrier.Where = pred
+	stmts = append(stmts, carrier)
+
+	prop := func(cand []sqlast.Stmt) bool {
+		if len(cand) == 0 {
+			return false
+		}
+		carrier, ok := cand[len(cand)-1].(*sqlast.Select)
+		if !ok || carrier.Where == nil {
+			return false
+		}
+		db := engine.Open(r.cfg.Dialect)
+		for _, st := range cand[:len(cand)-1] {
+			_ = db.Exec(st.SQL()) // failures are fine during replay
+		}
+		cb := sqlast.CloneSelect(carrier)
+		cp := cb.Where
+		cb.Where = nil
+		var res oracle.Result
+		if useTLP {
+			res = oracle.TLP(db, cb, cp)
+		} else {
+			res = oracle.NoREC(db, cb, cp)
+		}
+		return res.Outcome == oracle.Bug
+	}
+	if !prop(stmts) {
+		return nil // not reproducible from a pristine state
+	}
+	reduced := reduce.Reduce(stmts, prop)
+	out := make([]string, len(reduced))
+	for i, st := range reduced {
+		out[i] = st.SQL()
+	}
+	return out
+}
+
+// finishReport computes the ground-truth uniqueness statistics.
+func (r *Runner) finishReport() {
+	state, err := r.tracker.Save()
+	if err == nil {
+		r.report.FeedbackState = state
+	}
+	r.report.Unsupported = r.tracker.Unsupported()
+
+	// UniquePrioritized counts distinct injected faults among the
+	// prioritized cases; UniqueGroundTruth among all detected ones is
+	// tracked incrementally via allFaults.
+	pri := map[string]bool{}
+	for _, b := range r.report.Bugs {
+		for _, id := range b.Triggered {
+			pri[id] = true
+		}
+	}
+	r.report.UniquePrioritized = len(pri)
+	r.report.UniqueGroundTruth = len(r.allFaults)
+}
+
+// noteFaults records triggered ground-truth faults for unique-bug
+// accounting.
+func (r *Runner) noteFaults(ids []string) {
+	if r.allFaults == nil {
+		r.allFaults = map[string]bool{}
+	}
+	for _, id := range ids {
+		r.allFaults[id] = true
+	}
+}

@@ -1,0 +1,157 @@
+package campaign
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/faults"
+)
+
+// crashDialect builds a dialect whose only fault crashes on LIKE.
+func crashDialect(name string) *dialect.Dialect {
+	d := dialect.MustGet("sqlite").Clone()
+	d.Name = name
+	d.Faults = faults.NewSet([]faults.Fault{
+		{ID: name + "-crash", Dialect: name, Class: faults.Crash,
+			Kind: faults.CrashOnFeature, Param: "LIKE"},
+	})
+	return d
+}
+
+func TestCampaignSurvivesCrashes(t *testing.T) {
+	r, err := New(Config{
+		Dialect:   crashDialect("crash-test-1"),
+		Mode:      Adaptive,
+		TestCases: 800,
+		Seed:      13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetectedByClass[ClassCrash] == 0 {
+		t.Fatal("campaign never hit the crash fault")
+	}
+	if rep.FalsePositives != 0 {
+		t.Fatalf("crash cases without ground truth: %d", rep.FalsePositives)
+	}
+	// The campaign must keep making progress after crashes (restart).
+	if rep.ValidCases == 0 {
+		t.Fatal("no valid cases after crashes — restart handling broken")
+	}
+	// The crash bug is attributed.
+	if rep.UniqueGroundTruth != 1 {
+		t.Fatalf("unique ground truth = %d, want 1", rep.UniqueGroundTruth)
+	}
+}
+
+func TestCampaignPerfWatchdog(t *testing.T) {
+	d := dialect.MustGet("sqlite").Clone()
+	d.Name = "perf-test-1"
+	d.Faults = faults.NewSet([]faults.Fault{
+		{ID: "perf-test-1-p", Dialect: d.Name, Class: faults.Perf,
+			Kind: faults.PerfOnFeature, Param: "BETWEEN"},
+	})
+	r, err := New(Config{
+		Dialect:       d,
+		Mode:          Adaptive,
+		TestCases:     800,
+		Seed:          17,
+		PerfCostLimit: 500_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetectedByClass[ClassPerf] == 0 {
+		t.Fatal("perf watchdog never fired")
+	}
+	if rep.FalsePositives != 0 {
+		t.Fatalf("perf cases without ground truth: %d", rep.FalsePositives)
+	}
+}
+
+func TestCampaignInternalErrors(t *testing.T) {
+	d := dialect.MustGet("sqlite").Clone()
+	d.Name = "interr-test-1"
+	d.Faults = faults.NewSet([]faults.Fault{
+		{ID: "interr-test-1-e", Dialect: d.Name, Class: faults.Error,
+			Kind: faults.InternalErrorOnFeature, Param: "COALESCE"},
+	})
+	r, err := New(Config{
+		Dialect: d, Mode: Adaptive, TestCases: 800, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetectedByClass[ClassError] == 0 {
+		t.Fatal("internal-error fault never detected")
+	}
+}
+
+func TestPrioritizerFeatureProjection(t *testing.T) {
+	got := prioritizerFeatures([]string{
+		"NULLIF", "!=", "SELECT", "WHERE", "CONSTANT", "COLUMN",
+		"SIN#1=INTEGER", "INTEGER", "LEFT JOIN", "CASE", "IMPLICIT CAST",
+	})
+	want := map[string]bool{"NULLIF": true, "!=": true, "LEFT JOIN": true, "CASE": true}
+	if len(got) != len(want) {
+		t.Fatalf("projected set %v, want keys %v", got, want)
+	}
+	for _, f := range got {
+		if !want[f] {
+			t.Fatalf("unexpected feature %q in projection", f)
+		}
+	}
+}
+
+func TestRefreshDialectCampaign(t *testing.T) {
+	// CrateDB-style visibility: the campaign's adapter issues REFRESH
+	// after inserts, so oracle queries see rows and bugs are findable.
+	d := dialect.MustGet("cratedb")
+	r, err := New(Config{Dialect: d, Mode: Adaptive, TestCases: 1200, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected == 0 {
+		t.Fatal("no bugs found — inserted rows may be invisible (REFRESH adapter broken)")
+	}
+}
+
+func TestKeepAllCases(t *testing.T) {
+	d := dialect.MustGet("cratedb")
+	r, err := New(Config{
+		Dialect: d, Mode: Adaptive, TestCases: 1200, Seed: 29, KeepAllCases: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.AllCases) != rep.Detected {
+		t.Fatalf("AllCases %d != Detected %d", len(rep.AllCases), rep.Detected)
+	}
+}
+
+func TestModeLabels(t *testing.T) {
+	if Adaptive.String() != "SQLancer++" || Rand.String() != "SQLancer++ Rand" ||
+		Baseline.String() != "SQLancer" {
+		t.Fatal("mode labels must match the paper's")
+	}
+}

@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"strings"
+
+	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/feature"
+)
+
+// coreFeature reports whether a feature participates in bug
+// prioritization. The paper's feature sets (Figure 4: {NULLIF, !=}) are
+// the *language elements* of the bug-inducing case — operators,
+// functions, expression forms, and join kinds — not the bookkeeping
+// features the generator also tracks (composite argument types, column/
+// constant leaves, statement kinds), whose inclusion would make every
+// set nearly unique and defeat the subset rule.
+var coreFeatureSet = buildCoreFeatureSet()
+
+func buildCoreFeatureSet() map[string]bool {
+	m := map[string]bool{}
+	for _, f := range feature.BinaryOperators {
+		m[f] = true
+	}
+	m["~"] = true
+	for _, f := range feature.ExprForms {
+		m[f] = true
+	}
+	for _, f := range feature.Joins {
+		m[f] = true
+	}
+	for _, f := range feature.Aggregates {
+		m[f] = true
+	}
+	m[feature.Subquery] = true
+	m[feature.DerivedTable] = true
+	m[feature.Distinct] = true
+	m[feature.GroupBy] = true
+	m[feature.Having] = true
+	m[feature.PartialIndex] = true
+	return m
+}
+
+// prioritizerFeatures projects a generated feature set onto the core
+// grammar features used for deduplication.
+func prioritizerFeatures(features []string) []string {
+	var out []string
+	for _, f := range features {
+		if strings.ContainsRune(f, '#') {
+			continue
+		}
+		if coreFeatureSet[f] || engine.LookupFunc(f) != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// setupStatementFeatures are the features the DDL/DML consecutive-
+// failure rule applies to: statement kinds and DDL-only clauses.
+var setupStatementFeatures = buildSetupFeatureSet()
+
+func buildSetupFeatureSet() map[string]bool {
+	m := map[string]bool{}
+	for _, f := range feature.Statements {
+		m[f] = true
+	}
+	m[feature.StmtDropTable] = true
+	m[feature.StmtDropView] = true
+	m[feature.UniqueIndex] = true
+	m[feature.PartialIndex] = true
+	m[feature.PrimaryKey] = true
+	m[feature.NotNullColumn] = true
+	m[feature.UniqueColumn] = true
+	m[feature.InsertOrIgnore] = true
+	m[feature.InsertMultiRow] = true
+	m[feature.ViewColumnNames] = true
+	return m
+}
+
+// splitSetupFeatures separates a setup statement's features into the
+// DDL-rule set and the Bayesian query set.
+func splitSetupFeatures(features []string) (ddl, expr []string) {
+	for _, f := range features {
+		if setupStatementFeatures[f] {
+			ddl = append(ddl, f)
+		} else {
+			expr = append(expr, f)
+		}
+	}
+	return ddl, expr
+}

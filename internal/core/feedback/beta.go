@@ -1,0 +1,80 @@
+package feedback
+
+import "math"
+
+// BetaCDF returns the regularized incomplete beta function I_x(a, b):
+// the CDF of a Beta(a, b) distribution at x. It is the quantity the
+// paper's statistical model needs: with posterior θ|y ~ Beta(y+1, N−y+1),
+// BetaCDF(p, y+1, N−y+1) is the posterior mass below the threshold p.
+//
+// Implementation: continued-fraction expansion (Lentz's algorithm), the
+// standard numerical approach; pure math stdlib.
+func BetaCDF(x, a, b float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	// ln B(a,b) via lgamma.
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	lnBeta := lga + lgb - lgab
+	front := math.Exp(a*math.Log(x) + b*math.Log(1-x) - lnBeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(x, a, b) / a
+	}
+	return 1 - front*betaCF(1-x, b, a)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function (Numerical Recipes §6.4, Lentz's method).
+func betaCF(x, a, b float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

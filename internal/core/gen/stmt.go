@@ -1,0 +1,539 @@
+package gen
+
+import (
+	"fmt"
+
+	"sqlancerpp/internal/core/schema"
+	"sqlancerpp/internal/feature"
+	"sqlancerpp/internal/sqlast"
+)
+
+// finish packages a generated statement.
+func (g *Generator) finish(stmt sqlast.Stmt, fs featSet, isQuery bool, onSuccess func()) *Statement {
+	g.generated++
+	return &Statement{
+		Stmt:      stmt,
+		SQL:       stmt.SQL(),
+		Features:  fs.list(),
+		IsQuery:   isQuery,
+		OnSuccess: onSuccess,
+	}
+}
+
+// GenSetup produces one database-state statement (DDL or DML), honoring
+// the paper's standard settings (up to MaxTables tables and MaxViews
+// views).
+func (g *Generator) GenSetup() *Statement {
+	tables := g.model.Tables()
+	views := g.model.Views()
+
+	var alts []string
+	if len(tables) < g.cfg.MaxTables {
+		alts = append(alts, feature.StmtCreateTable, feature.StmtCreateTable)
+	}
+	if len(tables) > 0 {
+		alts = append(alts, feature.StmtInsert, feature.StmtInsert,
+			feature.StmtInsert, feature.StmtInsert,
+			feature.StmtCreateIndex, feature.StmtUpdate, feature.StmtDelete,
+			feature.StmtAnalyze, feature.StmtAlterTable)
+		if len(views) < g.cfg.MaxViews {
+			alts = append(alts, feature.StmtCreateView)
+		}
+	}
+	if len(alts) == 0 {
+		alts = []string{feature.StmtCreateTable}
+	}
+	switch g.pickFeature(alts) {
+	case feature.StmtCreateTable:
+		return g.genCreateTable()
+	case feature.StmtCreateIndex:
+		return g.genCreateIndex()
+	case feature.StmtCreateView:
+		return g.genCreateView()
+	case feature.StmtInsert:
+		return g.genInsert()
+	case feature.StmtUpdate:
+		return g.genUpdate()
+	case feature.StmtDelete:
+		return g.genDelete()
+	case feature.StmtAnalyze:
+		return g.genAnalyze()
+	case feature.StmtAlterTable:
+		return g.genAlter()
+	default:
+		return g.genCreateTable()
+	}
+}
+
+// columnTypeFeatures lists the data-type features in generation order.
+var columnTypes = []string{feature.TypeInteger, feature.TypeText, feature.TypeBoolean}
+
+func (g *Generator) pickColumnType(fs featSet) sqlast.Type {
+	tf := g.pickFeature(columnTypes)
+	fs.add(tf)
+	switch tf {
+	case feature.TypeText:
+		return sqlast.TypeText
+	case feature.TypeBoolean:
+		return sqlast.TypeBool
+	default:
+		return sqlast.TypeInt
+	}
+}
+
+func (g *Generator) genCreateTable() *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtCreateTable)
+	name := g.model.FreeTableName()
+	n := 1 + g.intn(4)
+	ct := &sqlast.CreateTable{Name: name}
+	pkDone := false
+	for i := 0; i < n; i++ {
+		col := sqlast.ColumnDef{Name: fmt.Sprintf("c%d", i), Type: g.pickColumnType(fs)}
+		if !pkDone && g.prob(0.3) && g.supported(feature.PrimaryKey) {
+			col.PrimaryKey = true
+			pkDone = true
+			fs.add(feature.PrimaryKey)
+		} else {
+			if g.prob(0.2) && g.supported(feature.NotNullColumn) {
+				col.NotNull = true
+				fs.add(feature.NotNullColumn)
+			}
+			if g.prob(0.15) && g.supported(feature.UniqueColumn) {
+				col.Unique = true
+				fs.add(feature.UniqueColumn)
+			}
+		}
+		ct.Columns = append(ct.Columns, col)
+	}
+	return g.finish(ct, fs, false, func() { g.model.Apply(ct) })
+}
+
+func (g *Generator) randTable() *schema.Relation {
+	tables := g.model.Tables()
+	return tables[g.intn(len(tables))]
+}
+
+// tableScope exposes one table's columns for expression generation.
+func (g *Generator) tableScope(t *schema.Relation) *exprScope {
+	sc := &exprScope{gen: g}
+	for _, c := range t.Columns {
+		sc.cols = append(sc.cols, scopeCol{Table: t.Name, Column: c.Name, Type: typOf(c.Type)})
+	}
+	return sc
+}
+
+func (g *Generator) genCreateIndex() *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtCreateIndex)
+	t := g.randTable()
+	ci := &sqlast.CreateIndex{Name: g.model.FreeIndexName(), Table: t.Name}
+	n := 1 + g.intn(2)
+	perm := g.rnd.Perm(len(t.Columns))
+	for i := 0; i < n && i < len(perm); i++ {
+		ci.Columns = append(ci.Columns, t.Columns[perm[i]].Name)
+	}
+	if g.prob(0.3) && g.supported(feature.UniqueIndex) {
+		ci.Unique = true
+		fs.add(feature.UniqueIndex)
+	}
+	if g.prob(0.3) && g.supported(feature.PartialIndex) {
+		ci.Where = g.genBool(g.tableScope(t), 1, fs)
+		fs.add(feature.PartialIndex)
+	}
+	return g.finish(ci, fs, false, func() { g.model.Apply(ci) })
+}
+
+func (g *Generator) genCreateView() *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtCreateView)
+	t := g.randTable()
+	sc := g.tableScope(t)
+	name := g.model.FreeViewName()
+	n := 1 + g.intn(2)
+	sel := &sqlast.Select{From: []sqlast.FromItem{{Ref: &sqlast.TableName{Name: t.Name}}}}
+	var cols []schema.Column
+	depth := g.depth()
+	for i := 0; i < n; i++ {
+		want := typ(g.intn(3))
+		if want == tBool && !g.supported(feature.TypeBoolean) {
+			want = tInt
+		}
+		alias := fmt.Sprintf("x%d", i)
+		sel.Items = append(sel.Items, sqlast.SelectItem{
+			Expr:  g.genExpr(sc, want, depth-1, fs),
+			Alias: alias,
+		})
+		cols = append(cols, schema.Column{Name: alias, Type: want.astType()})
+	}
+	if g.prob(0.4) {
+		sel.Where = g.genBool(sc, depth-1, fs)
+		fs.add(feature.ClauseWhere)
+	}
+	cv := &sqlast.CreateView{Name: name, Select: sel}
+	if g.prob(0.5) && g.supported(feature.ViewColumnNames) {
+		fs.add(feature.ViewColumnNames)
+		for _, c := range cols {
+			cv.Columns = append(cv.Columns, c.Name)
+		}
+	}
+	return g.finish(cv, fs, false, func() { g.model.ApplyView(name, cols) })
+}
+
+func (g *Generator) genInsert() *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtInsert)
+	t := g.randTable()
+	ins := &sqlast.Insert{Table: t.Name}
+	var targets []schema.Column
+	for _, c := range t.Columns {
+		if c.NotNull || c.PrimaryKey || g.prob(0.75) {
+			ins.Columns = append(ins.Columns, c.Name)
+			targets = append(targets, c)
+		}
+	}
+	if len(targets) == 0 {
+		ins.Columns = []string{t.Columns[0].Name}
+		targets = []schema.Column{t.Columns[0]}
+	}
+	nRows := 1
+	if g.prob(0.4) && g.supported(feature.InsertMultiRow) {
+		nRows += 1 + g.intn(2)
+		fs.add(feature.InsertMultiRow)
+	}
+	for r := 0; r < nRows; r++ {
+		var row []sqlast.Expr
+		for _, c := range targets {
+			if !c.NotNull && !c.PrimaryKey && g.prob(0.12) {
+				row = append(row, sqlast.Null())
+				continue
+			}
+			want := typOf(c.Type)
+			if g.prob(g.cfg.MismatchProb) && g.supported(feature.PropImplicitCast) {
+				want = typ(g.intn(3))
+				fs.add(feature.PropImplicitCast)
+			}
+			// PRIMARY KEY columns draw from a wider pool to reduce
+			// constraint collisions.
+			if c.PrimaryKey && want == tInt {
+				row = append(row, sqlast.IntLit(int64(g.intn(1000))))
+				continue
+			}
+			row = append(row, g.genConst(want, fs))
+		}
+		ins.Rows = append(ins.Rows, row)
+	}
+	if g.prob(0.25) && g.supported(feature.InsertOrIgnore) {
+		ins.OrIgnore = true
+		fs.add(feature.InsertOrIgnore)
+	}
+	return g.finish(ins, fs, false, func() { g.model.Apply(ins) })
+}
+
+func (g *Generator) genUpdate() *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtUpdate)
+	t := g.randTable()
+	sc := g.tableScope(t)
+	up := &sqlast.Update{Table: t.Name}
+	n := 1 + g.intn(2)
+	perm := g.rnd.Perm(len(t.Columns))
+	depth := g.depth()
+	for i := 0; i < n && i < len(perm); i++ {
+		c := t.Columns[perm[i]]
+		up.Sets = append(up.Sets, sqlast.Assignment{
+			Column: c.Name,
+			Value:  g.genExpr(sc, typOf(c.Type), depth-1, fs),
+		})
+	}
+	if g.prob(0.7) {
+		up.Where = g.genBool(sc, depth-1, fs)
+		fs.add(feature.ClauseWhere)
+	}
+	return g.finish(up, fs, false, nil)
+}
+
+func (g *Generator) genDelete() *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtDelete)
+	t := g.randTable()
+	del := &sqlast.Delete{Table: t.Name}
+	if g.prob(0.85) {
+		del.Where = g.genBool(g.tableScope(t), g.depth()-1, fs)
+		fs.add(feature.ClauseWhere)
+	}
+	stmt := del
+	return g.finish(stmt, fs, false, func() { g.model.Apply(stmt) })
+}
+
+func (g *Generator) genAnalyze() *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtAnalyze)
+	a := &sqlast.Analyze{}
+	if g.prob(0.5) {
+		a.Table = g.randTable().Name
+	}
+	return g.finish(a, fs, false, nil)
+}
+
+func (g *Generator) genAlter() *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtAlterTable)
+	t := g.randTable()
+	at := &sqlast.AlterTable{Table: t.Name}
+	if len(t.Columns) > 1 && g.prob(0.4) {
+		at.DropColumn = t.Columns[g.intn(len(t.Columns))].Name
+	} else {
+		at.AddColumn = &sqlast.ColumnDef{
+			Name: g.model.FreeColumnName(t),
+			Type: g.pickColumnType(fs),
+		}
+	}
+	return g.finish(at, fs, false, func() { g.model.Apply(at) })
+}
+
+// GenRefresh produces the REFRESH TABLE statement dialect adapters issue
+// after inserts (paper §6, CrateDB).
+func (g *Generator) GenRefresh(table string) *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtRefresh)
+	return g.finish(&sqlast.Refresh{Table: table}, fs, false, nil)
+}
+
+// queryScope builds the FROM clause of a query: relations with join
+// types, plus the visible column scope.
+func (g *Generator) queryScope(fs featSet, forOracle bool) ([]sqlast.FromItem, *exprScope) {
+	rels := g.model.Relations()
+	if len(rels) == 0 {
+		return nil, nil
+	}
+	n := 1
+	if len(rels) > 1 && g.prob(0.55) {
+		n = 2
+	}
+	if len(rels) > 2 && g.prob(0.2) {
+		n = 3
+	}
+	sc := &exprScope{gen: g}
+	var from []sqlast.FromItem
+	used := map[string]int{}
+	for i := 0; i < n; i++ {
+		r := rels[g.intn(len(rels))]
+		alias := r.Name
+		if used[r.Name] > 0 {
+			alias = fmt.Sprintf("a%d", i)
+		}
+		used[r.Name]++
+		var ref sqlast.TableRef
+		if forOracle && g.prob(0.12) && g.supported(feature.DerivedTable) && !r.IsView {
+			// Derived table: (SELECT * FROM r) AS subN.
+			alias = fmt.Sprintf("sub%d", i)
+			ref = &sqlast.DerivedTable{
+				Select: &sqlast.Select{
+					Items: []sqlast.SelectItem{{Star: true}},
+					From:  []sqlast.FromItem{{Ref: &sqlast.TableName{Name: r.Name}}},
+				},
+				Alias: alias,
+			}
+			fs.add(feature.DerivedTable)
+		} else {
+			tn := &sqlast.TableName{Name: r.Name}
+			if alias != r.Name {
+				tn.Alias = alias
+			}
+			ref = tn
+		}
+		item := sqlast.FromItem{Ref: ref}
+		if i > 0 {
+			jf := g.pickFeature(feature.Joins)
+			fs.add(jf)
+			item.Join = joinTypeOf(jf)
+			if item.Join != sqlast.JoinComma && item.Join != sqlast.JoinCross &&
+				item.Join != sqlast.JoinNatural {
+				// ON over the columns visible so far plus the new ones.
+				onScope := &exprScope{gen: g, cols: append([]scopeCol{}, sc.cols...)}
+				for _, c := range r.Columns {
+					onScope.cols = append(onScope.cols, scopeCol{Table: alias, Column: c.Name, Type: typOf(c.Type)})
+				}
+				item.On = g.genBool(onScope, 1, fs)
+			}
+		}
+		from = append(from, item)
+		for _, c := range r.Columns {
+			sc.cols = append(sc.cols, scopeCol{Table: alias, Column: c.Name, Type: typOf(c.Type)})
+		}
+	}
+	return from, sc
+}
+
+func joinTypeOf(f string) sqlast.JoinType {
+	switch f {
+	case feature.JoinComma:
+		return sqlast.JoinComma
+	case feature.JoinInner:
+		return sqlast.JoinInner
+	case feature.JoinLeft:
+		return sqlast.JoinLeft
+	case feature.JoinRight:
+		return sqlast.JoinRight
+	case feature.JoinFull:
+		return sqlast.JoinFull
+	case feature.JoinCross:
+		return sqlast.JoinCross
+	default:
+		return sqlast.JoinNatural
+	}
+}
+
+// GenCompoundQuery produces a compound (set-operation) smoke query: two
+// or three simple cores with matching projection types joined by set
+// operators. Returns nil when the model has no tables.
+func (g *Generator) GenCompoundQuery() *Statement {
+	tables := g.model.Tables()
+	if len(tables) == 0 {
+		return nil
+	}
+	fs := featSet{}
+	fs.add(feature.StmtSelect)
+	nCols := 1 + g.intn(2)
+	types := make([]typ, nCols)
+	for i := range types {
+		types[i] = typ(g.intn(2)) // INT or TEXT keeps arms unifiable
+	}
+	core := func() *sqlast.Select {
+		t := tables[g.intn(len(tables))]
+		sc := g.tableScope(t)
+		sel := &sqlast.Select{From: []sqlast.FromItem{{Ref: &sqlast.TableName{Name: t.Name}}}}
+		for _, want := range types {
+			sel.Items = append(sel.Items, sqlast.SelectItem{
+				Expr: g.genExpr(sc, want, g.depth()-1, fs),
+			})
+		}
+		if g.prob(0.4) {
+			sel.Where = g.genBool(sc, g.depth()-1, fs)
+			fs.add(feature.ClauseWhere)
+		}
+		return sel
+	}
+	sel := core()
+	nArms := 1 + g.intn(2)
+	ops := []string{feature.Union, feature.UnionAll, feature.UnionAll, feature.Intersect, feature.Except}
+	for i := 0; i < nArms; i++ {
+		opFeat := g.pickFeature(ops)
+		fs.add(opFeat)
+		sel.Compound = append(sel.Compound, sqlast.CompoundPart{
+			Op: setOpOf(opFeat), Select: core(),
+		})
+	}
+	return g.finish(sel, fs, true, nil)
+}
+
+func setOpOf(f string) sqlast.SetOp {
+	switch f {
+	case feature.Union:
+		return sqlast.SetUnion
+	case feature.UnionAll:
+		return sqlast.SetUnionAll
+	case feature.Intersect:
+		return sqlast.SetIntersect
+	default:
+		return sqlast.SetExcept
+	}
+}
+
+// GenQuery produces a free-form query exercising the full clause grammar
+// (used for feedback probing and coverage; not oracle-checked).
+func (g *Generator) GenQuery() *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtSelect)
+	from, sc := g.queryScope(fs, false)
+	if sc == nil {
+		sc = &exprScope{gen: g}
+	}
+	depth := g.depth()
+	sel := &sqlast.Select{From: from}
+	nItems := 1 + g.intn(2)
+	useAggr := len(from) > 0 && g.prob(0.18)
+	for i := 0; i < nItems; i++ {
+		if useAggr {
+			agg := g.pickFeature(feature.Aggregates)
+			fs.add(agg, feature.ExprAggr)
+			call := &sqlast.Func{Name: agg}
+			if agg == "COUNT" && g.prob(0.5) {
+				call.Star = true
+			} else {
+				call.Args = []sqlast.Expr{g.genExpr(sc, tInt, depth-1, fs)}
+				if g.prob(0.2) && g.supported(feature.Distinct) {
+					call.Distinct = true
+					fs.add(feature.Distinct)
+				}
+			}
+			sel.Items = append(sel.Items, sqlast.SelectItem{Expr: call})
+			continue
+		}
+		if len(from) > 0 && g.prob(0.25) && i == 0 {
+			sel.Items = append(sel.Items, sqlast.SelectItem{Star: true})
+			continue
+		}
+		sel.Items = append(sel.Items, sqlast.SelectItem{Expr: g.genExpr(sc, typ(g.intn(3)), depth-1, fs)})
+	}
+	if len(from) > 0 && g.prob(0.6) {
+		sel.Where = g.genBool(sc, depth, fs)
+		fs.add(feature.ClauseWhere)
+	}
+	if useAggr && g.prob(0.4) && g.supported(feature.GroupBy) {
+		fs.add(feature.GroupBy)
+		sel.GroupBy = []sqlast.Expr{g.genExpr(sc, typ(g.intn(3)), 0, fs)}
+		if g.prob(0.4) && g.supported(feature.Having) {
+			fs.add(feature.Having)
+			sel.Having = g.genBool(sc, 1, fs)
+		}
+	}
+	if g.prob(0.25) && g.supported(feature.Distinct) && !useAggr {
+		sel.Distinct = true
+		fs.add(feature.Distinct)
+	}
+	if g.prob(0.3) && g.supported(feature.OrderBy) && !useAggr {
+		fs.add(feature.OrderBy)
+		sel.OrderBy = []sqlast.OrderItem{{Expr: g.genExpr(sc, typ(g.intn(3)), 1, fs), Desc: g.prob(0.5)}}
+	}
+	if g.prob(0.25) && g.supported(feature.Limit) {
+		fs.add(feature.Limit)
+		lim := int64(g.intn(10))
+		sel.Limit = &lim
+		if g.prob(0.3) && g.supported(feature.Offset) {
+			fs.add(feature.Offset)
+			off := int64(g.intn(3))
+			sel.Offset = &off
+		}
+	}
+	return g.finish(sel, fs, true, nil)
+}
+
+// GenOracleCase produces a base query (no WHERE, no aggregates, no
+// DISTINCT/ORDER/LIMIT — the shape the TLP partitioning property needs)
+// plus a predicate. Returns nil when the model has no relations yet.
+func (g *Generator) GenOracleCase() *OracleCase {
+	fs := featSet{}
+	fs.add(feature.StmtSelect)
+	from, sc := g.queryScope(fs, true)
+	if from == nil || len(sc.cols) == 0 {
+		return nil
+	}
+	depth := g.depth()
+	sel := &sqlast.Select{From: from}
+	if g.prob(0.6) {
+		sel.Items = []sqlast.SelectItem{{Star: true}}
+	} else {
+		n := 1 + g.intn(2)
+		for i := 0; i < n; i++ {
+			c := sc.cols[g.intn(len(sc.cols))]
+			sel.Items = append(sel.Items, sqlast.SelectItem{
+				Expr: &sqlast.ColumnRef{Table: c.Table, Column: c.Column},
+			})
+		}
+	}
+	pred := g.genBool(sc, depth, fs)
+	g.generated++
+	return &OracleCase{Base: sel, Pred: pred, Features: fs.list()}
+}

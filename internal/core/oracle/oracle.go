@@ -1,0 +1,208 @@
+// Package oracle implements the DBMS-agnostic test oracles SQLancer++
+// applies (paper §3, "Result validator"): Ternary Logic Partitioning
+// (TLP) and Non-optimizing Reference Engine Construction (NoREC). Both
+// detect logic bugs by executing two (or more) semantically equivalent
+// queries and comparing their results.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/sqlast"
+)
+
+// Outcome of one oracle check.
+type Outcome int
+
+// Outcomes.
+const (
+	// OK: the queries executed and agreed.
+	OK Outcome = iota
+	// Bug: the queries executed and disagreed — a logic bug.
+	Bug
+	// Invalid: at least one query failed to execute (the test case does
+	// not count as valid; its error feeds the validity feedback).
+	Invalid
+)
+
+// Name identifies an oracle.
+type Name string
+
+// Oracle names.
+const (
+	TLPName   Name = "TLP"
+	NoRECName Name = "NoREC"
+)
+
+// Result is the outcome of applying an oracle to one test case.
+type Result struct {
+	Oracle  Name
+	Outcome Outcome
+	// Queries holds the executed SQL (base first).
+	Queries []string
+	// Err is the first execution error for Invalid outcomes.
+	Err error
+	// Detail describes the mismatch for Bug outcomes.
+	Detail string
+	// Triggered is the union of ground-truth fault IDs fired by the
+	// executed queries (evaluation only).
+	Triggered []string
+	// MaxCost is the highest executor cost among the queries (the
+	// campaign's performance watchdog reads it).
+	MaxCost int64
+}
+
+// multiset builds a count map over rendered rows.
+func multiset(res *engine.Result) map[string]int {
+	m := map[string]int{}
+	for _, r := range res.RenderRows() {
+		m[r]++
+	}
+	return m
+}
+
+// diffMultisets describes the difference between two row multisets.
+func diffMultisets(a, b map[string]int) string {
+	var keys []string
+	seen := map[string]bool{}
+	for k := range a {
+		if !seen[k] {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if a[k] != b[k] {
+			return fmt.Sprintf("row %q: %d vs %d", k, a[k], b[k])
+		}
+	}
+	return ""
+}
+
+// runner tracks executed queries and triggered faults.
+type runner struct {
+	db        *engine.DB
+	queries   []string
+	triggered map[string]bool
+	maxCost   int64
+}
+
+func newRunner(db *engine.DB) *runner {
+	return &runner{db: db, triggered: map[string]bool{}}
+}
+
+func (r *runner) query(sel *sqlast.Select) (*engine.Result, error) {
+	sql := sel.SQL()
+	r.queries = append(r.queries, sql)
+	res, err := r.db.Query(sql)
+	for _, id := range r.db.TriggeredFaults() {
+		r.triggered[id] = true
+	}
+	if c := r.db.LastCost(); c > r.maxCost {
+		r.maxCost = c
+	}
+	return res, err
+}
+
+func (r *runner) result(oracle Name, outcome Outcome, err error, detail string) Result {
+	var trig []string
+	for id := range r.triggered {
+		trig = append(trig, id)
+	}
+	sort.Strings(trig)
+	return Result{
+		Oracle:    oracle,
+		Outcome:   outcome,
+		Queries:   r.queries,
+		Err:       err,
+		Detail:    detail,
+		Triggered: trig,
+		MaxCost:   r.maxCost,
+	}
+}
+
+// TLP applies Ternary Logic Partitioning: the rows of the base query must
+// equal the multiset union of the three partitions WHERE p, WHERE NOT p,
+// and WHERE p IS NULL (Rigger & Su, OOPSLA 2020).
+func TLP(db *engine.DB, base *sqlast.Select, pred sqlast.Expr) Result {
+	r := newRunner(db)
+
+	baseRes, err := r.query(base)
+	if err != nil {
+		return r.result(TLPName, Invalid, err, "")
+	}
+
+	mkPart := func(p sqlast.Expr) *sqlast.Select {
+		part := sqlast.CloneSelect(base)
+		part.Where = p
+		return part
+	}
+	union := map[string]int{}
+	parts := []sqlast.Expr{
+		sqlast.CloneExpr(pred),
+		&sqlast.Unary{Op: sqlast.UNot, X: sqlast.CloneExpr(pred)},
+		&sqlast.IsNull{X: sqlast.CloneExpr(pred)},
+	}
+	for _, p := range parts {
+		res, err := r.query(mkPart(p))
+		if err != nil {
+			return r.result(TLPName, Invalid, err, "")
+		}
+		for row, n := range multiset(res) {
+			union[row] += n
+		}
+	}
+	if d := diffMultisets(multiset(baseRes), union); d != "" {
+		return r.result(TLPName, Bug, nil,
+			"TLP partition mismatch: "+d)
+	}
+	return r.result(TLPName, OK, nil, "")
+}
+
+// NoREC compares an optimizable query, SELECT COUNT(*) FROM ... WHERE p,
+// against its unoptimizable counterpart, SELECT (p) IS TRUE FROM ...,
+// whose predicate the engine evaluates in the projection (reference)
+// path (Rigger & Su, ESEC/FSE 2020).
+func NoREC(db *engine.DB, base *sqlast.Select, pred sqlast.Expr) Result {
+	r := newRunner(db)
+
+	opt := sqlast.CloneSelect(base)
+	opt.Items = []sqlast.SelectItem{{Expr: &sqlast.Func{Name: "COUNT", Star: true}}}
+	opt.Where = sqlast.CloneExpr(pred)
+	optRes, err := r.query(opt)
+	if err != nil {
+		return r.result(NoRECName, Invalid, err, "")
+	}
+	if len(optRes.Rows) != 1 || optRes.Rows[0][0].K != engine.KindInt {
+		return r.result(NoRECName, Invalid,
+			fmt.Errorf("NoREC: unexpected COUNT result shape"), "")
+	}
+	optCount := optRes.Rows[0][0].I
+
+	ref := sqlast.CloneSelect(base)
+	ref.Items = []sqlast.SelectItem{{Expr: &sqlast.IsBool{X: sqlast.CloneExpr(pred), Val: true}}}
+	refRes, err := r.query(ref)
+	if err != nil {
+		return r.result(NoRECName, Invalid, err, "")
+	}
+	var refCount int64
+	for _, row := range refRes.Rows {
+		if row[0].K == engine.KindBool && row[0].B {
+			refCount++
+		}
+	}
+	if optCount != refCount {
+		return r.result(NoRECName, Bug, nil, fmt.Sprintf(
+			"NoREC count mismatch: optimized %d vs reference %d", optCount, refCount))
+	}
+	return r.result(NoRECName, OK, nil, "")
+}

@@ -1,0 +1,152 @@
+package oracle
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/faults"
+	"sqlancerpp/internal/sqlast"
+	"sqlancerpp/internal/sqlparse"
+)
+
+func parseSelect(t *testing.T, sql string) *sqlast.Select {
+	t.Helper()
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.(*sqlast.Select)
+}
+
+func parseExpr(t *testing.T, sql string) sqlast.Expr {
+	t.Helper()
+	e, err := sqlparse.ParseExpr(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func cleanDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.Open(dialect.MustGet("sqlite"), engine.WithoutFaults())
+	for _, sql := range []string{
+		"CREATE TABLE t (a INTEGER, s TEXT)",
+		"INSERT INTO t (a, s) VALUES (1, 'x'), (2, NULL), (NULL, 'y')",
+	} {
+		if err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func faultyDB(t *testing.T) *engine.DB {
+	t.Helper()
+	d := dialect.MustGet("sqlite").Clone()
+	d.Name = "oracle-test-faulted"
+	d.Faults = faults.NewSet([]faults.Fault{
+		{ID: "f1", Kind: faults.CmpNullTrue, Class: faults.Logic, Param: "="},
+	})
+	db := engine.Open(d)
+	for _, sql := range []string{
+		"CREATE TABLE t (a INTEGER, s TEXT)",
+		"INSERT INTO t (a, s) VALUES (1, 'x'), (2, NULL), (NULL, 'y')",
+	} {
+		if err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestTLPCleanPasses(t *testing.T) {
+	db := cleanDB(t)
+	for _, pred := range []string{
+		"a = 1", "a IS NULL", "s LIKE 'x%'", "a BETWEEN 0 AND 5",
+		"a IN (1, NULL)", "NOT a = 2", "(a = 1) OR (s = 'y')",
+	} {
+		res := TLP(db, parseSelect(t, "SELECT * FROM t"), parseExpr(t, pred))
+		if res.Outcome != OK {
+			t.Fatalf("TLP(%s) = %v (%s), want OK", pred, res.Outcome, res.Detail)
+		}
+		if len(res.Queries) != 4 {
+			t.Fatalf("TLP must run 4 queries, ran %d", len(res.Queries))
+		}
+	}
+}
+
+func TestTLPDetectsFault(t *testing.T) {
+	db := faultyDB(t)
+	res := TLP(db, parseSelect(t, "SELECT * FROM t"), parseExpr(t, "a = 1"))
+	if res.Outcome != Bug {
+		t.Fatalf("TLP must detect the CmpNullTrue fault, got %v", res.Outcome)
+	}
+	if len(res.Triggered) == 0 || res.Triggered[0] != "f1" {
+		t.Fatalf("ground truth not propagated: %v", res.Triggered)
+	}
+	if res.Detail == "" {
+		t.Fatal("bug result must carry a detail message")
+	}
+}
+
+func TestNoRECCleanPasses(t *testing.T) {
+	db := cleanDB(t)
+	for _, pred := range []string{
+		"a = 1", "a IS NOT NULL", "s GLOB '?'", "a NOT IN (2)",
+	} {
+		res := NoREC(db, parseSelect(t, "SELECT * FROM t"), parseExpr(t, pred))
+		if res.Outcome != OK {
+			t.Fatalf("NoREC(%s) = %v (%s), want OK", pred, res.Outcome, res.Detail)
+		}
+	}
+}
+
+func TestNoRECDetectsFault(t *testing.T) {
+	db := faultyDB(t)
+	res := NoREC(db, parseSelect(t, "SELECT * FROM t"), parseExpr(t, "a = 1"))
+	if res.Outcome != Bug {
+		t.Fatalf("NoREC must detect the CmpNullTrue fault, got %v (%s)", res.Outcome, res.Detail)
+	}
+}
+
+func TestOracleInvalidOnError(t *testing.T) {
+	db := cleanDB(t)
+	// GCD is unsupported on sqlite: the test case is invalid, not a bug.
+	res := TLP(db, parseSelect(t, "SELECT * FROM t"), parseExpr(t, "GCD(a, 2) = 1"))
+	if res.Outcome != Invalid || res.Err == nil {
+		t.Fatalf("unsupported feature must yield Invalid, got %v", res.Outcome)
+	}
+	res = NoREC(db, parseSelect(t, "SELECT * FROM t"), parseExpr(t, "GCD(a, 2) = 1"))
+	if res.Outcome != Invalid {
+		t.Fatalf("unsupported feature must yield Invalid, got %v", res.Outcome)
+	}
+}
+
+func TestOracleDoesNotMutateInputs(t *testing.T) {
+	db := cleanDB(t)
+	base := parseSelect(t, "SELECT * FROM t")
+	pred := parseExpr(t, "a = 1")
+	before := base.SQL() + "|" + pred.SQL()
+	TLP(db, base, pred)
+	NoREC(db, base, pred)
+	if base.SQL()+"|"+pred.SQL() != before {
+		t.Fatal("oracles must not mutate the base query or predicate")
+	}
+}
+
+func TestTLPJoinBase(t *testing.T) {
+	db := cleanDB(t)
+	if err := db.Exec("CREATE TABLE u (b INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("INSERT INTO u (b) VALUES (1), (NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	base := parseSelect(t, "SELECT t.a, u.b FROM t LEFT JOIN u ON t.a = u.b")
+	res := TLP(db, base, parseExpr(t, "t.a = u.b"))
+	if res.Outcome != OK {
+		t.Fatalf("clean TLP over join failed: %s", res.Detail)
+	}
+}

@@ -1,0 +1,166 @@
+package oracle
+
+import (
+	"fmt"
+
+	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/feature"
+	"sqlancerpp/internal/sqlast"
+)
+
+// tlpPartitions builds the three partition predicates p, NOT p, p IS NULL.
+func tlpPartitions(pred sqlast.Expr) []sqlast.Expr {
+	return []sqlast.Expr{
+		sqlast.CloneExpr(pred),
+		&sqlast.Unary{Op: sqlast.UNot, X: sqlast.CloneExpr(pred)},
+		&sqlast.IsNull{X: sqlast.CloneExpr(pred)},
+	}
+}
+
+// TLPComposed is the server-side variant of TLP: the three partitions are
+// combined with UNION ALL in a single compound query, so the set-
+// operation machinery of the DBMS is exercised too. Only valid on
+// dialects that support UNION ALL.
+func TLPComposed(db *engine.DB, base *sqlast.Select, pred sqlast.Expr) Result {
+	if !db.Dialect().SupportsClause(feature.UnionAll) {
+		return TLP(db, base, pred)
+	}
+	r := newRunner(db)
+
+	baseRes, err := r.query(base)
+	if err != nil {
+		return r.result(TLPName, Invalid, err, "")
+	}
+
+	parts := tlpPartitions(pred)
+	first := sqlast.CloneSelect(base)
+	first.Where = parts[0]
+	for _, p := range parts[1:] {
+		arm := sqlast.CloneSelect(base)
+		arm.Where = p
+		first.Compound = append(first.Compound,
+			sqlast.CompoundPart{Op: sqlast.SetUnionAll, Select: arm})
+	}
+	unionRes, err := r.query(first)
+	if err != nil {
+		return r.result(TLPName, Invalid, err, "")
+	}
+	if d := diffMultisets(multiset(baseRes), multiset(unionRes)); d != "" {
+		return r.result(TLPName, Bug, nil,
+			"TLP (UNION ALL composed) partition mismatch: "+d)
+	}
+	return r.result(TLPName, OK, nil, "")
+}
+
+// aggFuncs are the aggregate variants of TLP (Rigger & Su, OOPSLA 2020
+// §4.2: TLP generalizes to aggregate queries by recombining per-partition
+// aggregates).
+var aggFuncs = []string{"COUNT", "SUM", "MIN", "MAX"}
+
+// TLPAggregate checks SELECT AGG(expr) FROM ... against the three
+// partitions' aggregates recombined:
+//
+//	COUNT/SUM: base = p1 + p2 + p3 (NULL-aware)
+//	MIN/MAX:   base = MIN/MAX of the partition results
+//
+// The aggregate argument is the first projected expression of the base
+// query (or the first column for star projections). aggIdx selects the
+// aggregate function deterministically from the case's seed material.
+func TLPAggregate(db *engine.DB, base *sqlast.Select, pred sqlast.Expr, aggIdx int) Result {
+	r := newRunner(db)
+	agg := aggFuncs[((aggIdx%len(aggFuncs))+len(aggFuncs))%len(aggFuncs)]
+
+	arg := firstProjection(base)
+	if arg == nil {
+		agg = "COUNT" // star projection: fall back to COUNT(*)
+	}
+	mkAgg := func(where sqlast.Expr) *sqlast.Select {
+		q := sqlast.CloneSelect(base)
+		call := &sqlast.Func{Name: agg}
+		if arg == nil {
+			call.Star = true
+		} else {
+			call.Args = []sqlast.Expr{sqlast.CloneExpr(arg)}
+		}
+		q.Items = []sqlast.SelectItem{{Expr: call}}
+		q.Where = where
+		return q
+	}
+
+	baseRes, err := r.query(mkAgg(nil))
+	if err != nil {
+		return r.result(TLPName, Invalid, err, "")
+	}
+	baseVal := baseRes.Rows[0][0]
+
+	var partVals []engine.Value
+	for _, p := range tlpPartitions(pred) {
+		res, err := r.query(mkAgg(p))
+		if err != nil {
+			return r.result(TLPName, Invalid, err, "")
+		}
+		partVals = append(partVals, res.Rows[0][0])
+	}
+
+	combined := combineAggregates(agg, partVals)
+	if !engine.Equal(baseVal, combined) {
+		return r.result(TLPName, Bug, nil, fmt.Sprintf(
+			"TLP aggregate (%s) mismatch: base %s vs recombined %s",
+			agg, baseVal.Render(), combined.Render()))
+	}
+	return r.result(TLPName, OK, nil, "")
+}
+
+// firstProjection extracts an expression usable as the aggregate
+// argument.
+func firstProjection(base *sqlast.Select) sqlast.Expr {
+	for i := range base.Items {
+		if !base.Items[i].Star && base.Items[i].Expr != nil {
+			return base.Items[i].Expr
+		}
+	}
+	return nil // star projection: the caller falls back to COUNT(*)
+}
+
+// combineAggregates recombines per-partition aggregate values.
+func combineAggregates(agg string, parts []engine.Value) engine.Value {
+	switch agg {
+	case "COUNT":
+		var total int64
+		for _, v := range parts {
+			if !v.IsNull() {
+				total += v.I
+			}
+		}
+		return engine.Int(total)
+	case "SUM":
+		allNull := true
+		var total int64
+		for _, v := range parts {
+			if !v.IsNull() {
+				allNull = false
+				total += v.I
+			}
+		}
+		if allNull {
+			return engine.Null()
+		}
+		return engine.Int(total)
+	default: // MIN, MAX
+		var best engine.Value = engine.Null()
+		for _, v := range parts {
+			if v.IsNull() {
+				continue
+			}
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			c := engine.Compare(v, best)
+			if (agg == "MAX" && c > 0) || (agg == "MIN" && c < 0) {
+				best = v
+			}
+		}
+		return best
+	}
+}

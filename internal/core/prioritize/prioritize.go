@@ -1,0 +1,89 @@
+// Package prioritize implements SQLancer++'s bug prioritization (paper
+// §3, Figure 4): a newly found bug-inducing test case is a *potential
+// duplicate* if the feature set of a previously reported case is a
+// subset of the new case's feature set — the intuition being that the
+// root cause is the faulty implementation of the features that were
+// enabled when the earlier bug triggered.
+package prioritize
+
+import "sort"
+
+// Prioritizer stores the feature sets of reported bug-inducing cases.
+type Prioritizer struct {
+	sets [][]string // each sorted ascending
+}
+
+// New returns an empty prioritizer.
+func New() *Prioritizer { return &Prioritizer{} }
+
+// normalize sorts and dedupes a feature set.
+func normalize(features []string) []string {
+	m := map[string]bool{}
+	for _, f := range features {
+		m[f] = true
+	}
+	out := make([]string, 0, len(m))
+	for f := range m {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// subset reports whether sorted set a ⊆ sorted set b.
+func subset(a, b []string) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+// IsDuplicate reports whether a stored feature set is a subset of the
+// candidate's — the case would then be deprioritized (analyzed only
+// after the earlier bugs are fixed).
+func (p *Prioritizer) IsDuplicate(features []string) bool {
+	fs := normalize(features)
+	for _, s := range p.sets {
+		if subset(s, fs) {
+			return true
+		}
+	}
+	return false
+}
+
+// Add stores a new (prioritized) case's feature set.
+func (p *Prioritizer) Add(features []string) {
+	p.sets = append(p.sets, normalize(features))
+}
+
+// Report combines the check and the update: it returns true (and stores
+// the set) when the case should be reported, false when it is a
+// potential duplicate.
+func (p *Prioritizer) Report(features []string) bool {
+	if p.IsDuplicate(features) {
+		return false
+	}
+	p.Add(features)
+	return true
+}
+
+// Size returns the number of stored feature sets.
+func (p *Prioritizer) Size() int { return len(p.sets) }
+
+// Sets returns copies of the stored sets (for inspection and tests).
+func (p *Prioritizer) Sets() [][]string {
+	out := make([][]string, len(p.sets))
+	for i, s := range p.sets {
+		out[i] = append([]string(nil), s...)
+	}
+	return out
+}

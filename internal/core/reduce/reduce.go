@@ -1,0 +1,221 @@
+// Package reduce implements SQLancer++'s bug reducer (paper Figure 2):
+// given a bug-inducing statement sequence and a property check ("does
+// this sequence still trigger the bug?"), it shrinks the sequence by
+// statement-level delta debugging and then simplifies expressions inside
+// the remaining statements by replacing subtrees with literals.
+package reduce
+
+import (
+	"sqlancerpp/internal/sqlast"
+)
+
+// Property re-runs a candidate statement sequence and reports whether it
+// still exhibits the bug. Implementations must be deterministic.
+type Property func(stmts []sqlast.Stmt) bool
+
+// Reduce shrinks stmts while prop keeps holding. The input sequence must
+// satisfy prop.
+func Reduce(stmts []sqlast.Stmt, prop Property) []sqlast.Stmt {
+	cur := cloneAll(stmts)
+	cur = reduceStatements(cur, prop)
+	cur = reduceExpressions(cur, prop)
+	cur = reduceStatements(cur, prop) // expression shrinking may unlock more
+	return cur
+}
+
+func cloneAll(stmts []sqlast.Stmt) []sqlast.Stmt {
+	out := make([]sqlast.Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = sqlast.CloneStmt(s)
+	}
+	return out
+}
+
+// reduceStatements greedily removes chunks of statements (ddmin-style,
+// halving chunk sizes).
+func reduceStatements(stmts []sqlast.Stmt, prop Property) []sqlast.Stmt {
+	chunk := len(stmts) / 2
+	for chunk >= 1 {
+		removedAny := false
+		for start := 0; start+chunk <= len(stmts); {
+			candidate := make([]sqlast.Stmt, 0, len(stmts)-chunk)
+			candidate = append(candidate, stmts[:start]...)
+			candidate = append(candidate, stmts[start+chunk:]...)
+			if len(candidate) > 0 && prop(candidate) {
+				stmts = candidate
+				removedAny = true
+				// retry at the same position
+			} else {
+				start++
+			}
+		}
+		if !removedAny {
+			chunk /= 2
+		}
+	}
+	return stmts
+}
+
+// replacementCandidates returns the literals a subtree may shrink to.
+func replacementCandidates() []sqlast.Expr {
+	return []sqlast.Expr{
+		sqlast.Null(),
+		sqlast.IntLit(0),
+		sqlast.IntLit(1),
+		sqlast.TextLit(""),
+		sqlast.BoolLit(true),
+		sqlast.BoolLit(false),
+	}
+}
+
+// exprSlot is a mutable expression position inside a statement.
+type exprSlot struct {
+	get func() sqlast.Expr
+	set func(sqlast.Expr)
+}
+
+// slotsOf enumerates the reducible expression positions of a statement.
+func slotsOf(stmt sqlast.Stmt) []exprSlot {
+	var slots []exprSlot
+	addExprTree := func(get func() sqlast.Expr, set func(sqlast.Expr)) {
+		collectSlots(get, set, &slots)
+	}
+	switch st := stmt.(type) {
+	case *sqlast.Select:
+		selectSlots(st, addExprTree)
+	case *sqlast.CreateView:
+		selectSlots(st.Select, addExprTree)
+	case *sqlast.CreateIndex:
+		if st.Where != nil {
+			addExprTree(func() sqlast.Expr { return st.Where }, func(e sqlast.Expr) { st.Where = e })
+		}
+	case *sqlast.Insert:
+		for i := range st.Rows {
+			for j := range st.Rows[i] {
+				i, j := i, j
+				addExprTree(func() sqlast.Expr { return st.Rows[i][j] }, func(e sqlast.Expr) { st.Rows[i][j] = e })
+			}
+		}
+	case *sqlast.Update:
+		for i := range st.Sets {
+			i := i
+			addExprTree(func() sqlast.Expr { return st.Sets[i].Value }, func(e sqlast.Expr) { st.Sets[i].Value = e })
+		}
+		if st.Where != nil {
+			addExprTree(func() sqlast.Expr { return st.Where }, func(e sqlast.Expr) { st.Where = e })
+		}
+	case *sqlast.Delete:
+		if st.Where != nil {
+			addExprTree(func() sqlast.Expr { return st.Where }, func(e sqlast.Expr) { st.Where = e })
+		}
+	}
+	return slots
+}
+
+func selectSlots(sel *sqlast.Select, add func(func() sqlast.Expr, func(sqlast.Expr))) {
+	for i := range sel.Items {
+		if sel.Items[i].Expr == nil {
+			continue
+		}
+		i := i
+		add(func() sqlast.Expr { return sel.Items[i].Expr }, func(e sqlast.Expr) { sel.Items[i].Expr = e })
+	}
+	for i := range sel.From {
+		i := i
+		if sel.From[i].On != nil {
+			add(func() sqlast.Expr { return sel.From[i].On }, func(e sqlast.Expr) { sel.From[i].On = e })
+		}
+		if d, ok := sel.From[i].Ref.(*sqlast.DerivedTable); ok {
+			selectSlots(d.Select, add)
+		}
+	}
+	if sel.Where != nil {
+		add(func() sqlast.Expr { return sel.Where }, func(e sqlast.Expr) { sel.Where = e })
+	}
+	for i := range sel.GroupBy {
+		i := i
+		add(func() sqlast.Expr { return sel.GroupBy[i] }, func(e sqlast.Expr) { sel.GroupBy[i] = e })
+	}
+	if sel.Having != nil {
+		add(func() sqlast.Expr { return sel.Having }, func(e sqlast.Expr) { sel.Having = e })
+	}
+	for i := range sel.OrderBy {
+		i := i
+		add(func() sqlast.Expr { return sel.OrderBy[i].Expr }, func(e sqlast.Expr) { sel.OrderBy[i].Expr = e })
+	}
+}
+
+// collectSlots adds the root slot and recursively the slots of child
+// expressions.
+func collectSlots(get func() sqlast.Expr, set func(sqlast.Expr), slots *[]exprSlot) {
+	*slots = append(*slots, exprSlot{get: get, set: set})
+	switch x := get().(type) {
+	case *sqlast.Unary:
+		collectSlots(func() sqlast.Expr { return x.X }, func(e sqlast.Expr) { x.X = e }, slots)
+	case *sqlast.Binary:
+		collectSlots(func() sqlast.Expr { return x.L }, func(e sqlast.Expr) { x.L = e }, slots)
+		collectSlots(func() sqlast.Expr { return x.R }, func(e sqlast.Expr) { x.R = e }, slots)
+	case *sqlast.Func:
+		for i := range x.Args {
+			i := i
+			collectSlots(func() sqlast.Expr { return x.Args[i] }, func(e sqlast.Expr) { x.Args[i] = e }, slots)
+		}
+	case *sqlast.Case:
+		if x.Operand != nil {
+			collectSlots(func() sqlast.Expr { return x.Operand }, func(e sqlast.Expr) { x.Operand = e }, slots)
+		}
+		for i := range x.Whens {
+			i := i
+			collectSlots(func() sqlast.Expr { return x.Whens[i].Cond }, func(e sqlast.Expr) { x.Whens[i].Cond = e }, slots)
+			collectSlots(func() sqlast.Expr { return x.Whens[i].Then }, func(e sqlast.Expr) { x.Whens[i].Then = e }, slots)
+		}
+		if x.Else != nil {
+			collectSlots(func() sqlast.Expr { return x.Else }, func(e sqlast.Expr) { x.Else = e }, slots)
+		}
+	case *sqlast.Cast:
+		collectSlots(func() sqlast.Expr { return x.X }, func(e sqlast.Expr) { x.X = e }, slots)
+	case *sqlast.Between:
+		collectSlots(func() sqlast.Expr { return x.X }, func(e sqlast.Expr) { x.X = e }, slots)
+		collectSlots(func() sqlast.Expr { return x.Lo }, func(e sqlast.Expr) { x.Lo = e }, slots)
+		collectSlots(func() sqlast.Expr { return x.Hi }, func(e sqlast.Expr) { x.Hi = e }, slots)
+	case *sqlast.InList:
+		collectSlots(func() sqlast.Expr { return x.X }, func(e sqlast.Expr) { x.X = e }, slots)
+		for i := range x.List {
+			i := i
+			collectSlots(func() sqlast.Expr { return x.List[i] }, func(e sqlast.Expr) { x.List[i] = e }, slots)
+		}
+	case *sqlast.IsNull:
+		collectSlots(func() sqlast.Expr { return x.X }, func(e sqlast.Expr) { x.X = e }, slots)
+	case *sqlast.IsBool:
+		collectSlots(func() sqlast.Expr { return x.X }, func(e sqlast.Expr) { x.X = e }, slots)
+	case *sqlast.Like:
+		collectSlots(func() sqlast.Expr { return x.X }, func(e sqlast.Expr) { x.X = e }, slots)
+		collectSlots(func() sqlast.Expr { return x.Pattern }, func(e sqlast.Expr) { x.Pattern = e }, slots)
+	}
+}
+
+// reduceExpressions tries to replace each expression subtree with a
+// literal while the property holds.
+func reduceExpressions(stmts []sqlast.Stmt, prop Property) []sqlast.Stmt {
+	changed := true
+	for rounds := 0; changed && rounds < 4; rounds++ {
+		changed = false
+		for _, st := range stmts {
+			for _, slot := range slotsOf(st) {
+				orig := slot.get()
+				if _, isLit := orig.(*sqlast.Literal); isLit {
+					continue
+				}
+				for _, cand := range replacementCandidates() {
+					slot.set(cand)
+					if prop(stmts) {
+						changed = true
+						break
+					}
+					slot.set(orig)
+				}
+			}
+		}
+	}
+	return stmts
+}

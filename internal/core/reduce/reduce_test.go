@@ -1,0 +1,113 @@
+package reduce
+
+import (
+	"strings"
+	"testing"
+
+	"sqlancerpp/internal/sqlast"
+	"sqlancerpp/internal/sqlparse"
+)
+
+func parseAll(t *testing.T, stmts ...string) []sqlast.Stmt {
+	t.Helper()
+	out := make([]sqlast.Stmt, len(stmts))
+	for i, s := range stmts {
+		st, err := sqlparse.Parse(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		out[i] = st
+	}
+	return out
+}
+
+func render(stmts []sqlast.Stmt) string {
+	var parts []string
+	for _, s := range stmts {
+		parts = append(parts, s.SQL())
+	}
+	return strings.Join(parts, "; ")
+}
+
+func TestReduceRemovesIrrelevantStatements(t *testing.T) {
+	stmts := parseAll(t,
+		"CREATE TABLE t0 (c0 INTEGER)",
+		"CREATE TABLE junk1 (x INTEGER)",
+		"INSERT INTO junk1 (x) VALUES (1)",
+		"CREATE TABLE junk2 (y TEXT)",
+		"INSERT INTO t0 (c0) VALUES (1)",
+		"SELECT * FROM t0 WHERE (c0 = 1)",
+	)
+	// Property: the sequence still contains a SELECT on t0 and mentions
+	// no junk (a stand-in for "still triggers the bug").
+	prop := func(cand []sqlast.Stmt) bool {
+		s := render(cand)
+		return strings.Contains(s, "SELECT * FROM t0") &&
+			strings.Contains(s, "CREATE TABLE t0")
+	}
+	got := Reduce(stmts, prop)
+	s := render(got)
+	if strings.Contains(s, "junk") {
+		t.Fatalf("junk statements survived: %s", s)
+	}
+	if len(got) > 3 {
+		t.Fatalf("expected ≤3 statements, got %d: %s", len(got), s)
+	}
+}
+
+func TestReduceSimplifiesExpressions(t *testing.T) {
+	stmts := parseAll(t,
+		"SELECT * FROM t0 WHERE ((c0 = 1) AND ((LENGTH('abcdef') + 10) > 2))",
+	)
+	// Property: the statement keeps the c0 = 1 conjunct.
+	prop := func(cand []sqlast.Stmt) bool {
+		return strings.Contains(render(cand), "c0 = 1")
+	}
+	got := Reduce(stmts, prop)
+	s := render(got)
+	if strings.Contains(s, "LENGTH") {
+		t.Fatalf("reducible function call survived: %s", s)
+	}
+}
+
+func TestReducePreservesProperty(t *testing.T) {
+	stmts := parseAll(t,
+		"CREATE TABLE t (a INTEGER)",
+		"INSERT INTO t (a) VALUES (5)",
+		"SELECT * FROM t WHERE (a BETWEEN (1 + 1) AND (10 * 10))",
+	)
+	calls := 0
+	prop := func(cand []sqlast.Stmt) bool {
+		calls++
+		s := render(cand)
+		return strings.Contains(s, "BETWEEN")
+	}
+	got := Reduce(stmts, prop)
+	if !prop(got) {
+		t.Fatal("reduction violated its property")
+	}
+	if calls == 0 {
+		t.Fatal("property was never evaluated")
+	}
+}
+
+func TestReduceInputUnmodified(t *testing.T) {
+	stmts := parseAll(t,
+		"SELECT * FROM t WHERE ((a + 1) = 2)",
+	)
+	before := render(stmts)
+	Reduce(stmts, func(cand []sqlast.Stmt) bool {
+		return strings.Contains(render(cand), "=")
+	})
+	if render(stmts) != before {
+		t.Fatal("Reduce must not mutate its input")
+	}
+}
+
+func TestReduceSingleStatementFloor(t *testing.T) {
+	stmts := parseAll(t, "SELECT 1")
+	got := Reduce(stmts, func(cand []sqlast.Stmt) bool { return len(cand) >= 1 })
+	if len(got) != 1 {
+		t.Fatalf("cannot reduce below one statement, got %d", len(got))
+	}
+}

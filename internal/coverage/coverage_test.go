@@ -1,0 +1,90 @@
+package coverage
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	RegisterPoint("cov-test-p1")
+	RegisterPoint("cov-test-p2")
+	RegisterPoint("cov-test-p1") // idempotent
+	RegisterBranch("cov-test-b1")
+
+	r := NewRecorder()
+	r.Hit("cov-test-p1")
+	r.Hit("cov-test-p1")
+	hit, total := r.LineCoverage()
+	if hit != 1 {
+		t.Fatalf("hit = %d, want 1", hit)
+	}
+	if total < 2 {
+		t.Fatalf("total = %d, want ≥ 2", total)
+	}
+
+	r.HitBranch("cov-test-b1", true)
+	bh, _ := r.BranchCoverage()
+	if bh != 1 {
+		t.Fatalf("branch hits = %d, want 1 (one side)", bh)
+	}
+	r.HitBranch("cov-test-b1", false)
+	bh, _ = r.BranchCoverage()
+	if bh != 2 {
+		t.Fatalf("branch hits = %d, want 2 (both sides)", bh)
+	}
+	if r.LinePercent() <= 0 || r.BranchPercent() <= 0 {
+		t.Fatal("percentages must be positive")
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Hit("anything")
+	r.HitBranch("anything", true)
+	if p := r.LinePercent(); p != 0 {
+		t.Fatalf("nil recorder percent = %v", p)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	RegisterPoint("cov-merge-a")
+	RegisterPoint("cov-merge-b")
+	RegisterBranch("cov-merge-br")
+	a := NewRecorder()
+	b := NewRecorder()
+	a.Hit("cov-merge-a")
+	b.Hit("cov-merge-b")
+	a.HitBranch("cov-merge-br", true)
+	b.HitBranch("cov-merge-br", false)
+	a.Merge(b)
+	pts := strings.Join(a.HitPoints(), ",")
+	if !strings.Contains(pts, "cov-merge-a") || !strings.Contains(pts, "cov-merge-b") {
+		t.Fatalf("merge lost points: %s", pts)
+	}
+	hit, _ := a.BranchCoverage()
+	if hit != 2 {
+		t.Fatalf("merged branch sides = %d, want 2", hit)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	RegisterPoint("cov-conc")
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Hit("cov-conc")
+				r.HitBranch("cov-merge-br", j%2 == 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	hit, _ := r.LineCoverage()
+	if hit != 1 {
+		t.Fatalf("hit = %d, want 1", hit)
+	}
+}

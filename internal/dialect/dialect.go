@@ -1,0 +1,231 @@
+// Package dialect defines per-DBMS SQL dialect configurations: which
+// features each simulated system supports, its type system, its quirks,
+// and its injected faults. These configurations are the stand-ins for the
+// paper's 18 production DBMSs (plus PostgreSQL, used by the coverage and
+// validity experiments).
+//
+// The feature matrices are intentionally *divergent*: the paper's §5.2
+// finding is that even mostly-common SQL features are unsupported on more
+// than half of the systems, which is exactly what makes a per-DBMS
+// generator necessary — or an adaptive one valuable.
+package dialect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sqlancerpp/internal/faults"
+	"sqlancerpp/internal/feature"
+)
+
+// TypeSystem distinguishes dynamically and statically typed dialects
+// (paper Appendix A.1, "abstract properties").
+type TypeSystem int
+
+// Type systems.
+const (
+	// Dynamic: SQLite-like. Values coerce at runtime; almost no statement
+	// is ill-typed.
+	Dynamic TypeSystem = iota
+	// Static: PostgreSQL-like. Expressions are type-checked during
+	// validation; mismatches are semantic errors.
+	Static
+)
+
+// String returns a label for the type system.
+func (t TypeSystem) String() string {
+	if t == Dynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// Dialect is one simulated DBMS configuration.
+type Dialect struct {
+	// Name is the registry key, e.g. "sqlite".
+	Name string
+	// DisplayName is the human-readable name, e.g. "SQLite".
+	DisplayName string
+	// TypeSystem selects runtime coercion vs. validation-time checking.
+	TypeSystem TypeSystem
+
+	// Statements, Clauses, Operators, Functions, and Types are the
+	// supported feature sets, keyed by canonical feature names.
+	Statements map[string]bool
+	Clauses    map[string]bool
+	Operators  map[string]bool
+	Functions  map[string]bool
+	Types      map[string]bool
+
+	// RequiresRefresh: inserted rows are invisible to queries until a
+	// REFRESH TABLE statement runs (CrateDB-style; paper §6).
+	RequiresRefresh bool
+	// DivZeroError: x/0 raises a runtime error instead of yielding NULL.
+	DivZeroError bool
+	// CastTextError: CAST of a non-numeric TEXT to INTEGER raises a
+	// runtime error instead of yielding 0.
+	CastTextError bool
+	// MathDomainError: ASIN/ACOS/SQRT/LN out-of-domain arguments raise a
+	// runtime error instead of yielding NULL (the paper's ASIN(2)
+	// example of a context-dependent failure).
+	MathDomainError bool
+
+	// Faults are the injected defects (ground truth for evaluation).
+	Faults *faults.Set
+}
+
+// SupportsStatement reports whether the statement feature is supported.
+func (d *Dialect) SupportsStatement(name string) bool { return d.Statements[name] }
+
+// SupportsClause reports whether the clause feature is supported.
+func (d *Dialect) SupportsClause(name string) bool { return d.Clauses[name] }
+
+// SupportsOperator reports whether the operator spelling is supported.
+func (d *Dialect) SupportsOperator(op string) bool { return d.Operators[op] }
+
+// SupportsFunction reports whether the function is supported.
+func (d *Dialect) SupportsFunction(name string) bool { return d.Functions[name] }
+
+// SupportsType reports whether the data type is supported.
+func (d *Dialect) SupportsType(name string) bool { return d.Types[name] }
+
+// FunctionList returns the sorted supported function names.
+func (d *Dialect) FunctionList() []string {
+	out := make([]string, 0, len(d.Functions))
+	for f, ok := range d.Functions {
+		if ok {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OperatorList returns the sorted supported operator spellings.
+func (d *Dialect) OperatorList() []string {
+	out := make([]string, 0, len(d.Operators))
+	for o, ok := range d.Operators {
+		if ok {
+			out = append(out, o)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy, so callers can derive custom dialects.
+func (d *Dialect) Clone() *Dialect {
+	c := *d
+	c.Statements = copySet(d.Statements)
+	c.Clauses = copySet(d.Clauses)
+	c.Operators = copySet(d.Operators)
+	c.Functions = copySet(d.Functions)
+	c.Types = copySet(d.Types)
+	return &c
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Dialect{}
+)
+
+// Register adds a dialect to the registry. It returns an error if the
+// name is already taken.
+func Register(d *Dialect) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[d.Name]; ok {
+		return fmt.Errorf("dialect: %q already registered", d.Name)
+	}
+	registry[d.Name] = d
+	return nil
+}
+
+// Get returns a registered dialect by name.
+func Get(name string) (*Dialect, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("dialect: unknown dialect %q", name)
+	}
+	return d, nil
+}
+
+// MustGet returns a registered dialect or panics; for tests and tables.
+func MustGet(name string) *Dialect {
+	d, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Names returns all registered dialect names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// set builds a feature set from lists.
+func set(lists ...[]string) map[string]bool {
+	m := map[string]bool{}
+	for _, l := range lists {
+		for _, f := range l {
+			m[f] = true
+		}
+	}
+	return m
+}
+
+// without removes features from a set (in place) and returns it.
+func without(m map[string]bool, items ...string) map[string]bool {
+	for _, it := range items {
+		delete(m, it)
+	}
+	return m
+}
+
+// with adds features to a set (in place) and returns it.
+func with(m map[string]bool, items ...string) map[string]bool {
+	for _, it := range items {
+		m[it] = true
+	}
+	return m
+}
+
+// universalStatements returns the statements every base profile starts
+// from (the paper's six core statements plus the DML/DDL extensions).
+func universalStatements() map[string]bool {
+	return set(feature.Statements, []string{feature.StmtDropTable, feature.StmtDropView})
+}
+
+func universalClauses() map[string]bool {
+	return set(feature.Clauses, []string{feature.ClauseWhere,
+		feature.PrimaryKey, feature.NotNullColumn, feature.UniqueColumn,
+		feature.ViewColumnNames})
+}
+
+func universalOperators() map[string]bool {
+	return set(feature.BinaryOperators, []string{"~"}, feature.ExprForms,
+		[]string{feature.ExprIsNull, feature.ExprIsBool, feature.ExprNot})
+}
+
+func universalFunctions() map[string]bool {
+	return set(feature.Functions, feature.Aggregates)
+}

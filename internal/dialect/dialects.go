@@ -1,0 +1,219 @@
+package dialect
+
+import (
+	"sqlancerpp/internal/faults"
+	"sqlancerpp/internal/feature"
+)
+
+// Function groups used to carve per-dialect gaps out of the universal set.
+var (
+	grpTrig        = []string{"SIN", "COS", "TAN", "COT", "ASIN", "ACOS", "ATAN", "ATAN2", "DEGREES", "RADIANS", "PI"}
+	grpLogExp      = []string{"EXP", "LN", "LOG", "LOG10", "LOG2", "POWER", "POW", "SQRT"}
+	grpStrPad      = []string{"LPAD", "RPAD", "SPACE", "REVERSE"}
+	grpStrAdv      = []string{"INITCAP", "STRPOS", "SPLIT_PART", "TRANSLATE"}
+	grpLenVariants = []string{"CHAR_LENGTH", "BIT_LENGTH", "OCTET_LENGTH"}
+	grpNumMisc     = []string{"TRUNC", "GCD", "LCM"}
+	grpBitwiseOps  = []string{"&", "|", "^", "<<", ">>", "~"}
+)
+
+// Dialect-specific extra functions, outside the adaptive generator's
+// universal grammar: only the per-DBMS baseline generators know about
+// them (Figure 7's baseline-only Venn regions; Table 3's coverage gap).
+var (
+	extrasPG     = []string{"GREATEST", "LEAST", "CONCAT", "CONCAT_WS", "TO_HEX"}
+	extrasMySQL  = []string{"GREATEST", "LEAST", "CONCAT", "CONCAT_WS", "REPEAT", "ELT", "FIELD", "BIN", "OCT"}
+	extrasSQLite = []string{"PRINTF", "LIKELY", "UNLIKELY", "CONCAT"}
+	extrasDuck   = []string{"GREATEST", "LEAST", "CONCAT", "REPEAT", "BIN"}
+)
+
+func allTypes() map[string]bool {
+	return set([]string{feature.TypeInteger, feature.TypeText, feature.TypeBoolean})
+}
+
+// profilePG is the statically typed PostgreSQL-family base.
+func profilePG(name, display string) *Dialect {
+	return &Dialect{
+		Name:        name,
+		DisplayName: display,
+		TypeSystem:  Static,
+		Statements:  universalStatements(),
+		Clauses:     universalClauses(),
+		Operators: without(universalOperators(),
+			"<=>", "XOR", feature.ExprGlob),
+		Functions: without(universalFunctions(),
+			"IFNULL", "IIF", "INSTR", "HEX", "QUOTE", "TYPEOF", "UNICODE",
+			"SPACE", "LOG2"),
+		Types:           allTypes(),
+		DivZeroError:    true,
+		CastTextError:   true,
+		MathDomainError: true,
+	}
+}
+
+// profileMySQL is the dynamically typed MySQL-family base.
+func profileMySQL(name, display string) *Dialect {
+	d := &Dialect{
+		Name:        name,
+		DisplayName: display,
+		TypeSystem:  Dynamic,
+		Statements:  universalStatements(),
+		Clauses: without(universalClauses(),
+			feature.JoinFull, feature.InsertOrIgnore, feature.PartialIndex,
+			feature.Intersect, feature.Except),
+		Operators: without(universalOperators(),
+			"||", "IS DISTINCT FROM", "IS NOT DISTINCT FROM", feature.ExprGlob),
+		Functions: without(universalFunctions(),
+			"IIF", "TYPEOF", "INITCAP", "SPLIT_PART", "TRANSLATE", "CHR",
+			"UNICODE", "TRUNC", "GCD", "LCM"),
+		Types: allTypes(),
+	}
+	with(d.Functions, extrasMySQL...)
+	return d
+}
+
+// profileSQLite is the dynamically typed SQLite base: the most permissive
+// dialect (the paper's §5.2 notes SQLite is the only system that executes
+// test cases from more than half of the other systems).
+func profileSQLite(name, display string) *Dialect {
+	d := &Dialect{
+		Name:        name,
+		DisplayName: display,
+		TypeSystem:  Dynamic,
+		Statements:  universalStatements(),
+		Clauses:     universalClauses(),
+		Operators:   without(universalOperators(), "<=>", "XOR"),
+		Functions: without(universalFunctions(),
+			"INITCAP", "STRPOS", "SPLIT_PART", "TRANSLATE", "LPAD", "RPAD",
+			"SPACE", "REVERSE", "CHAR_LENGTH", "BIT_LENGTH", "OCTET_LENGTH",
+			"ASCII", "CHR", "GCD", "LCM"),
+		Types: allTypes(),
+	}
+	with(d.Functions, extrasSQLite...)
+	return d
+}
+
+func withFaults(d *Dialect) *Dialect {
+	d.Faults = faults.NewSet(faults.ForDialect(d.Name))
+	return d
+}
+
+func mustRegister(d *Dialect) {
+	if err := Register(d); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	// --- dynamically typed systems ---------------------------------------
+
+	mustRegister(withFaults(profileSQLite("sqlite", "SQLite")))
+
+	mustRegister(withFaults(profileMySQL("mysql", "MySQL")))
+	mustRegister(withFaults(profileMySQL("mariadb", "MariaDB")))
+	mustRegister(withFaults(profileMySQL("percona", "Percona MySQL")))
+
+	tidb := profileMySQL("tidb", "TiDB")
+	with(tidb.Clauses, feature.Intersect, feature.Except) // TiDB ≥ v5
+	without(tidb.Clauses, feature.JoinNatural)
+	without(tidb.Functions, "COT", "ELT", "FIELD")
+	mustRegister(withFaults(tidb))
+
+	dolt := profileMySQL("dolt", "Dolt")
+	without(dolt.Statements, feature.StmtAnalyze)
+	without(dolt.Functions, "BIN", "OCT", "ATAN2", "COT")
+	mustRegister(withFaults(dolt))
+
+	vitess := profileMySQL("vitess", "Vitess")
+	without(vitess.Clauses, feature.JoinNatural, feature.Subquery, feature.DerivedTable)
+	without(vitess.Operators, feature.Subquery, feature.ExprExists)
+	without(vitess.Functions, "ELT", "FIELD", "BIN", "OCT", "COT", "ATAN2", "LOG2")
+	mustRegister(withFaults(vitess))
+
+	cubrid := profileMySQL("cubrid", "Cubrid")
+	with(cubrid.Operators, "||")
+	without(cubrid.Operators, "<=>")
+	without(cubrid.Functions, "REPEAT", "CONCAT_WS", "LOG2", "ATAN2")
+	mustRegister(withFaults(cubrid))
+
+	// --- statically typed systems ----------------------------------------
+
+	pg := profilePG("postgresql", "PostgreSQL")
+	with(pg.Functions, extrasPG...)
+	mustRegister(withFaults(pg)) // clean: no catalogue entry
+
+	crate := profilePG("cratedb", "CrateDB")
+	// CrateDB does not support CREATE INDEX (paper Appendix A.1) and
+	// requires REFRESH TABLE before reads see inserted rows (paper §6).
+	without(crate.Statements, feature.StmtCreateIndex)
+	without(crate.Clauses, feature.UniqueIndex, feature.PartialIndex)
+	without(crate.Functions, "GCD", "LCM", "COT", "IIF")
+	with(crate.Functions, "GREATEST", "LEAST", "CONCAT")
+	crate.RequiresRefresh = true
+	mustRegister(withFaults(crate))
+
+	duck := profilePG("duckdb", "DuckDB")
+	with(duck.Operators, feature.ExprGlob)
+	with(duck.Functions, extrasDuck...)
+	with(duck.Functions, "INSTR", "HEX", "TYPEOF", "IFNULL")
+	mustRegister(withFaults(duck))
+
+	umbra := profilePG("umbra", "Umbra")
+	without(umbra.Functions, "GCD", "LCM", "TRANSLATE")
+	with(umbra.Functions, "GREATEST", "LEAST", "HEX")
+	mustRegister(withFaults(umbra))
+
+	cedar := profilePG("cedardb", "CedarDB")
+	without(cedar.Functions, "GCD", "LCM", "TRANSLATE", "COT")
+	with(cedar.Functions, "GREATEST", "LEAST")
+	mustRegister(withFaults(cedar))
+
+	rw := profilePG("risingwave", "RisingWave")
+	without(rw.Statements, feature.StmtAnalyze)
+	without(rw.Clauses, feature.PartialIndex)
+	without(rw.Functions, "GCD", "LCM", "COT", "ATAN2")
+	rw.RequiresRefresh = true
+	mustRegister(withFaults(rw))
+
+	monet := profilePG("monetdb", "MonetDB")
+	without(monet.Operators, "IS DISTINCT FROM", "IS NOT DISTINCT FROM")
+	without(monet.Functions, "INITCAP", "SPLIT_PART", "GCD", "LCM", "TO_HEX")
+	mustRegister(withFaults(monet))
+
+	h2 := profilePG("h2", "H2")
+	with(h2.Functions, "IFNULL", "INSTR", "SPACE")
+	without(h2.Functions, "SPLIT_PART", "TO_HEX", "GCD", "LCM")
+	mustRegister(withFaults(h2))
+
+	fb := profilePG("firebird", "Firebird")
+	without(fb.Clauses, feature.Intersect, feature.Except)
+	without(fb.Operators, grpBitwiseOps...)
+	without(fb.Operators, "IS DISTINCT FROM", "IS NOT DISTINCT FROM")
+	without(fb.Functions, "INITCAP", "SPLIT_PART", "TRANSLATE", "TO_HEX",
+		"GCD", "LCM", "LOG10", "CHR", "ATAN2", "COT")
+	without(fb.Clauses, feature.JoinFull)
+	mustRegister(withFaults(fb))
+
+	oracle := profilePG("oracle", "Oracle")
+	without(oracle.Operators, grpBitwiseOps...)
+	without(oracle.Clauses, feature.Limit, feature.Offset)
+	without(oracle.Types, feature.TypeBoolean)
+	without(oracle.Functions, "IFNULL", "SPLIT_PART", "TO_HEX", "GCD",
+		"LCM", "LOG2", "LOG10", "DEGREES", "RADIANS", "PI")
+	with(oracle.Functions, "GREATEST", "LEAST", "CONCAT")
+	mustRegister(withFaults(oracle))
+
+	virt := profilePG("virtuoso", "Virtuoso")
+	without(virt.Clauses, feature.JoinNatural, feature.JoinFull)
+	without(virt.Operators, "IS DISTINCT FROM", "IS NOT DISTINCT FROM")
+	without(virt.Functions, "INITCAP", "STRPOS", "SPLIT_PART", "TRANSLATE",
+		"TO_HEX", "GCD", "LCM", "TRUNC", "COT", "ATAN2", "UNICODE")
+	mustRegister(withFaults(virt))
+}
+
+// PaperDBMSs lists the 18 systems of the paper's Table 2 (sorted as in
+// the paper: alphabetically by display name).
+var PaperDBMSs = []string{
+	"cedardb", "cratedb", "cubrid", "dolt", "duckdb", "firebird", "h2",
+	"mariadb", "monetdb", "mysql", "oracle", "percona", "risingwave",
+	"sqlite", "tidb", "umbra", "virtuoso", "vitess",
+}

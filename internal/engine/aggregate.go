@@ -1,0 +1,74 @@
+package engine
+
+import "sqlancerpp/internal/sqlast"
+
+// evalAggregate computes an aggregate call over the current group.
+func (ctx *evalCtx) evalAggregate(x *sqlast.Func) (Value, *Error) {
+	ctx.s.cov.Hit("eval.aggregate." + x.Name)
+	ctx.s.cov.HitBranch("agg.empty", len(ctx.group) == 0)
+	ctx.s.cov.HitBranch("agg.distinct."+x.Name, x.Distinct)
+	if x.Star { // COUNT(*)
+		return Int(int64(len(ctx.group))), nil
+	}
+	// Collect the argument's values over the group, fault-free: aggregate
+	// inputs are reference-path evaluations.
+	var vals []Value
+	for _, env := range ctx.group {
+		mctx := ctx.s.newEvalCtx(env)
+		v, err := mctx.eval(x.Args[0])
+		if err != nil {
+			return Null(), err
+		}
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	if x.Distinct {
+		seen := map[string]bool{}
+		var dv []Value
+		for _, v := range vals {
+			k := v.Render()
+			if !seen[k] {
+				seen[k] = true
+				dv = append(dv, v)
+			}
+		}
+		vals = dv
+	}
+	switch x.Name {
+	case "COUNT":
+		return Int(int64(len(vals))), nil
+	case "SUM":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		var sum int64
+		for _, v := range vals {
+			sum += toInt(v)
+		}
+		return Int(sum), nil
+	case "AVG":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		var sum int64
+		for _, v := range vals {
+			sum += toInt(v)
+		}
+		return Int(sum / int64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := Compare(v, best)
+			if (x.Name == "MAX" && c > 0) || (x.Name == "MIN" && c < 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return Null(), errf(ErrSemantic, "unhandled aggregate %s", x.Name)
+	}
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"sqlancerpp/internal/sqlast"
+)
+
+// Column is one column of a stored table.
+type Column struct {
+	Name       string
+	Type       sqlast.Type
+	NotNull    bool
+	Unique     bool
+	PrimaryKey bool
+}
+
+// Table is an in-memory heap table.
+type Table struct {
+	Name    string
+	Columns []Column
+	// Rows holds the visible rows.
+	Rows [][]Value
+	// Pending holds rows inserted but not yet visible (dialects with
+	// RequiresRefresh, e.g. CrateDB, make them visible on REFRESH TABLE).
+	Pending [][]Value
+	// Analyzed records whether ANALYZE collected statistics.
+	Analyzed bool
+}
+
+// ColumnIndex returns the position of a column by case-insensitive name,
+// or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i := range t.Columns {
+		if strings.EqualFold(t.Columns[i].Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// View is a stored view definition.
+type View struct {
+	Name    string
+	Columns []string // output column names
+	Types   []sqlast.Type
+	Def     *sqlast.Select
+}
+
+// Index is a stored (optionally unique, optionally partial) index.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	Where   sqlast.Expr // partial index predicate, nil if absent
+}
+
+// database is the catalog plus storage for one DB instance.
+type database struct {
+	tables  map[string]*Table
+	views   map[string]*View
+	indexes map[string]*Index
+}
+
+func newDatabase() *database {
+	return &database{
+		tables:  map[string]*Table{},
+		views:   map[string]*View{},
+		indexes: map[string]*Index{},
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+func (db *database) table(name string) *Table { return db.tables[key(name)] }
+func (db *database) view(name string) *View   { return db.views[key(name)] }
+func (db *database) index(name string) *Index { return db.indexes[key(name)] }
+
+// relationExists reports whether a table or view with the name exists.
+func (db *database) relationExists(name string) bool {
+	return db.table(name) != nil || db.view(name) != nil
+}
+
+// tableNames returns sorted table names (deterministic iteration).
+func (db *database) tableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// viewNames returns sorted view names.
+func (db *database) viewNames() []string {
+	out := make([]string, 0, len(db.views))
+	for _, v := range db.views {
+		out = append(out, v.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// indexesOn returns the indexes on a table, sorted by name.
+func (db *database) indexesOn(table string) []*Index {
+	var out []*Index
+	for _, ix := range db.indexes {
+		if strings.EqualFold(ix.Table, table) {
+			out = append(out, ix)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// dropTable removes a table and its indexes.
+func (db *database) dropTable(name string) {
+	delete(db.tables, key(name))
+	for k, ix := range db.indexes {
+		if strings.EqualFold(ix.Table, name) {
+			delete(db.indexes, k)
+		}
+	}
+}

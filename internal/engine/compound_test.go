@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/faults"
+)
+
+func compoundFixture(t *testing.T) *DB {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE a (x INTEGER)")
+	mustExec(t, db, "CREATE TABLE b (x INTEGER)")
+	mustExec(t, db, "INSERT INTO a (x) VALUES (1), (2), (2)")
+	mustExec(t, db, "INSERT INTO b (x) VALUES (2), (3)")
+	return db
+}
+
+func TestSetOperations(t *testing.T) {
+	db := compoundFixture(t)
+	expectRows(t, db, "SELECT x FROM a UNION SELECT x FROM b ORDER BY x",
+		"1", "2", "3")
+	expectRows(t, db, "SELECT x FROM a UNION ALL SELECT x FROM b ORDER BY x",
+		"1", "2", "2", "2", "3")
+	expectRows(t, db, "SELECT x FROM a INTERSECT SELECT x FROM b", "2")
+	expectRows(t, db, "SELECT x FROM a EXCEPT SELECT x FROM b", "1")
+	expectRows(t, db, "SELECT x FROM b EXCEPT SELECT x FROM a", "3")
+	// Three-arm chains evaluate left to right.
+	expectRows(t, db,
+		"SELECT x FROM a UNION SELECT x FROM b EXCEPT SELECT x FROM b ORDER BY x",
+		"1")
+	// LIMIT applies to the whole compound.
+	expectRows(t, db, "SELECT x FROM a UNION ALL SELECT x FROM b ORDER BY x LIMIT 2",
+		"1", "2")
+	// Compound arms with WHERE.
+	expectRows(t, db,
+		"SELECT x FROM a WHERE x = 1 UNION ALL SELECT x FROM b WHERE x = 3 ORDER BY x",
+		"1", "3")
+}
+
+func TestCompoundValidation(t *testing.T) {
+	db := compoundFixture(t)
+	if err := db.Exec("SELECT x FROM a UNION SELECT x, x FROM b"); err == nil {
+		t.Fatal("column-count mismatch must be rejected")
+	}
+	if err := db.Exec("SELECT x FROM a UNION SELECT x FROM a ORDER BY y"); err == nil {
+		t.Fatal("ORDER BY over a non-output column must be rejected")
+	}
+	// MySQL-family dialects lack INTERSECT/EXCEPT.
+	my := openClean(t, "mysql")
+	mustExec(t, my, "CREATE TABLE a (x INTEGER)")
+	if err := my.Exec("SELECT x FROM a INTERSECT SELECT x FROM a"); ClassOf(err) != ErrUnsupported {
+		t.Fatalf("INTERSECT on mysql must be unsupported, got %v", err)
+	}
+	mustExec(t, my, "SELECT x FROM a UNION SELECT x FROM a")
+	// Static dialects require unifiable arm types.
+	pg := openClean(t, "postgresql")
+	mustExec(t, pg, "CREATE TABLE a (x INTEGER, s TEXT)")
+	if err := pg.Exec("SELECT x FROM a UNION SELECT s FROM a"); err == nil {
+		t.Fatal("type mismatch across arms must be rejected on static dialects")
+	}
+	mustExec(t, pg, "SELECT x FROM a UNION SELECT NULL FROM a")
+}
+
+func TestFaultUnionAllDedup(t *testing.T) {
+	d := mustDialect(t, "sqlite").Clone()
+	d.Name = "union-fault-test"
+	d.Faults = faults.NewSet([]faults.Fault{
+		{ID: "u1", Kind: faults.UnionAllDedup, Class: faults.Logic},
+	})
+	db := Open(d)
+	mustExec(t, db, "CREATE TABLE a (x INTEGER)")
+	mustExec(t, db, "INSERT INTO a (x) VALUES (1), (1)")
+	res := mustQuery(t, db, "SELECT x FROM a UNION ALL SELECT x FROM a")
+	if len(res.Rows) != 1 {
+		t.Fatalf("dedup fault should collapse duplicates, got %d rows", len(res.Rows))
+	}
+	if len(db.TriggeredFaults()) == 0 {
+		t.Fatal("fault not recorded")
+	}
+	// UNION is unaffected (it dedupes anyway — same result, no trigger).
+	mustQuery(t, db, "SELECT x FROM a UNION SELECT x FROM a")
+	if len(db.TriggeredFaults()) != 0 {
+		t.Fatal("UNION must not trigger the UNION ALL fault")
+	}
+}
+
+func TestCompoundInViewsAndSubqueries(t *testing.T) {
+	db := compoundFixture(t)
+	mustExec(t, db, "CREATE VIEW v AS SELECT x FROM a UNION SELECT x FROM b")
+	expectRows(t, db, "SELECT COUNT(*) FROM v", "3")
+	expectRows(t, db,
+		"SELECT COUNT(*) FROM (SELECT x FROM a INTERSECT SELECT x FROM b) AS s", "1")
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"sqlancerpp/internal/coverage"
+	"sqlancerpp/internal/feature"
+	"sqlancerpp/internal/sqlast"
+)
+
+// init registers every coverage point the engine can hit, so that
+// coverage percentages have a stable denominator (Table 3's metric).
+func init() {
+	pts := []string{
+		"parse.ok", "parse.error",
+		"eval.unary.not", "eval.unary.minus", "eval.unary.plus", "eval.unary.bitnot",
+		"eval.case", "eval.between", "eval.in", "eval.like",
+		"eval.func.scalar-minmax",
+		"eval.cast.INTEGER", "eval.cast.TEXT", "eval.cast.BOOLEAN",
+		"filter.eval",
+		"exec.select", "exec.scan.table", "exec.scan.view", "exec.scan.derived",
+		"exec.distinct", "exec.orderby", "exec.limit", "exec.offset",
+		"exec.groupby", "exec.compound",
+		"exec.setop.UNION", "exec.setop.UNION ALL",
+		"exec.setop.INTERSECT", "exec.setop.EXCEPT",
+		"exec.createtable", "exec.createindex", "exec.createview",
+		"exec.insert", "exec.insert.ignored", "exec.update", "exec.delete",
+		"exec.alter", "exec.droptable", "exec.dropview", "exec.analyze",
+		"exec.refresh",
+	}
+	for _, p := range pts {
+		coverage.RegisterPoint(p)
+	}
+	for _, op := range []sqlast.BinaryOp{
+		sqlast.OpAdd, sqlast.OpSub, sqlast.OpMul, sqlast.OpDiv, sqlast.OpMod,
+		sqlast.OpConcat, sqlast.OpBitAnd, sqlast.OpBitOr, sqlast.OpBitXor,
+		sqlast.OpShl, sqlast.OpShr, sqlast.OpEq, sqlast.OpNeq, sqlast.OpNeq2,
+		sqlast.OpLt, sqlast.OpLe, sqlast.OpGt, sqlast.OpGe,
+		sqlast.OpNullSafeEq, sqlast.OpAnd, sqlast.OpOr, sqlast.OpXor,
+		sqlast.OpIsDistinct, sqlast.OpIsNotDistinct,
+	} {
+		coverage.RegisterPoint("eval.binary." + op.String())
+	}
+	for _, fn := range FuncNames() {
+		coverage.RegisterPoint("eval.func." + fn)
+	}
+	for _, agg := range feature.Aggregates {
+		coverage.RegisterPoint("eval.aggregate." + agg)
+	}
+	for _, j := range feature.Joins {
+		coverage.RegisterPoint("exec.join." + j)
+	}
+	for _, br := range []string{
+		"filter.keep", "case.searched", "agg.empty",
+		"constraint.violation", "where.present", "distinct.dup",
+		"view.named", "insert.pending",
+	} {
+		coverage.RegisterBranch(br)
+	}
+	// Per-operator, per-function, and per-join branches give the
+	// coverage metric the granularity of real branch coverage.
+	for _, op := range []sqlast.BinaryOp{
+		sqlast.OpEq, sqlast.OpNeq, sqlast.OpNeq2, sqlast.OpLt, sqlast.OpLe,
+		sqlast.OpGt, sqlast.OpGe, sqlast.OpNullSafeEq, sqlast.OpIsDistinct,
+		sqlast.OpIsNotDistinct,
+	} {
+		coverage.RegisterBranch("cmp.null." + op.String())
+	}
+	for _, fn := range FuncNames() {
+		coverage.RegisterBranch("func.null." + fn)
+	}
+	for _, j := range feature.Joins {
+		coverage.RegisterBranch("join.match." + j)
+	}
+	for _, agg := range feature.Aggregates {
+		coverage.RegisterBranch("agg.distinct." + agg)
+	}
+}

@@ -1,0 +1,97 @@
+package engine
+
+import "fmt"
+
+// ErrClass categorizes statement failures. The adaptive generator treats
+// any non-nil error as "statement failed" (the paper's validity feedback
+// does not distinguish error kinds), but the campaign distinguishes
+// crashes and internal errors, which are bugs in their own right.
+type ErrClass int
+
+// Error classes.
+const (
+	// ErrSyntax: the statement did not parse.
+	ErrSyntax ErrClass = iota
+	// ErrUnsupported: the statement uses a feature this dialect lacks.
+	ErrUnsupported
+	// ErrSemantic: name resolution or (static dialects) type checking
+	// failed.
+	ErrSemantic
+	// ErrConstraint: a PRIMARY KEY / UNIQUE / NOT NULL violation.
+	ErrConstraint
+	// ErrRuntime: evaluation failed (division by zero, bad cast, math
+	// domain error) — the paper's context-dependent failures.
+	ErrRuntime
+	// ErrCrash: an injected fault crashed the simulated server.
+	ErrCrash
+	// ErrInternal: an injected fault raised an internal error.
+	ErrInternal
+)
+
+// String returns a short class label.
+func (c ErrClass) String() string {
+	switch c {
+	case ErrSyntax:
+		return "syntax"
+	case ErrUnsupported:
+		return "unsupported"
+	case ErrSemantic:
+		return "semantic"
+	case ErrConstraint:
+		return "constraint"
+	case ErrRuntime:
+		return "runtime"
+	case ErrCrash:
+		return "crash"
+	case ErrInternal:
+		return "internal"
+	default:
+		return "?"
+	}
+}
+
+// Error is the engine's statement failure type.
+type Error struct {
+	Class   ErrClass
+	Msg     string
+	Feature string // the offending feature, when known
+	FaultID string // ground truth: the injected fault that fired, if any
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Feature != "" {
+		return fmt.Sprintf("%s error: %s (feature %q)", e.Class, e.Msg, e.Feature)
+	}
+	return fmt.Sprintf("%s error: %s", e.Class, e.Msg)
+}
+
+func errf(class ErrClass, format string, args ...any) *Error {
+	return &Error{Class: class, Msg: fmt.Sprintf(format, args...)}
+}
+
+func unsupported(featureName string) *Error {
+	return &Error{Class: ErrUnsupported, Msg: "feature not supported", Feature: featureName}
+}
+
+// ClassOf returns the error class of err, or ErrSyntax if err is not an
+// engine error (parser errors reach callers as *Error already; this is a
+// safety net).
+func ClassOf(err error) ErrClass {
+	if ee, ok := err.(*Error); ok {
+		return ee.Class
+	}
+	return ErrSyntax
+}
+
+// IsCrash reports whether err is a simulated crash.
+func IsCrash(err error) bool {
+	ee, ok := err.(*Error)
+	return ok && ee.Class == ErrCrash
+}
+
+// IsInternal reports whether err is a simulated internal error.
+func IsInternal(err error) bool {
+	ee, ok := err.(*Error)
+	return ok && ee.Class == ErrInternal
+}

@@ -1,0 +1,624 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"sqlancerpp/internal/sqlast"
+)
+
+// matRel is a materialized FROM relation.
+type matRel struct {
+	alias     string
+	cols      []string
+	rows      [][]Value
+	baseTable string // set when the relation is a direct table reference
+}
+
+// jrow is one combined join row: one value slice per relation.
+type jrow [][]Value
+
+// buildEnv exposes a combined row to the evaluator.
+func buildEnv(rels []matRel, row jrow, outer *rowEnv) *rowEnv {
+	env := &rowEnv{outer: outer, rels: make([]rowRel, len(rels))}
+	for i := range rels {
+		env.rels[i] = rowRel{alias: rels[i].alias, cols: rels[i].cols, vals: row[i]}
+	}
+	return env
+}
+
+func nullRow(n int) []Value {
+	out := make([]Value, n)
+	for i := range out {
+		out[i] = Null()
+	}
+	return out
+}
+
+// materializeRef produces the rows of a FROM item.
+func (s *DB) materializeRef(ref sqlast.TableRef, outer *rowEnv) (matRel, *Error) {
+	switch r := ref.(type) {
+	case *sqlast.TableName:
+		if t := s.store.table(r.Name); t != nil {
+			s.cov.Hit("exec.scan.table")
+			cols := make([]string, len(t.Columns))
+			for i := range t.Columns {
+				cols[i] = t.Columns[i].Name
+			}
+			rows := make([][]Value, len(t.Rows))
+			copy(rows, t.Rows)
+			return matRel{alias: r.RefName(), cols: cols, rows: rows, baseTable: t.Name}, nil
+		}
+		if v := s.store.view(r.Name); v != nil {
+			s.cov.Hit("exec.scan.view")
+			res, err := s.execSelectEnv(v.Def, nil)
+			if err != nil {
+				return matRel{}, err
+			}
+			return matRel{alias: r.RefName(), cols: v.Columns, rows: res.Rows}, nil
+		}
+		return matRel{}, errf(ErrSemantic, "no such table or view %q", r.Name)
+	case *sqlast.DerivedTable:
+		s.cov.Hit("exec.scan.derived")
+		res, err := s.execSelectEnv(r.Select, outer)
+		if err != nil {
+			return matRel{}, err
+		}
+		return matRel{alias: r.Alias, cols: res.Columns, rows: res.Rows}, nil
+	default:
+		return matRel{}, errf(ErrSemantic, "unhandled table reference")
+	}
+}
+
+// execSelectEnv executes a SELECT with an optional outer environment for
+// correlated subqueries. Errors use the engine's *Error type.
+func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) {
+	if len(sel.Compound) > 0 {
+		return s.execCompound(sel, outer)
+	}
+	s.cov.Hit("exec.select")
+	var rels []matRel
+	var rows []jrow
+
+	if len(sel.From) > 0 {
+		first, err := s.materializeRef(sel.From[0].Ref, outer)
+		if err != nil {
+			return nil, err
+		}
+		rels = []matRel{first}
+		rows = make([]jrow, len(first.rows))
+		for i, r := range first.rows {
+			rows[i] = jrow{r}
+		}
+		for _, item := range sel.From[1:] {
+			right, err := s.materializeRef(item.Ref, outer)
+			if err != nil {
+				return nil, err
+			}
+			rows, err = s.joinStep(sel, rels, rows, right, item, outer)
+			if err != nil {
+				return nil, err
+			}
+			rels = append(rels, right)
+		}
+	} else {
+		rows = []jrow{{}} // SELECT without FROM: one empty row
+	}
+
+	s.cov.HitBranch("where.present", sel.Where != nil)
+	// WHERE (the optimized filter path, including the partial-index
+	// defect hook).
+	if sel.Where != nil {
+		kept := rows[:0:0]
+		for _, row := range rows {
+			env := buildEnv(rels, row, outer)
+			pass, err := s.evalFilter(sel.Where, env)
+			if err != nil {
+				return nil, err
+			}
+			if pass && !s.partialIndexDrop(sel.Where, rels, row) {
+				kept = append(kept, row)
+			}
+			s.cost++
+		}
+		rows = kept
+	}
+
+	colNames := s.outputColumns(sel, rels)
+
+	grouped := len(sel.GroupBy) > 0 || selHasAggregates(sel)
+	var outRows [][]Value
+	var sortKeys [][]Value
+	if grouped {
+		var err *Error
+		outRows, sortKeys, err = s.execGrouped(sel, rels, rows, outer)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for _, row := range rows {
+			env := buildEnv(rels, row, outer)
+			out, keys, err := s.projectRow(sel, rels, row, env)
+			if err != nil {
+				return nil, err
+			}
+			outRows = append(outRows, out)
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+
+	if sel.Distinct {
+		s.cov.Hit("exec.distinct")
+		seen := map[string]bool{}
+		var dr [][]Value
+		var dk [][]Value
+		for i, r := range outRows {
+			k := renderRow(r)
+			s.cov.HitBranch("distinct.dup", seen[k])
+			if !seen[k] {
+				seen[k] = true
+				dr = append(dr, r)
+				dk = append(dk, sortKeys[i])
+			}
+		}
+		outRows, sortKeys = dr, dk
+	}
+
+	if len(sel.OrderBy) > 0 {
+		s.cov.Hit("exec.orderby")
+		sortRows(outRows, sortKeys, sel.OrderBy)
+	}
+
+	if sel.Offset != nil {
+		s.cov.Hit("exec.offset")
+		off := int(*sel.Offset)
+		if off < 0 {
+			off = 0
+		}
+		if off > len(outRows) {
+			off = len(outRows)
+		}
+		outRows = outRows[off:]
+	}
+	if sel.Limit != nil {
+		s.cov.Hit("exec.limit")
+		lim := int(*sel.Limit)
+		if lim < 0 {
+			lim = 0
+		}
+		if lim < len(outRows) {
+			outRows = outRows[:lim]
+		}
+	}
+
+	return &Result{Columns: colNames, Rows: outRows}, nil
+}
+
+// joinStep combines the accumulated rows with one new relation.
+func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matRel, item sqlast.FromItem, outer *rowEnv) ([]jrow, *Error) {
+	jf := joinFeature(item.Join)
+	s.cov.Hit("exec.join." + jf)
+
+	on := item.On
+	if item.Join == sqlast.JoinNatural {
+		on = naturalOn(rels, right)
+	}
+
+	// The ON→WHERE flattener defect degrades an outer join to inner when
+	// a WHERE clause is present (paper Listing 3's shape).
+	flatten := s.faultSet().JoinFlatten(jf)
+	degraded := flatten != nil && sel.Where != nil
+
+	match := func(lrow jrow, rrow []Value) (bool, *Error) {
+		if on == nil {
+			return true, nil
+		}
+		env := buildEnv(append(append([]matRel{}, rels...), right), append(append(jrow{}, lrow...), rrow), outer)
+		ok, err := s.evalFilter(on, env)
+		s.cov.HitBranch("join.match."+jf, ok)
+		return ok, err
+	}
+
+	var out []jrow
+	switch item.Join {
+	case sqlast.JoinComma, sqlast.JoinCross, sqlast.JoinInner, sqlast.JoinNatural:
+		for _, lrow := range left {
+			for _, rrow := range right.rows {
+				ok, err := match(lrow, rrow)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, append(append(jrow{}, lrow...), rrow))
+				}
+				s.cost++
+			}
+		}
+	case sqlast.JoinLeft, sqlast.JoinFull:
+		matchedRight := make([]bool, len(right.rows))
+		for _, lrow := range left {
+			any := false
+			for ri, rrow := range right.rows {
+				ok, err := match(lrow, rrow)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					any = true
+					matchedRight[ri] = true
+					out = append(out, append(append(jrow{}, lrow...), rrow))
+				}
+				s.cost++
+			}
+			if !any {
+				if degraded {
+					s.trigger(flatten)
+					continue
+				}
+				out = append(out, append(append(jrow{}, lrow...), nullRow(len(right.cols))))
+			}
+		}
+		if item.Join == sqlast.JoinFull {
+			for ri, rrow := range right.rows {
+				if matchedRight[ri] {
+					continue
+				}
+				if degraded {
+					s.trigger(flatten)
+					continue
+				}
+				nulls := make(jrow, len(rels))
+				for i := range rels {
+					nulls[i] = nullRow(len(rels[i].cols))
+				}
+				out = append(out, append(nulls, rrow))
+			}
+		}
+	case sqlast.JoinRight:
+		for _, rrow := range right.rows {
+			any := false
+			for _, lrow := range left {
+				ok, err := match(lrow, rrow)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					any = true
+					out = append(out, append(append(jrow{}, lrow...), rrow))
+				}
+				s.cost++
+			}
+			if !any {
+				if degraded {
+					s.trigger(flatten)
+					continue
+				}
+				nulls := make(jrow, len(rels))
+				for i := range rels {
+					nulls[i] = nullRow(len(rels[i].cols))
+				}
+				out = append(out, append(nulls, rrow))
+			}
+		}
+	default:
+		return nil, errf(ErrSemantic, "unhandled join type")
+	}
+	return out, nil
+}
+
+// naturalOn synthesizes the NATURAL JOIN condition: equality on every
+// column name the new relation shares with an earlier relation.
+func naturalOn(rels []matRel, right matRel) sqlast.Expr {
+	var on sqlast.Expr
+	for _, rc := range right.cols {
+		for _, rel := range rels {
+			shared := false
+			for _, lc := range rel.cols {
+				if strings.EqualFold(lc, rc) {
+					shared = true
+					break
+				}
+			}
+			if !shared {
+				continue
+			}
+			eq := &sqlast.Binary{
+				Op: sqlast.OpEq,
+				L:  &sqlast.ColumnRef{Table: rel.alias, Column: rc},
+				R:  &sqlast.ColumnRef{Table: right.alias, Column: rc},
+			}
+			if on == nil {
+				on = eq
+			} else {
+				on = &sqlast.Binary{Op: sqlast.OpAnd, L: on, R: eq}
+			}
+			break
+		}
+	}
+	return on
+}
+
+// partialIndexDrop implements the PartialIndexScan defect: an equality
+// conjunct on the leading column of a partial index reads only the index,
+// silently dropping rows outside the index predicate. It reports whether
+// the row must be (wrongly) dropped.
+func (s *DB) partialIndexDrop(where sqlast.Expr, rels []matRel, row jrow) bool {
+	f := s.faultSet().PartialIndex()
+	if f == nil {
+		return false
+	}
+	for _, conj := range splitAnd(where, nil) {
+		b, ok := conj.(*sqlast.Binary)
+		if !ok || b.Op != sqlast.OpEq {
+			continue
+		}
+		col, okc := b.L.(*sqlast.ColumnRef)
+		if _, lit := b.R.(*sqlast.Literal); !okc || !lit {
+			col, okc = b.R.(*sqlast.ColumnRef)
+			if _, lit := b.L.(*sqlast.Literal); !okc || !lit {
+				continue
+			}
+		}
+		for i, rel := range rels {
+			if rel.baseTable == "" {
+				continue
+			}
+			if col.Table != "" && !strings.EqualFold(col.Table, rel.alias) {
+				continue
+			}
+			found := false
+			for _, c := range rel.cols {
+				if strings.EqualFold(c, col.Column) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+			for _, ix := range s.store.indexesOn(rel.baseTable) {
+				if ix.Where == nil || len(ix.Columns) == 0 ||
+					!strings.EqualFold(ix.Columns[0], col.Column) {
+					continue
+				}
+				env := &rowEnv{rels: []rowRel{{alias: rel.alias, cols: rel.cols, vals: row[i]}}}
+				t, err := s.newEvalCtx(env).evalTri(ix.Where)
+				if err != nil {
+					continue
+				}
+				if t != TriTrue {
+					s.trigger(f)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// outputColumns computes the result column names.
+func (s *DB) outputColumns(sel *sqlast.Select, rels []matRel) []string {
+	var out []string
+	for i := range sel.Items {
+		item := &sel.Items[i]
+		if item.Star {
+			for _, rel := range rels {
+				out = append(out, rel.cols...)
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*sqlast.ColumnRef); ok {
+				name = cr.Column
+			} else {
+				name = "col" + itoa(len(out)+1)
+			}
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// projectRow evaluates the projections and ORDER BY keys for one row.
+func (s *DB) projectRow(sel *sqlast.Select, rels []matRel, row jrow, env *rowEnv) ([]Value, []Value, *Error) {
+	ctx := s.newEvalCtx(env)
+	var out []Value
+	for i := range sel.Items {
+		item := &sel.Items[i]
+		if item.Star {
+			for ri := range rels {
+				out = append(out, row[ri]...)
+			}
+			continue
+		}
+		v, err := ctx.eval(item.Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, v)
+	}
+	keys, err := s.orderKeys(sel, ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, keys, nil
+}
+
+// orderKeys evaluates the ORDER BY expressions in ctx.
+func (s *DB) orderKeys(sel *sqlast.Select, ctx *evalCtx) ([]Value, *Error) {
+	if len(sel.OrderBy) == 0 {
+		return nil, nil
+	}
+	keys := make([]Value, len(sel.OrderBy))
+	for i := range sel.OrderBy {
+		v, err := ctx.eval(sel.OrderBy[i].Expr)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// renderRow builds the canonical dedup/compare key of a row.
+func renderRow(row []Value) string {
+	var sb strings.Builder
+	for i, v := range row {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		sb.WriteString(v.Render())
+	}
+	return sb.String()
+}
+
+// sortRows orders output rows by their sort keys (stable; NULLs first).
+func sortRows(rows [][]Value, keys [][]Value, order []sqlast.OrderItem) {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i := range order {
+			va, vb := ka[i], kb[i]
+			c := compareForSort(va, vb)
+			if c == 0 {
+				continue
+			}
+			if order[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	outR := make([][]Value, len(rows))
+	for i, j := range idx {
+		outR[i] = rows[j]
+	}
+	copy(rows, outR)
+}
+
+// compareForSort orders values with NULLs first.
+func compareForSort(a, b Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	default:
+		return Compare(a, b)
+	}
+}
+
+// selHasAggregates reports whether the projection, HAVING, or ORDER BY
+// contains aggregate calls.
+func selHasAggregates(sel *sqlast.Select) bool {
+	for i := range sel.Items {
+		if sel.Items[i].Expr != nil && hasAggregate(sel.Items[i].Expr) {
+			return true
+		}
+	}
+	if sel.Having != nil && hasAggregate(sel.Having) {
+		return true
+	}
+	for _, o := range sel.OrderBy {
+		if hasAggregate(o.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// execGrouped executes the GROUP BY / aggregate path.
+func (s *DB) execGrouped(sel *sqlast.Select, rels []matRel, rows []jrow, outer *rowEnv) ([][]Value, [][]Value, *Error) {
+	s.cov.Hit("exec.groupby")
+	type group struct {
+		envs []*rowEnv
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, row := range rows {
+		env := buildEnv(rels, row, outer)
+		key := ""
+		if len(sel.GroupBy) > 0 {
+			ctx := s.newEvalCtx(env)
+			var parts []string
+			for _, g := range sel.GroupBy {
+				v, err := ctx.eval(g)
+				if err != nil {
+					return nil, nil, err
+				}
+				parts = append(parts, v.Render())
+			}
+			key = strings.Join(parts, "|")
+		}
+		gr := groups[key]
+		if gr == nil {
+			gr = &group{}
+			groups[key] = gr
+			order = append(order, key)
+		}
+		gr.envs = append(gr.envs, env)
+	}
+	// A global aggregate over zero rows still produces one group.
+	if len(groups) == 0 && len(sel.GroupBy) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	emptyEnv := buildEnv(rels, func() jrow {
+		r := make(jrow, len(rels))
+		for i := range rels {
+			r[i] = nullRow(len(rels[i].cols))
+		}
+		return r
+	}(), outer)
+
+	var outRows [][]Value
+	var sortKeys [][]Value
+	for _, key := range order {
+		gr := groups[key]
+		rep := emptyEnv
+		if len(gr.envs) > 0 {
+			rep = gr.envs[0]
+		}
+		ctx := s.newEvalCtx(rep)
+		ctx.group = gr.envs
+		if ctx.group == nil {
+			ctx.group = []*rowEnv{} // empty group, still an aggregate context
+		}
+		if sel.Having != nil {
+			t, err := ctx.evalTri(sel.Having)
+			if err != nil {
+				return nil, nil, err
+			}
+			if t != TriTrue {
+				continue
+			}
+		}
+		var out []Value
+		for i := range sel.Items {
+			item := &sel.Items[i]
+			if item.Star {
+				return nil, nil, errf(ErrSemantic, "SELECT * is not valid with GROUP BY")
+			}
+			v, err := ctx.eval(item.Expr)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, v)
+		}
+		keys, err := s.orderKeys(sel, ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		outRows = append(outRows, out)
+		sortKeys = append(sortKeys, keys)
+	}
+	return outRows, sortKeys, nil
+}

@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// rowsOf renders query results for compact comparison.
+func rowsOf(t *testing.T, db *DB, sql string) []string {
+	t.Helper()
+	res := mustQuery(t, db, sql)
+	return res.RenderRows()
+}
+
+func expectRows(t *testing.T, db *DB, sql string, want ...string) {
+	t.Helper()
+	got := rowsOf(t, db, sql)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %v, want %v", sql, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d = %q, want %q", sql, i, got[i], want[i])
+		}
+	}
+}
+
+func joinFixture(t *testing.T) *DB {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE l (a INTEGER)")
+	mustExec(t, db, "CREATE TABLE r (b INTEGER)")
+	mustExec(t, db, "INSERT INTO l (a) VALUES (1), (2)")
+	mustExec(t, db, "INSERT INTO r (b) VALUES (2), (3)")
+	return db
+}
+
+func TestJoins(t *testing.T) {
+	db := joinFixture(t)
+	expectRows(t, db, "SELECT * FROM l INNER JOIN r ON l.a = r.b", "2|2")
+	expectRows(t, db, "SELECT * FROM l LEFT JOIN r ON l.a = r.b ORDER BY a",
+		"1|NULL", "2|2")
+	expectRows(t, db, "SELECT * FROM l RIGHT JOIN r ON l.a = r.b ORDER BY b",
+		"2|2", "NULL|3")
+	expectRows(t, db, "SELECT * FROM l FULL JOIN r ON l.a = r.b ORDER BY a, b",
+		"NULL|3", "1|NULL", "2|2")
+	expectRows(t, db, "SELECT COUNT(*) FROM l CROSS JOIN r", "4")
+	expectRows(t, db, "SELECT COUNT(*) FROM l, r", "4")
+	// ON TRUE behaves as a cross join.
+	expectRows(t, db, "SELECT COUNT(*) FROM l INNER JOIN r ON TRUE", "4")
+}
+
+func TestNaturalJoin(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE x (k INTEGER, v TEXT)")
+	mustExec(t, db, "CREATE TABLE y (k INTEGER, w TEXT)")
+	mustExec(t, db, "INSERT INTO x (k, v) VALUES (1, 'a'), (2, 'b')")
+	mustExec(t, db, "INSERT INTO y (k, w) VALUES (2, 'B'), (3, 'C')")
+	expectRows(t, db, "SELECT x.v, y.w FROM x NATURAL JOIN y", "'b'|'B'")
+	// No shared columns: behaves as a cross join.
+	mustExec(t, db, "CREATE TABLE z (q INTEGER)")
+	mustExec(t, db, "INSERT INTO z (q) VALUES (9)")
+	expectRows(t, db, "SELECT COUNT(*) FROM x NATURAL JOIN z", "2")
+}
+
+func TestDistinctOrderLimit(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE t (c INTEGER)")
+	mustExec(t, db, "INSERT INTO t (c) VALUES (3), (1), (3), (NULL), (2)")
+	expectRows(t, db, "SELECT DISTINCT c FROM t ORDER BY c", "NULL", "1", "2", "3")
+	expectRows(t, db, "SELECT c FROM t ORDER BY c DESC LIMIT 2", "3", "3")
+	expectRows(t, db, "SELECT c FROM t ORDER BY c LIMIT 2 OFFSET 1", "1", "2")
+	expectRows(t, db, "SELECT c FROM t ORDER BY c LIMIT 0")
+	// ORDER BY may reference columns not in the projection.
+	mustExec(t, db, "CREATE TABLE u (a INTEGER, b INTEGER)")
+	mustExec(t, db, "INSERT INTO u (a, b) VALUES (1, 9), (2, 8)")
+	expectRows(t, db, "SELECT a FROM u ORDER BY b", "2", "1")
+}
+
+func TestGroupByHavingAggregates(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE t (g INTEGER, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t (g, v) VALUES (1, 10), (1, 20), (2, 5), (2, NULL)")
+	expectRows(t, db, "SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g ORDER BY g",
+		"1|2|30", "2|2|5")
+	expectRows(t, db, "SELECT g, COUNT(v) FROM t GROUP BY g ORDER BY g",
+		"1|2", "2|1")
+	expectRows(t, db, "SELECT g FROM t GROUP BY g HAVING SUM(v) > 10", "1")
+	expectRows(t, db, "SELECT MIN(v), MAX(v), AVG(v) FROM t", "5|20|11")
+	// Aggregates over an empty relation.
+	mustExec(t, db, "CREATE TABLE e (c INTEGER)")
+	expectRows(t, db, "SELECT COUNT(*), SUM(c), MIN(c) FROM e", "0|NULL|NULL")
+	// COUNT(DISTINCT x).
+	expectRows(t, db, "SELECT COUNT(DISTINCT g) FROM t", "2")
+	// Aggregates are rejected in WHERE.
+	if err := db.Exec("SELECT g FROM t WHERE SUM(v) > 1"); err == nil {
+		t.Fatal("aggregate in WHERE must be rejected")
+	}
+}
+
+func TestViewsAndDerivedTables(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE t (c INTEGER)")
+	mustExec(t, db, "INSERT INTO t (c) VALUES (1), (2)")
+	mustExec(t, db, "CREATE VIEW v (d) AS SELECT c * 10 FROM t")
+	expectRows(t, db, "SELECT d FROM v ORDER BY d", "10", "20")
+	expectRows(t, db, "SELECT * FROM (SELECT c FROM t WHERE c > 1) AS sub", "2")
+	// Views layered on views.
+	mustExec(t, db, "CREATE VIEW w AS SELECT d + 1 AS e FROM v")
+	expectRows(t, db, "SELECT e FROM w ORDER BY e", "11", "21")
+	// Duplicate names are rejected.
+	if err := db.Exec("CREATE VIEW v AS SELECT 1"); err == nil {
+		t.Fatal("duplicate view name must be rejected")
+	}
+	if err := db.Exec("CREATE TABLE v (x INTEGER)"); err == nil {
+		t.Fatal("table name colliding with view must be rejected")
+	}
+	mustExec(t, db, "DROP VIEW w")
+	if err := db.Exec("SELECT * FROM w"); err == nil {
+		t.Fatal("dropped view must be gone")
+	}
+}
+
+func TestConstraints(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, u TEXT UNIQUE, n INTEGER NOT NULL)")
+	mustExec(t, db, "INSERT INTO t (id, u, n) VALUES (1, 'a', 0)")
+	for _, bad := range []string{
+		"INSERT INTO t (id, u, n) VALUES (1, 'b', 0)",    // PK dup
+		"INSERT INTO t (id, u, n) VALUES (2, 'a', 0)",    // UNIQUE dup
+		"INSERT INTO t (id, u, n) VALUES (3, 'c', NULL)", // NOT NULL
+		"INSERT INTO t (u, n) VALUES ('d', 0)",           // PK implied NOT NULL
+	} {
+		err := db.Exec(bad)
+		if err == nil || ClassOf(err) != ErrConstraint {
+			t.Fatalf("%s: want constraint error, got %v", bad, err)
+		}
+	}
+	// NULLs never conflict on UNIQUE columns.
+	mustExec(t, db, "INSERT INTO t (id, u, n) VALUES (2, NULL, 0)")
+	mustExec(t, db, "INSERT INTO t (id, u, n) VALUES (3, NULL, 0)")
+	// OR IGNORE skips conflicting rows.
+	mustExec(t, db, "INSERT OR IGNORE INTO t (id, u, n) VALUES (1, 'x', 0), (4, 'y', 0)")
+	expectRows(t, db, "SELECT COUNT(*) FROM t", "4")
+	// Multi-row inserts roll back atomically on conflict.
+	err := db.Exec("INSERT INTO t (id, u, n) VALUES (5, 'p', 0), (5, 'q', 0)")
+	if err == nil {
+		t.Fatal("conflict inside one INSERT must fail")
+	}
+	expectRows(t, db, "SELECT COUNT(*) FROM t", "4")
+}
+
+func TestUniqueIndexEnforcement(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b INTEGER)")
+	mustExec(t, db, "INSERT INTO t (a, b) VALUES (1, 1), (1, 2)")
+	// Creating a unique index over duplicate data fails.
+	if err := db.Exec("CREATE UNIQUE INDEX i ON t (a)"); err == nil {
+		t.Fatal("unique index over duplicates must fail")
+	}
+	mustExec(t, db, "CREATE UNIQUE INDEX i ON t (a, b)")
+	if err := db.Exec("INSERT INTO t (a, b) VALUES (1, 2)"); err == nil {
+		t.Fatal("unique index must reject duplicate tuple")
+	}
+	// Partial unique index only constrains covered rows.
+	mustExec(t, db, "CREATE UNIQUE INDEX p ON t (b) WHERE a > 5")
+	mustExec(t, db, "INSERT INTO t (a, b) VALUES (2, 1)") // not covered
+	mustExec(t, db, "INSERT INTO t (a, b) VALUES (6, 9)")
+	if err := db.Exec("INSERT INTO t (a, b) VALUES (7, 9)"); err == nil {
+		t.Fatal("partial unique index must reject covered duplicate")
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b TEXT)")
+	mustExec(t, db, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+	mustExec(t, db, "UPDATE t SET b = 'Q' WHERE a >= 2")
+	expectRows(t, db, "SELECT b FROM t ORDER BY a", "'x'", "'Q'", "'Q'")
+	mustExec(t, db, "UPDATE t SET a = a * 10")
+	expectRows(t, db, "SELECT a FROM t ORDER BY a", "10", "20", "30")
+	mustExec(t, db, "DELETE FROM t WHERE a = 20")
+	expectRows(t, db, "SELECT COUNT(*) FROM t", "2")
+	mustExec(t, db, "DELETE FROM t")
+	expectRows(t, db, "SELECT COUNT(*) FROM t", "0")
+	// UPDATE violating a constraint rolls back entirely.
+	mustExec(t, db, "CREATE TABLE u (k INTEGER PRIMARY KEY)")
+	mustExec(t, db, "INSERT INTO u (k) VALUES (1), (2)")
+	if err := db.Exec("UPDATE u SET k = 9"); err == nil {
+		t.Fatal("update creating duplicate PK must fail")
+	}
+	expectRows(t, db, "SELECT k FROM u ORDER BY k", "1", "2")
+}
+
+func TestAlterTable(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, db, "INSERT INTO t (a) VALUES (1)")
+	mustExec(t, db, "ALTER TABLE t ADD COLUMN b TEXT")
+	expectRows(t, db, "SELECT * FROM t", "1|NULL")
+	// Adding NOT NULL to a non-empty table fails.
+	if err := db.Exec("ALTER TABLE t ADD COLUMN c INTEGER NOT NULL"); err == nil {
+		t.Fatal("ALTER ADD NOT NULL on non-empty table must fail")
+	}
+	mustExec(t, db, "ALTER TABLE t DROP COLUMN b")
+	expectRows(t, db, "SELECT * FROM t", "1")
+	if err := db.Exec("ALTER TABLE t DROP COLUMN a"); err == nil {
+		t.Fatal("dropping the only column must fail")
+	}
+	// Dropping a column used by an index fails.
+	mustExec(t, db, "ALTER TABLE t ADD COLUMN d INTEGER")
+	mustExec(t, db, "CREATE INDEX i ON t (d)")
+	if err := db.Exec("ALTER TABLE t DROP COLUMN d"); err == nil {
+		t.Fatal("dropping an indexed column must fail")
+	}
+}
+
+func TestCorrelatedSubqueries(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE o (k INTEGER)")
+	mustExec(t, db, "CREATE TABLE i (k INTEGER)")
+	mustExec(t, db, "INSERT INTO o (k) VALUES (1), (2), (3)")
+	mustExec(t, db, "INSERT INTO i (k) VALUES (2), (3), (4)")
+	expectRows(t, db,
+		"SELECT o.k FROM o WHERE EXISTS (SELECT * FROM i WHERE i.k = o.k) ORDER BY o.k",
+		"2", "3")
+	expectRows(t, db,
+		"SELECT o.k FROM o WHERE NOT EXISTS (SELECT * FROM i WHERE i.k = o.k)",
+		"1")
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	db := openClean(t, "sqlite")
+	expectRows(t, db, "SELECT 1, 'x', TRUE", "1|'x'|TRUE")
+	if err := db.Exec("SELECT *"); err == nil {
+		t.Fatal("SELECT * without FROM must fail")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE a (c INTEGER)")
+	mustExec(t, db, "CREATE TABLE b (c INTEGER)")
+	err := db.Exec("SELECT c FROM a, b")
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("want ambiguity error, got %v", err)
+	}
+	mustExec(t, db, "SELECT a.c FROM a, b")
+	// Self-join requires an alias.
+	if err := db.Exec("SELECT a.c FROM a, a"); err == nil {
+		t.Fatal("duplicate alias must be rejected")
+	}
+	mustExec(t, db, "SELECT s.c FROM a, a AS s")
+}
+
+func TestAnalyzeAndDrop(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE t (c INTEGER)")
+	mustExec(t, db, "ANALYZE")
+	mustExec(t, db, "ANALYZE t")
+	if err := db.Exec("ANALYZE nope"); err == nil {
+		t.Fatal("ANALYZE of a missing table must fail")
+	}
+	mustExec(t, db, "CREATE INDEX i ON t (c)")
+	mustExec(t, db, "DROP TABLE t")
+	if err := db.Exec("SELECT * FROM t"); err == nil {
+		t.Fatal("dropped table must be gone")
+	}
+	// The index died with the table, so its name is reusable.
+	mustExec(t, db, "CREATE TABLE t (c INTEGER)")
+	mustExec(t, db, "CREATE INDEX i ON t (c)")
+}
+
+func TestQueryColumnNames(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b TEXT)")
+	res := mustQuery(t, db, "SELECT a, b AS bee, a + 1 FROM t")
+	want := []string{"a", "bee", "col3"}
+	if len(res.Columns) != len(want) {
+		t.Fatalf("columns %v, want %v", res.Columns, want)
+	}
+	for i := range want {
+		if res.Columns[i] != want[i] {
+			t.Fatalf("column %d = %q, want %q", i, res.Columns[i], want[i])
+		}
+	}
+}
+
+func TestCrashedServerNeedsRestart(t *testing.T) {
+	// TiDB's "~" crash fault (with injection enabled).
+	d := mustDialect(t, "tidb")
+	db := Open(d)
+	mustExec(t, db, "CREATE TABLE t (c INTEGER)")
+	err := db.Exec("SELECT ~ 1")
+	if !IsCrash(err) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if !db.Crashed() {
+		t.Fatal("server must be down after a crash")
+	}
+	if err := db.Exec("SELECT 1"); !IsCrash(err) {
+		t.Fatalf("crashed server must refuse statements, got %v", err)
+	}
+	db.Restart()
+	mustExec(t, db, "SELECT 1")
+	// Storage survived the restart.
+	expectRows(t, db, "SELECT COUNT(*) FROM t", "0")
+}

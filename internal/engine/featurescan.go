@@ -1,0 +1,327 @@
+package engine
+
+import (
+	"sort"
+
+	"sqlancerpp/internal/feature"
+	"sqlancerpp/internal/sqlast"
+)
+
+// ScanFeatures returns the canonical feature names appearing in a
+// statement: the statement keyword, clause keywords, operator spellings,
+// expression forms, and function names. The engine uses it to trigger
+// feature-keyed faults; the experiment harness uses it to cross-execute
+// bug-inducing cases (Figure 6).
+func ScanFeatures(stmt sqlast.Stmt) []string {
+	set := map[string]bool{}
+	scanStmtFeatures(stmt, set)
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func scanStmtFeatures(stmt sqlast.Stmt, set map[string]bool) {
+	switch st := stmt.(type) {
+	case *sqlast.CreateTable:
+		set[feature.StmtCreateTable] = true
+		for _, c := range st.Columns {
+			set[c.Type.String()] = true
+			if c.NotNull {
+				set[feature.NotNullColumn] = true
+			}
+			if c.Unique {
+				set[feature.UniqueColumn] = true
+			}
+			if c.PrimaryKey {
+				set[feature.PrimaryKey] = true
+			}
+		}
+	case *sqlast.CreateIndex:
+		set[feature.StmtCreateIndex] = true
+		if st.Unique {
+			set[feature.UniqueIndex] = true
+		}
+		if st.Where != nil {
+			set[feature.PartialIndex] = true
+			scanExprFeatures(st.Where, set)
+		}
+	case *sqlast.CreateView:
+		set[feature.StmtCreateView] = true
+		if len(st.Columns) > 0 {
+			set[feature.ViewColumnNames] = true
+		}
+		scanSelectFeatures(st.Select, set)
+	case *sqlast.Insert:
+		set[feature.StmtInsert] = true
+		if st.OrIgnore {
+			set[feature.InsertOrIgnore] = true
+		}
+		if len(st.Rows) > 1 {
+			set[feature.InsertMultiRow] = true
+		}
+		for _, row := range st.Rows {
+			for _, e := range row {
+				scanExprFeatures(e, set)
+			}
+		}
+	case *sqlast.Update:
+		set[feature.StmtUpdate] = true
+		for _, a := range st.Sets {
+			scanExprFeatures(a.Value, set)
+		}
+		if st.Where != nil {
+			set[feature.ClauseWhere] = true
+			scanExprFeatures(st.Where, set)
+		}
+	case *sqlast.Delete:
+		set[feature.StmtDelete] = true
+		if st.Where != nil {
+			set[feature.ClauseWhere] = true
+			scanExprFeatures(st.Where, set)
+		}
+	case *sqlast.AlterTable:
+		set[feature.StmtAlterTable] = true
+	case *sqlast.DropTable:
+		set[feature.StmtDropTable] = true
+	case *sqlast.DropView:
+		set[feature.StmtDropView] = true
+	case *sqlast.Analyze:
+		set[feature.StmtAnalyze] = true
+	case *sqlast.Refresh:
+		set[feature.StmtRefresh] = true
+	case *sqlast.Select:
+		scanSelectFeatures(st, set)
+	}
+}
+
+func joinFeature(j sqlast.JoinType) string {
+	switch j {
+	case sqlast.JoinComma:
+		return feature.JoinComma
+	case sqlast.JoinInner:
+		return feature.JoinInner
+	case sqlast.JoinLeft:
+		return feature.JoinLeft
+	case sqlast.JoinRight:
+		return feature.JoinRight
+	case sqlast.JoinFull:
+		return feature.JoinFull
+	case sqlast.JoinCross:
+		return feature.JoinCross
+	case sqlast.JoinNatural:
+		return feature.JoinNatural
+	default:
+		return ""
+	}
+}
+
+func scanSelectFeatures(sel *sqlast.Select, set map[string]bool) {
+	set[feature.StmtSelect] = true
+	if sel.Distinct {
+		set[feature.Distinct] = true
+	}
+	for i := range sel.Items {
+		scanExprFeatures(sel.Items[i].Expr, set)
+	}
+	for i, f := range sel.From {
+		if i > 0 {
+			if jf := joinFeature(f.Join); jf != "" {
+				set[jf] = true
+			}
+		}
+		if d, ok := f.Ref.(*sqlast.DerivedTable); ok {
+			set[feature.DerivedTable] = true
+			scanSelectFeatures(d.Select, set)
+		}
+		if f.On != nil {
+			scanExprFeatures(f.On, set)
+		}
+	}
+	if sel.Where != nil {
+		set[feature.ClauseWhere] = true
+		scanExprFeatures(sel.Where, set)
+	}
+	if len(sel.GroupBy) > 0 {
+		set[feature.GroupBy] = true
+		for _, g := range sel.GroupBy {
+			scanExprFeatures(g, set)
+		}
+	}
+	if sel.Having != nil {
+		set[feature.Having] = true
+		scanExprFeatures(sel.Having, set)
+	}
+	for _, part := range sel.Compound {
+		set[setOpFeature(part.Op)] = true
+		scanSelectFeatures(part.Select, set)
+	}
+	if len(sel.OrderBy) > 0 {
+		set[feature.OrderBy] = true
+		for _, o := range sel.OrderBy {
+			scanExprFeatures(o.Expr, set)
+		}
+	}
+	if sel.Limit != nil {
+		set[feature.Limit] = true
+	}
+	if sel.Offset != nil {
+		set[feature.Offset] = true
+	}
+}
+
+func scanExprFeatures(e sqlast.Expr, set map[string]bool) {
+	sqlast.WalkExpr(e, func(x sqlast.Expr) bool {
+		switch n := x.(type) {
+		case *sqlast.Literal:
+			if n.Kind == sqlast.LitBool {
+				set[feature.TypeBoolean] = true
+			}
+		case *sqlast.Unary:
+			if n.Op == sqlast.UBitNot {
+				set["~"] = true
+			} else if n.Op == sqlast.UNot {
+				set[feature.ExprNot] = true
+			}
+		case *sqlast.Binary:
+			set[n.Op.String()] = true
+		case *sqlast.Func:
+			set[n.Name] = true
+			if n.Distinct {
+				set[feature.Distinct] = true
+			}
+		case *sqlast.Case:
+			set[feature.ExprCase] = true
+		case *sqlast.Cast:
+			set[feature.ExprCast] = true
+		case *sqlast.Between:
+			set[feature.ExprBetween] = true
+		case *sqlast.InList:
+			if n.Not {
+				set[feature.ExprNotIn] = true
+			} else {
+				set[feature.ExprIn] = true
+			}
+		case *sqlast.IsNull:
+			set[feature.ExprIsNull] = true
+		case *sqlast.IsBool:
+			set[feature.ExprIsBool] = true
+		case *sqlast.Like:
+			if n.Kind == sqlast.LikeGlob {
+				set[feature.ExprGlob] = true
+			} else {
+				set[feature.ExprLike] = true
+			}
+		case *sqlast.Subquery:
+			set[feature.Subquery] = true
+			scanSelectFeatures(n.Select, set)
+			return false // already descended
+		case *sqlast.Exists:
+			set[feature.ExprExists] = true
+			scanSelectFeatures(n.Select, set)
+			return false
+		}
+		return true
+	})
+}
+
+// exprDepth computes the nesting depth of an expression tree.
+func exprDepth(e sqlast.Expr) int {
+	if e == nil {
+		return 0
+	}
+	max := 0
+	bump := func(d int) {
+		if d > max {
+			max = d
+		}
+	}
+	switch x := e.(type) {
+	case *sqlast.Literal, *sqlast.ColumnRef:
+		return 1
+	case *sqlast.Unary:
+		bump(exprDepth(x.X))
+	case *sqlast.Binary:
+		bump(exprDepth(x.L))
+		bump(exprDepth(x.R))
+	case *sqlast.Func:
+		for _, a := range x.Args {
+			bump(exprDepth(a))
+		}
+	case *sqlast.Case:
+		bump(exprDepth(x.Operand))
+		for _, w := range x.Whens {
+			bump(exprDepth(w.Cond))
+			bump(exprDepth(w.Then))
+		}
+		bump(exprDepth(x.Else))
+	case *sqlast.Cast:
+		bump(exprDepth(x.X))
+	case *sqlast.Between:
+		bump(exprDepth(x.X))
+		bump(exprDepth(x.Lo))
+		bump(exprDepth(x.Hi))
+	case *sqlast.InList:
+		bump(exprDepth(x.X))
+		for _, e := range x.List {
+			bump(exprDepth(e))
+		}
+	case *sqlast.IsNull:
+		bump(exprDepth(x.X))
+	case *sqlast.IsBool:
+		bump(exprDepth(x.X))
+	case *sqlast.Like:
+		bump(exprDepth(x.X))
+		bump(exprDepth(x.Pattern))
+	case *sqlast.Subquery:
+		bump(maxSelectDepth(x.Select))
+	case *sqlast.Exists:
+		bump(maxSelectDepth(x.Select))
+	}
+	return max + 1
+}
+
+func maxSelectDepth(sel *sqlast.Select) int {
+	max := 0
+	sqlast.WalkSelectExprs(sel, func(e sqlast.Expr) bool {
+		if d := exprDepth(e); d > max {
+			max = d
+		}
+		return false // exprDepth already descends
+	})
+	return max
+}
+
+// maxExprDepth returns the deepest expression in a statement.
+func maxExprDepth(stmt sqlast.Stmt) int {
+	max := 0
+	bump := func(d int) {
+		if d > max {
+			max = d
+		}
+	}
+	switch st := stmt.(type) {
+	case *sqlast.Select:
+		bump(maxSelectDepth(st))
+	case *sqlast.CreateView:
+		bump(maxSelectDepth(st.Select))
+	case *sqlast.CreateIndex:
+		bump(exprDepth(st.Where))
+	case *sqlast.Insert:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				bump(exprDepth(e))
+			}
+		}
+	case *sqlast.Update:
+		for _, a := range st.Sets {
+			bump(exprDepth(a.Value))
+		}
+		bump(exprDepth(st.Where))
+	case *sqlast.Delete:
+		bump(exprDepth(st.Where))
+	}
+	return max
+}

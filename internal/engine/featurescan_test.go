@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"sqlancerpp/internal/sqlparse"
+)
+
+func scan(t *testing.T, sql string) []string {
+	t.Helper()
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return ScanFeatures(st)
+}
+
+func TestScanFeatures(t *testing.T) {
+	cases := map[string][]string{
+		"CREATE TABLE t (a INTEGER NOT NULL, b BOOLEAN, PRIMARY KEY (a))": {
+			"BOOLEAN", "CREATE TABLE", "INTEGER", "NOT NULL", "PRIMARY KEY"},
+		"CREATE UNIQUE INDEX i ON t (a) WHERE a > 1": {
+			">", "COLUMN", "CONSTANT", "CREATE INDEX", "PARTIAL INDEX", "UNIQUE INDEX"},
+		"SELECT DISTINCT a FROM t LEFT JOIN u ON TRUE WHERE NULLIF(a, 1) != 2 ORDER BY a LIMIT 1 OFFSET 2": {
+			"!=", "BOOLEAN", "COLUMN", "CONSTANT", "DISTINCT", "LEFT JOIN", "LIMIT",
+			"NULLIF", "OFFSET", "ORDER BY", "SELECT", "WHERE"},
+		"SELECT a FROM t UNION ALL SELECT a FROM u": {
+			"COLUMN", "SELECT", "UNION ALL"},
+		"INSERT OR IGNORE INTO t (a) VALUES (1), (2)": {
+			"CONSTANT", "INSERT", "INSERT OR IGNORE", "MULTI-ROW INSERT"},
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 0": {
+			">", "COLUMN", "CONSTANT", "COUNT", "GROUP BY", "HAVING", "SELECT"},
+		"REFRESH TABLE t": {"REFRESH TABLE"},
+	}
+	for sql, want := range cases {
+		got := scan(t, sql)
+		// COLUMN/CONSTANT markers come from the generator, not the
+		// scanner: drop them from the expectation where absent.
+		filtered := want[:0:0]
+		gotSet := map[string]bool{}
+		for _, f := range got {
+			gotSet[f] = true
+		}
+		for _, f := range want {
+			if f == "COLUMN" || f == "CONSTANT" {
+				continue
+			}
+			filtered = append(filtered, f)
+		}
+		for _, f := range filtered {
+			if !gotSet[f] {
+				t.Errorf("%s: missing feature %q in %v", sql, f, got)
+			}
+		}
+	}
+}
+
+func TestScanFeaturesNestedSubquery(t *testing.T) {
+	got := scan(t, "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.b GLOB '*')")
+	want := map[string]bool{"EXISTS": true, "GLOB": true, "WHERE": true, "SELECT": true}
+	gotSet := map[string]bool{}
+	for _, f := range got {
+		gotSet[f] = true
+	}
+	for f := range want {
+		if !gotSet[f] {
+			t.Errorf("missing %q in %v", f, got)
+		}
+	}
+}
+
+func TestExprDepth(t *testing.T) {
+	cases := map[string]int{
+		"1":                     1,
+		"1 + 2":                 2,
+		"(1 + 2) * 3":           3,
+		"ABS((1 + 2) * 3)":      4,
+		"NOT ((1 + 2) * 3 = 4)": 5,
+	}
+	for sql, want := range cases {
+		e, err := sqlparse.ParseExpr(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := exprDepth(e); got != want {
+			t.Errorf("depth(%s) = %d, want %d", sql, got, want)
+		}
+	}
+}
+
+func TestScanDeterministic(t *testing.T) {
+	a := scan(t, "SELECT a + 1 FROM t WHERE a IN (1, 2)")
+	b := scan(t, "SELECT a + 1 FROM t WHERE a IN (1, 2)")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ScanFeatures must be deterministic (sorted)")
+	}
+}

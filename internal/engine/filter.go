@@ -1,0 +1,330 @@
+package engine
+
+import (
+	"sqlancerpp/internal/faults"
+	"sqlancerpp/internal/sqlast"
+)
+
+// This file implements the engine's *optimized* filter path: the
+// evaluation of WHERE and ON predicates after the optimizer has split
+// them into top-level conjuncts. Real DBMSs special-case these filter
+// roots (rewrites, index probes, constant folding), and that is where the
+// injected logic faults live. The reference path (projection evaluation,
+// and every sub-expression below a filter root) is always clean — which
+// is precisely why the TLP and NoREC oracles can observe the defects.
+
+// splitAnd flattens a conjunction into its top-level conjuncts.
+func splitAnd(e sqlast.Expr, out []sqlast.Expr) []sqlast.Expr {
+	if b, ok := e.(*sqlast.Binary); ok && b.Op == sqlast.OpAnd {
+		out = splitAnd(b.L, out)
+		return splitAnd(b.R, out)
+	}
+	return append(out, e)
+}
+
+// evalFilter evaluates pred as an optimized filter: TRUE keeps the row.
+func (s *DB) evalFilter(pred sqlast.Expr, env *rowEnv) (bool, *Error) {
+	s.cov.Hit("filter.eval")
+	result := TriTrue
+	for _, conj := range splitAnd(pred, nil) {
+		t, err := s.evalFilterRoot(conj, env)
+		if err != nil {
+			return false, err
+		}
+		result = result.And(t)
+	}
+	s.cov.HitBranch("filter.keep", result == TriTrue)
+	return result == TriTrue, nil
+}
+
+// wrongComplement maps a comparison operator to the *defective*
+// complement the NotElim fault rewrites NOT(a op b) into.
+var wrongComplement = map[sqlast.BinaryOp]sqlast.BinaryOp{
+	sqlast.OpLt:   sqlast.OpGt, // correct: >=
+	sqlast.OpLe:   sqlast.OpGe, // correct: >
+	sqlast.OpGt:   sqlast.OpLt, // correct: <=
+	sqlast.OpGe:   sqlast.OpLe, // correct: <
+	sqlast.OpEq:   sqlast.OpLt, // correct: != (or <>)
+	sqlast.OpNeq:  sqlast.OpLt, // correct: =
+	sqlast.OpNeq2: sqlast.OpLt, // correct: =
+}
+
+// evalFilterRoot evaluates one conjunct with fault hooks applied at its
+// root node only.
+func (s *DB) evalFilterRoot(e sqlast.Expr, env *rowEnv) (Tri, *Error) {
+	ctx := s.newEvalCtx(env)
+	fs := s.faultSet()
+	if fs == nil {
+		return ctx.evalTri(e)
+	}
+
+	switch root := e.(type) {
+	case *sqlast.Binary:
+		if root.Op.IsComparison() {
+			return s.evalFaultyComparison(ctx, root)
+		}
+
+	case *sqlast.Unary:
+		if root.Op != sqlast.UNot {
+			break
+		}
+		inner, ok := root.X.(*sqlast.Binary)
+		if !ok || !inner.Op.IsComparison() {
+			break
+		}
+		f := fs.NotElim(inner.Op.String())
+		if f == nil {
+			break
+		}
+		l, err := ctx.eval(inner.L)
+		if err != nil {
+			return TriNull, err
+		}
+		r, err := ctx.eval(inner.R)
+		if err != nil {
+			return TriNull, err
+		}
+		ref := ctx.evalCompare(inner.Op, l, r).Not()
+		faulty := ctx.evalCompare(wrongComplement[inner.Op], l, r)
+		if faulty != ref {
+			s.trigger(f)
+		}
+		return faulty, nil
+
+	case *sqlast.Between:
+		f := fs.Between()
+		if f == nil {
+			break
+		}
+		ref, err := ctx.evalBetween(root, false)
+		if err != nil {
+			return TriNull, err
+		}
+		faulty, err := ctx.evalBetween(root, true)
+		if err != nil {
+			return TriNull, err
+		}
+		if faulty != ref {
+			s.trigger(f)
+		}
+		return faulty, nil
+
+	case *sqlast.InList:
+		f := fs.NotInNull()
+		if f == nil || !root.Not {
+			break
+		}
+		ref, err := ctx.evalIn(root, false)
+		if err != nil {
+			return TriNull, err
+		}
+		faulty, err := ctx.evalIn(root, true)
+		if err != nil {
+			return TriNull, err
+		}
+		if faulty != ref {
+			s.trigger(f)
+		}
+		return faulty, nil
+
+	case *sqlast.Like:
+		f := fs.Like()
+		if f == nil || root.Kind != sqlast.LikeLike {
+			break
+		}
+		ref, err := ctx.evalLike(root, false)
+		if err != nil {
+			return TriNull, err
+		}
+		faulty, err := ctx.evalLike(root, true)
+		if err != nil {
+			return TriNull, err
+		}
+		if faulty != ref {
+			s.trigger(f)
+		}
+		return faulty, nil
+
+	case *sqlast.Case:
+		f := fs.CaseNull()
+		if f == nil || root.Operand != nil {
+			break
+		}
+		ref, err := ctx.evalCase(root)
+		if err != nil {
+			return TriNull, err
+		}
+		faulty, err := ctx.evalCaseNullTrue(root)
+		if err != nil {
+			return TriNull, err
+		}
+		rt, ft := truthiness(ref), truthiness(faulty)
+		if rt != ft {
+			s.trigger(f)
+		}
+		return ft, nil
+	}
+
+	return ctx.evalTri(e)
+}
+
+// evalFaultyComparison applies the comparison-root fault hooks:
+// FuncCmpNumeric, FuncWrongVal, CmpMixedText, CmpNullEqTrue, CmpNullTrue,
+// DistinctFromNull.
+func (s *DB) evalFaultyComparison(ctx *evalCtx, root *sqlast.Binary) (Tri, *Error) {
+	fs := s.faultSet()
+	op := root.Op.String()
+
+	l, err := ctx.eval(root.L)
+	if err != nil {
+		return TriNull, err
+	}
+	r, err := ctx.eval(root.R)
+	if err != nil {
+		return TriNull, err
+	}
+	ref := ctx.evalCompare(root.Op, l, r)
+
+	// FuncWrongVal: perturb the value of the targeted function call.
+	if lf, lok := root.L.(*sqlast.Func); lok {
+		if f := fs.FuncWrong(lf.Name); f != nil {
+			faulty := ctx.evalCompare(root.Op, perturb(l), r)
+			if faulty != ref {
+				s.trigger(f)
+			}
+			return faulty, nil
+		}
+	}
+	if rf, rok := root.R.(*sqlast.Func); rok {
+		if f := fs.FuncWrong(rf.Name); f != nil {
+			faulty := ctx.evalCompare(root.Op, l, perturb(r))
+			if faulty != ref {
+				s.trigger(f)
+			}
+			return faulty, nil
+		}
+	}
+
+	// FuncCmpNumeric: comparisons against the targeted function's result
+	// compare numerically (the REPLACE-bug shape).
+	funcCmpFault := func() *faults.Fault {
+		if lf, ok := root.L.(*sqlast.Func); ok {
+			if f := fs.FuncCmp(lf.Name); f != nil {
+				return f
+			}
+		}
+		if rf, ok := root.R.(*sqlast.Func); ok {
+			if f := fs.FuncCmp(rf.Name); f != nil {
+				return f
+			}
+		}
+		return nil
+	}()
+	if funcCmpFault != nil && !l.IsNull() && !r.IsNull() {
+		faulty := compareInts(root.Op, toInt(l), toInt(r))
+		if faulty != ref {
+			s.trigger(funcCmpFault)
+		}
+		return faulty, nil
+	}
+
+	// CmpMixedText: mixed numeric/text operands compared textually.
+	if f := fs.CmpMixed(op); f != nil && !l.IsNull() && !r.IsNull() &&
+		numericKind(l.K) != numericKind(r.K) {
+		c := CompareText(l, r)
+		faulty := applyCmp(root.Op, c)
+		if faulty != ref {
+			s.trigger(f)
+		}
+		return faulty, nil
+	}
+
+	// DistinctFromNull: IS DISTINCT FROM treats two NULLs as distinct.
+	if root.Op == sqlast.OpIsDistinct && l.IsNull() && r.IsNull() {
+		if f := fs.DistinctFrom(); f != nil {
+			s.trigger(f)
+			return TriTrue, nil
+		}
+	}
+
+	// CmpNullEqTrue: both operands NULL yields TRUE.
+	if l.IsNull() && r.IsNull() {
+		if f := fs.CmpNullEq(op); f != nil && ref == TriNull {
+			s.trigger(f)
+			return TriTrue, nil
+		}
+	}
+
+	// CmpNullTrue: a NULL comparison result is treated as TRUE.
+	if ref == TriNull {
+		if f := fs.CmpNullTrue(op); f != nil {
+			s.trigger(f)
+			return TriTrue, nil
+		}
+	}
+
+	return ref, nil
+}
+
+// compareInts applies a comparison operator to two integers.
+func compareInts(op sqlast.BinaryOp, a, b int64) Tri {
+	var c int
+	switch {
+	case a < b:
+		c = -1
+	case a > b:
+		c = 1
+	}
+	return applyCmp(op, c)
+}
+
+// applyCmp converts a three-way comparison result into the operator's
+// truth value.
+func applyCmp(op sqlast.BinaryOp, c int) Tri {
+	switch op {
+	case sqlast.OpEq, sqlast.OpNullSafeEq, sqlast.OpIsNotDistinct:
+		return TriOf(c == 0)
+	case sqlast.OpNeq, sqlast.OpNeq2, sqlast.OpIsDistinct:
+		return TriOf(c != 0)
+	case sqlast.OpLt:
+		return TriOf(c < 0)
+	case sqlast.OpLe:
+		return TriOf(c <= 0)
+	case sqlast.OpGt:
+		return TriOf(c > 0)
+	default:
+		return TriOf(c >= 0)
+	}
+}
+
+// perturb returns the FuncWrongVal defect's wrong value.
+func perturb(v Value) Value {
+	switch v.K {
+	case KindInt:
+		return Int(v.I + 1)
+	case KindText:
+		return Text(v.S + "x")
+	case KindBool:
+		return Bool(!v.B)
+	default:
+		return v
+	}
+}
+
+// evalCaseNullTrue evaluates a searched CASE treating NULL WHEN
+// conditions as TRUE (the CaseNullTrue defect).
+func (ctx *evalCtx) evalCaseNullTrue(x *sqlast.Case) (Value, *Error) {
+	for i := range x.Whens {
+		t, err := ctx.evalTri(x.Whens[i].Cond)
+		if err != nil {
+			return Null(), err
+		}
+		if t == TriTrue || t == TriNull {
+			return ctx.eval(x.Whens[i].Then)
+		}
+	}
+	if x.Else != nil {
+		return ctx.eval(x.Else)
+	}
+	return Null(), nil
+}

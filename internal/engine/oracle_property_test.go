@@ -1,0 +1,121 @@
+package engine_test
+
+// Property-based soundness tests: on a fault-free engine, the TLP
+// partitioning property and the NoREC equivalence are invariants for
+// *every* database state and predicate. These tests drive the adaptive
+// generator against pristine instances of representative dialects and
+// fail on any counterexample — which would be a genuine bug in the
+// engine (or generator), exactly the class of defect the oracles exist
+// to find.
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/core/gen"
+	"sqlancerpp/internal/core/oracle"
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/engine"
+)
+
+func propertyRun(t *testing.T, dialectName string, seed int64, cases int) {
+	t.Helper()
+	d := dialect.MustGet(dialectName)
+	g := gen.New(gen.Config{Seed: seed, StartDepth: 2, MaxDepth: 3, DepthInterval: 200})
+	db := engine.Open(d, engine.WithoutFaults())
+	for i := 0; i < 25; i++ {
+		st := g.GenSetup()
+		if err := db.Exec(st.SQL); err == nil && st.OnSuccess != nil {
+			st.OnSuccess()
+		}
+	}
+	for i := 0; i < cases; i++ {
+		oc := g.GenOracleCase()
+		if oc == nil {
+			continue
+		}
+		var res oracle.Result
+		switch i % 4 {
+		case 0:
+			res = oracle.TLP(db, oc.Base, oc.Pred)
+		case 1:
+			res = oracle.NoREC(db, oc.Base, oc.Pred)
+		case 2:
+			res = oracle.TLPComposed(db, oc.Base, oc.Pred)
+		default:
+			res = oracle.TLPAggregate(db, oc.Base, oc.Pred, i)
+		}
+		if res.Outcome == oracle.Bug {
+			t.Fatalf("%s: %s reported a bug on a clean engine: %s\nqueries:\n  %s\n  %s",
+				dialectName, res.Oracle, res.Detail,
+				res.Queries[0], res.Queries[len(res.Queries)-1])
+		}
+	}
+}
+
+func TestTLPNoRECInvariantsDynamic(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		propertyRun(t, "sqlite", seed, 700)
+	}
+}
+
+func TestTLPNoRECInvariantsStatic(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		propertyRun(t, "postgresql", seed, 700)
+	}
+}
+
+func TestTLPNoRECInvariantsMySQLFamily(t *testing.T) {
+	for _, seed := range []int64{5, 6} {
+		propertyRun(t, "mysql", seed, 700)
+	}
+}
+
+func TestTLPNoRECInvariantsAllPaperDBMSs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soundness sweep")
+	}
+	for _, name := range dialect.PaperDBMSs {
+		propertyRun(t, name, 11, 300)
+	}
+}
+
+// TestOracleStatementsDeterministic re-executes the same oracle query
+// twice and expects identical rows — nondeterminism would break every
+// oracle.
+func TestOracleStatementsDeterministic(t *testing.T) {
+	d := dialect.MustGet("sqlite")
+	g := gen.New(gen.Config{Seed: 99, StartDepth: 3, MaxDepth: 3})
+	db := engine.Open(d, engine.WithoutFaults())
+	for i := 0; i < 25; i++ {
+		st := g.GenSetup()
+		if err := db.Exec(st.SQL); err == nil && st.OnSuccess != nil {
+			st.OnSuccess()
+		}
+	}
+	for i := 0; i < 300; i++ {
+		oc := g.GenOracleCase()
+		if oc == nil {
+			continue
+		}
+		sel := oc.Base
+		sel.Where = oc.Pred
+		sql := sel.SQL()
+		r1, err1 := db.Query(sql)
+		r2, err2 := db.Query(sql)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error for %s: %v vs %v", sql, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		a, b := r1.RenderRows(), r2.RenderRows()
+		if len(a) != len(b) {
+			t.Fatalf("nondeterministic row count for %s", sql)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("nondeterministic row %d for %s: %q vs %q", j, sql, a[j], b[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package engine
+
+// End-to-end replays of the paper's two SQLite case studies (Listings 2
+// and 3) against the fault-injected SQLite dialect, using the exact SQL
+// shapes the paper prints (adapted to this engine's grammar).
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/dialect"
+)
+
+// TestPaperListing2 replays the REPLACE bug: the paper's query
+//
+//	CREATE TABLE t0(c0 TEXT, PRIMARY KEY(c0));
+//	INSERT INTO t0(c0) VALUES (1);
+//	SELECT * FROM t0 WHERE t0.c0 = REPLACE(1, ' ', 0);      -- 1 row
+//	SELECT * FROM t0 WHERE NOT t0.c0 = REPLACE(1, ' ', 0);  -- 1 row (bug!)
+//
+// The TLP partitions overlap: the same row satisfies both the predicate
+// and its negation, because the filter path compares REPLACE's result
+// numerically while the negated form evaluates cleanly.
+func TestPaperListing2(t *testing.T) {
+	db := Open(dialect.MustGet("sqlite")) // faults on
+	mustExec(t, db, "CREATE TABLE t0 (c0 TEXT, PRIMARY KEY (c0))")
+	// The paper inserts integer 1 into a TEXT column; SQLite's dynamic
+	// typing stores it as given. Insert a value whose textual and numeric
+	// comparisons diverge.
+	mustExec(t, db, "INSERT INTO t0 (c0) VALUES ('01')")
+
+	direct := mustQuery(t, db, "SELECT * FROM t0 WHERE t0.c0 = REPLACE('1', ' ', '0')")
+	negated := mustQuery(t, db, "SELECT * FROM t0 WHERE NOT t0.c0 = REPLACE('1', ' ', '0')")
+	if len(direct.Rows)+len(negated.Rows) != 2 {
+		t.Fatalf("paper Listing 2: want the row in both partitions, got %d + %d",
+			len(direct.Rows), len(negated.Rows))
+	}
+	mustQuery(t, db, "SELECT * FROM t0 WHERE t0.c0 = REPLACE('1', ' ', '0')")
+	trig := db.TriggeredFaults()
+	if len(trig) != 1 || trig[0] != "sqlite-1" {
+		t.Fatalf("Listing 2 must attribute to sqlite-1 (REPLACE), got %v", trig)
+	}
+
+	// On a pristine instance the partitions are disjoint and complete.
+	clean := Open(dialect.MustGet("sqlite"), WithoutFaults())
+	mustExec(t, clean, "CREATE TABLE t0 (c0 TEXT, PRIMARY KEY (c0))")
+	mustExec(t, clean, "INSERT INTO t0 (c0) VALUES ('01')")
+	d := mustQuery(t, clean, "SELECT * FROM t0 WHERE t0.c0 = REPLACE('1', ' ', '0')")
+	n := mustQuery(t, clean, "SELECT * FROM t0 WHERE NOT t0.c0 = REPLACE('1', ' ', '0')")
+	u := mustQuery(t, clean, "SELECT * FROM t0 WHERE (t0.c0 = REPLACE('1', ' ', '0')) IS NULL")
+	if len(d.Rows)+len(n.Rows)+len(u.Rows) != 1 {
+		t.Fatalf("clean engine must partition exactly: %d/%d/%d",
+			len(d.Rows), len(n.Rows), len(u.Rows))
+	}
+}
+
+// TestPaperListing3 replays the flattener bug's shape: an outer join
+// whose ON term is wrongly moved into WHERE once a WHERE clause exists,
+// dropping NULL-extended rows. The paper's case uses a view over a RIGHT
+// JOIN and a WHERE predicate (SQLite fault sqlite-2 targets RIGHT JOIN).
+func TestPaperListing3(t *testing.T) {
+	db := Open(dialect.MustGet("sqlite")) // faults on
+	mustExec(t, db, "CREATE TABLE t0 (c0 INTEGER)")
+	mustExec(t, db, "CREATE TABLE t1 (c0 INTEGER)")
+	mustExec(t, db, "INSERT INTO t0 (c0) VALUES (1)")
+	// t1 is empty, so every t0 row is NULL-extended by the RIGHT JOIN.
+	mustExec(t, db, "CREATE VIEW v0 (c0) AS SELECT 0 FROM t1 RIGHT JOIN t0 ON TRUE")
+
+	// Without WHERE: the view yields one row (paper: "-- 1 row").
+	noWhere := mustQuery(t, db, "SELECT * FROM t1 RIGHT JOIN t0 ON t1.c0 = t0.c0")
+	if len(noWhere.Rows) != 1 {
+		t.Fatalf("un-flattened RIGHT JOIN must keep the NULL-extended row, got %d",
+			len(noWhere.Rows))
+	}
+	// With WHERE: the flattener degrades the join and the row vanishes
+	// (paper: "-- {} (bug!)").
+	withWhere := mustQuery(t, db,
+		"SELECT * FROM t1 RIGHT JOIN t0 ON t1.c0 = t0.c0 WHERE t0.c0 = 1")
+	if len(withWhere.Rows) != 0 {
+		t.Fatalf("flattener fault must drop the NULL-extended row, got %d",
+			len(withWhere.Rows))
+	}
+	trig := db.TriggeredFaults()
+	if len(trig) != 1 || trig[0] != "sqlite-2" {
+		t.Fatalf("Listing 3 must attribute to sqlite-2 (flattener), got %v", trig)
+	}
+
+	// Clean engine: the WHERE keeps the row.
+	clean := Open(dialect.MustGet("sqlite"), WithoutFaults())
+	mustExec(t, clean, "CREATE TABLE t0 (c0 INTEGER)")
+	mustExec(t, clean, "CREATE TABLE t1 (c0 INTEGER)")
+	mustExec(t, clean, "INSERT INTO t0 (c0) VALUES (1)")
+	res := mustQuery(t, clean,
+		"SELECT * FROM t1 RIGHT JOIN t0 ON t1.c0 = t0.c0 WHERE t0.c0 = 1")
+	if len(res.Rows) != 1 {
+		t.Fatalf("clean engine must keep the row, got %d", len(res.Rows))
+	}
+}
+
+// TestPaperFigure3ViewOverJoin checks the Listing 3 view indirection:
+// querying through the view exercises the same fault.
+func TestPaperFigure3ViewOverJoin(t *testing.T) {
+	db := Open(dialect.MustGet("sqlite"))
+	mustExec(t, db, "CREATE TABLE t0 (c0 INTEGER)")
+	mustExec(t, db, "CREATE TABLE t1 (c0 INTEGER)")
+	mustExec(t, db, "INSERT INTO t0 (c0) VALUES (1)")
+	mustExec(t, db, "CREATE VIEW v0 (c0) AS SELECT 0 FROM t1 RIGHT JOIN t0 ON TRUE")
+	res := mustQuery(t, db, "SELECT * FROM v0")
+	if len(res.Rows) != 1 {
+		t.Fatalf("view over RIGHT JOIN (no WHERE anywhere) must keep the row, got %d",
+			len(res.Rows))
+	}
+}
+
+// TestPaperASINExample checks the §4 context-dependent failure example:
+// ASIN(1) succeeds while ASIN(2) fails on a statically typed system
+// (fixed-point scale: 1000 ≙ 1.0).
+func TestPaperASINExample(t *testing.T) {
+	pg := openClean(t, "postgresql")
+	if err := pg.Exec("SELECT ASIN(1000)"); err != nil {
+		t.Fatalf("ASIN(1) must succeed: %v", err)
+	}
+	if err := pg.Exec("SELECT ASIN(2000)"); err == nil {
+		t.Fatal("ASIN(2) must fail on PostgreSQL (paper §4)")
+	}
+	// SQLite's dynamic profile yields NULL instead.
+	lite := openClean(t, "sqlite")
+	res := mustQuery(t, lite, "SELECT ASIN(2000)")
+	if !res.Rows[0][0].IsNull() {
+		t.Fatal("ASIN(2) must yield NULL on SQLite")
+	}
+}

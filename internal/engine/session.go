@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"sort"
+
+	"sqlancerpp/internal/coverage"
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/faults"
+	"sqlancerpp/internal/sqlast"
+	"sqlancerpp/internal/sqlparse"
+)
+
+// Result is a query result: column names and a row multiset in
+// deterministic execution order.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// RenderRows returns the canonical textual form of each row, used by the
+// oracles' multiset comparison.
+func (r *Result) RenderRows() []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		s := ""
+		for j, v := range row {
+			if j > 0 {
+				s += "|"
+			}
+			s += v.Render()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// DB is one simulated DBMS instance: a dialect configuration, a catalog,
+// and (optionally) injected faults and coverage instrumentation.
+//
+// DB is the only interface the tester has to the system under test:
+// statements go in as SQL text; execution status, rows, and error
+// messages come out — exactly the black-box view SQLancer++ has of a real
+// DBMS.
+type DB struct {
+	dialect *dialect.Dialect
+	store   *database
+	cov     *coverage.Recorder
+
+	faultsEnabled bool
+	crashed       bool
+
+	// triggered holds the fault IDs fired by the last statement
+	// (ground truth for the evaluation harness only).
+	triggered map[string]bool
+	// cost accumulates executor work units for the last statement
+	// (the campaign's performance-bug watchdog reads it).
+	cost int64
+}
+
+// Option configures a DB.
+type Option func(*DB)
+
+// WithCoverage attaches a coverage recorder.
+func WithCoverage(rec *coverage.Recorder) Option {
+	return func(s *DB) { s.cov = rec }
+}
+
+// WithoutFaults opens a pristine instance of the dialect (used by tests
+// and the engine's own differential validation).
+func WithoutFaults() Option {
+	return func(s *DB) { s.faultsEnabled = false }
+}
+
+// Open creates an empty database for the dialect.
+func Open(d *dialect.Dialect, opts ...Option) *DB {
+	s := &DB{
+		dialect:       d,
+		store:         newDatabase(),
+		faultsEnabled: true,
+		triggered:     map[string]bool{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Dialect returns the dialect under test.
+func (s *DB) Dialect() *dialect.Dialect { return s.dialect }
+
+// faultSet returns the active fault set (nil when disabled).
+func (s *DB) faultSet() *faults.Set {
+	if !s.faultsEnabled {
+		return nil
+	}
+	return s.dialect.Faults
+}
+
+// trigger records a fired fault (ground truth).
+func (s *DB) trigger(f *faults.Fault) {
+	if f != nil {
+		s.triggered[f.ID] = true
+	}
+}
+
+// TriggeredFaults returns the IDs of faults fired by the last statement,
+// sorted. This is evaluation-only ground truth.
+func (s *DB) TriggeredFaults() []string {
+	out := make([]string, 0, len(s.triggered))
+	for id := range s.triggered {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LastCost returns the executor work units of the last statement.
+func (s *DB) LastCost() int64 { return s.cost }
+
+// Crashed reports whether the simulated server is down.
+func (s *DB) Crashed() bool { return s.crashed }
+
+// Restart brings a crashed server back up (storage survives, as with a
+// durable DBMS restarted by the harness).
+func (s *DB) Restart() { s.crashed = false }
+
+// Exec parses, validates, and executes a statement. For SELECT it
+// discards the rows; use Query to retrieve them.
+func (s *DB) Exec(sql string) error {
+	_, err := s.run(sql)
+	return err
+}
+
+// Query parses, validates, and executes a statement, returning rows for
+// SELECT (and an empty result for other statements).
+func (s *DB) Query(sql string) (*Result, error) {
+	return s.run(sql)
+}
+
+func (s *DB) run(sql string) (*Result, error) {
+	s.triggered = map[string]bool{}
+	s.cost = 0
+	if s.crashed {
+		return nil, errf(ErrCrash, "server is not running (restart required)")
+	}
+	stmt, perr := sqlparse.Parse(sql)
+	if perr != nil {
+		s.cov.Hit("parse.error")
+		return nil, &Error{Class: ErrSyntax, Msg: perr.Error()}
+	}
+	s.cov.Hit("parse.ok")
+	return s.RunStmt(stmt)
+}
+
+// RunStmt validates and executes an already-parsed statement. Callers
+// that hold an AST (tests, the reducer) can bypass re-parsing; the
+// generator always goes through SQL text.
+func (s *DB) RunStmt(stmt sqlast.Stmt) (*Result, error) {
+	if s.crashed {
+		return nil, errf(ErrCrash, "server is not running (restart required)")
+	}
+	if err := s.validateStmt(stmt); err != nil {
+		return nil, err
+	}
+	// Injected crash / internal-error / perf faults fire only for
+	// statements that passed validation: the defect is in the executor,
+	// not the parser.
+	if err := s.checkFeatureFaults(stmt); err != nil {
+		return nil, err
+	}
+	res, err := s.execStmt(stmt)
+	if err != nil {
+		if ee, ok := err.(*Error); ok && ee.Class == ErrCrash {
+			s.crashed = true
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// checkFeatureFaults fires CrashOnFeature / CrashOnDeepExpr /
+// InternalErrorOnFeature faults and arms PerfOnFeature.
+func (s *DB) checkFeatureFaults(stmt sqlast.Stmt) error {
+	fs := s.faultSet()
+	if fs == nil {
+		return nil
+	}
+	feats := ScanFeatures(stmt)
+	for _, ft := range feats {
+		if f := fs.CrashFeature(ft); f != nil {
+			s.trigger(f)
+			s.crashed = true
+			return &Error{Class: ErrCrash, Msg: "server crashed while executing " + ft, Feature: ft, FaultID: f.ID}
+		}
+	}
+	for _, ft := range feats {
+		if f := fs.ErrFeature(ft); f != nil {
+			s.trigger(f)
+			return &Error{Class: ErrInternal, Msg: "internal error: unexpected state in " + ft + " execution", Feature: ft, FaultID: f.ID}
+		}
+	}
+	if f := fs.CrashDeep(); f != nil && maxExprDepth(stmt) > 6 {
+		s.trigger(f)
+		s.crashed = true
+		return &Error{Class: ErrCrash, Msg: "server crashed: expression nesting overflow", FaultID: f.ID}
+	}
+	for _, ft := range feats {
+		if f := fs.PerfFeature(ft); f != nil {
+			s.trigger(f)
+			s.cost += 1_000_000 // simulated performance cliff
+		}
+	}
+	return nil
+}

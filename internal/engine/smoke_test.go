@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/dialect"
+)
+
+// openClean returns a fault-free instance of a dialect for testing.
+func openClean(t *testing.T, name string) *DB {
+	t.Helper()
+	d, err := dialect.Get(name)
+	if err != nil {
+		t.Fatalf("dialect %q: %v", name, err)
+	}
+	return Open(d, WithoutFaults())
+}
+
+func mustExec(t *testing.T, db *DB, sql string) {
+	t.Helper()
+	if err := db.Exec(sql); err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+}
+
+func mustQuery(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("query %q: %v", sql, err)
+	}
+	return res
+}
+
+func TestSmokeBasicFlow(t *testing.T) {
+	db := openClean(t, "sqlite")
+	mustExec(t, db, "CREATE TABLE t0 (c0 INTEGER, c1 TEXT, PRIMARY KEY (c0))")
+	mustExec(t, db, "INSERT INTO t0 (c0, c1) VALUES (1, 'a'), (2, 'b'), (3, NULL)")
+	mustExec(t, db, "CREATE INDEX i0 ON t0 (c1)")
+	mustExec(t, db, "CREATE VIEW v0 (x) AS SELECT c0 + 1 FROM t0")
+	mustExec(t, db, "ANALYZE")
+
+	res := mustQuery(t, db, "SELECT * FROM t0 WHERE c0 >= 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d: %v", len(res.Rows), res.RenderRows())
+	}
+	res = mustQuery(t, db, "SELECT x FROM v0 ORDER BY x DESC LIMIT 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 4 {
+		t.Fatalf("view query wrong: %v", res.RenderRows())
+	}
+	res = mustQuery(t, db, "SELECT COUNT(*) FROM t0 WHERE c1 IS NOT NULL")
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("count wrong: %v", res.RenderRows())
+	}
+	res = mustQuery(t, db, "SELECT t0.c0 FROM t0 LEFT JOIN v0 ON v0.x = t0.c0")
+	if len(res.Rows) != 3 {
+		t.Fatalf("left join wrong: %v", res.RenderRows())
+	}
+}
+
+func TestSmokeStaticTyping(t *testing.T) {
+	db := openClean(t, "postgresql")
+	mustExec(t, db, "CREATE TABLE t0 (c0 INTEGER, c1 TEXT)")
+	if err := db.Exec("SELECT c0 + c1 FROM t0"); err == nil {
+		t.Fatal("expected type error for INT + TEXT on a static dialect")
+	}
+	if err := db.Exec("SELECT c0 FROM t0 WHERE c0"); err == nil {
+		t.Fatal("expected type error for non-boolean WHERE on a static dialect")
+	}
+	// Dynamic dialect accepts both.
+	db2 := openClean(t, "sqlite")
+	mustExec(t, db2, "CREATE TABLE t0 (c0 INTEGER, c1 TEXT)")
+	mustExec(t, db2, "SELECT c0 + c1 FROM t0")
+	mustExec(t, db2, "SELECT c0 FROM t0 WHERE c0")
+}
+
+func TestSmokeUnsupportedFeature(t *testing.T) {
+	db := openClean(t, "postgresql")
+	mustExec(t, db, "CREATE TABLE t0 (c0 INTEGER)")
+	err := db.Exec("SELECT 1 FROM t0 WHERE c0 <=> 1")
+	if err == nil {
+		t.Fatal("expected unsupported-operator error for <=> on postgresql")
+	}
+	if ClassOf(err) != ErrUnsupported {
+		t.Fatalf("want unsupported, got %v", err)
+	}
+	// CrateDB lacks CREATE INDEX entirely (paper Appendix A.1).
+	crate := openClean(t, "cratedb")
+	mustExec(t, crate, "CREATE TABLE t0 (c0 INTEGER)")
+	err = crate.Exec("CREATE INDEX i0 ON t0 (c0)")
+	if ClassOf(err) != ErrUnsupported {
+		t.Fatalf("want unsupported CREATE INDEX on cratedb, got %v", err)
+	}
+}
+
+func TestSmokeRefreshSemantics(t *testing.T) {
+	db := openClean(t, "cratedb")
+	mustExec(t, db, "CREATE TABLE t0 (c0 INTEGER)")
+	mustExec(t, db, "INSERT INTO t0 (c0) VALUES (1)")
+	res := mustQuery(t, db, "SELECT * FROM t0")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows visible before REFRESH: %v", res.RenderRows())
+	}
+	mustExec(t, db, "REFRESH TABLE t0")
+	res = mustQuery(t, db, "SELECT * FROM t0")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows not visible after REFRESH: %v", res.RenderRows())
+	}
+}
+
+func TestSmokeInjectedFaultListing2(t *testing.T) {
+	// The SQLite REPLACE fault (paper Listing 2): the filter-root
+	// comparison against REPLACE(...) compares numerically.
+	d := dialect.MustGet("sqlite")
+	db := Open(d)
+	mustExec(t, db, "CREATE TABLE t0 (c0 TEXT, PRIMARY KEY (c0))")
+	mustExec(t, db, "INSERT INTO t0 (c0) VALUES ('1')")
+	q1 := mustQuery(t, db, "SELECT * FROM t0 WHERE t0.c0 = REPLACE('1', ' ', '0')")
+	q2 := mustQuery(t, db, "SELECT * FROM t0 WHERE NOT t0.c0 = REPLACE('1', ' ', '0')")
+	q3 := mustQuery(t, db, "SELECT * FROM t0 WHERE (t0.c0 = REPLACE('1', ' ', '0')) IS NULL")
+	total := len(q1.Rows) + len(q2.Rows) + len(q3.Rows)
+	base := mustQuery(t, db, "SELECT * FROM t0")
+	_ = total
+	_ = base
+	// With faults enabled the partitions may disagree with the base; with
+	// faults disabled they must agree.
+	clean := Open(d, WithoutFaults())
+	mustExec(t, clean, "CREATE TABLE t0 (c0 TEXT, PRIMARY KEY (c0))")
+	mustExec(t, clean, "INSERT INTO t0 (c0) VALUES ('1')")
+	c1 := mustQuery(t, clean, "SELECT * FROM t0 WHERE t0.c0 = REPLACE('1', ' ', '0')")
+	c2 := mustQuery(t, clean, "SELECT * FROM t0 WHERE NOT t0.c0 = REPLACE('1', ' ', '0')")
+	c3 := mustQuery(t, clean, "SELECT * FROM t0 WHERE (t0.c0 = REPLACE('1', ' ', '0')) IS NULL")
+	if len(c1.Rows)+len(c2.Rows)+len(c3.Rows) != 1 {
+		t.Fatalf("clean TLP partition broken: %d/%d/%d", len(c1.Rows), len(c2.Rows), len(c3.Rows))
+	}
+}
+
+// mustDialect fetches a dialect for tests that need fault injection on.
+func mustDialect(t *testing.T, name string) *dialect.Dialect {
+	t.Helper()
+	d, err := dialect.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,272 @@
+// Package engine implements the in-memory SQL engine that stands in for
+// the paper's DBMSs under test. It parses SQL text, validates it against
+// a dialect configuration, executes it over an in-memory catalog, and —
+// when the dialect carries injected faults — misbehaves in exactly the
+// optimized code paths where real logic bugs live.
+package engine
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Kind is a runtime value kind.
+type Kind uint8
+
+// Value kinds. The engine supports the paper's three data types plus NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindText
+	KindBool
+)
+
+// String returns the kind name (matches the dialect type feature names).
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindText:
+		return "TEXT"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return "?"
+	}
+}
+
+// Value is a runtime SQL value.
+type Value struct {
+	K Kind
+	I int64
+	S string
+	B bool
+}
+
+// Constructors.
+func Null() Value         { return Value{K: KindNull} }
+func Int(v int64) Value   { return Value{K: KindInt, I: v} }
+func Text(s string) Value { return Value{K: KindText, S: s} }
+func Bool(b bool) Value   { return Value{K: KindBool, B: b} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Render returns the canonical textual form used for result comparison
+// (oracles compare row multisets of rendered values).
+func (v Value) Render() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindText:
+		return "'" + v.S + "'"
+	case KindBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "?"
+	}
+}
+
+// Tri is a three-valued logic truth value.
+type Tri int8
+
+// Three-valued logic constants.
+const (
+	TriFalse Tri = iota
+	TriTrue
+	TriNull
+)
+
+// TriOf converts a Go bool to Tri.
+func TriOf(b bool) Tri {
+	if b {
+		return TriTrue
+	}
+	return TriFalse
+}
+
+// Not negates with SQL NULL semantics.
+func (t Tri) Not() Tri {
+	switch t {
+	case TriTrue:
+		return TriFalse
+	case TriFalse:
+		return TriTrue
+	default:
+		return TriNull
+	}
+}
+
+// And combines with SQL NULL semantics.
+func (t Tri) And(o Tri) Tri {
+	if t == TriFalse || o == TriFalse {
+		return TriFalse
+	}
+	if t == TriNull || o == TriNull {
+		return TriNull
+	}
+	return TriTrue
+}
+
+// Or combines with SQL NULL semantics.
+func (t Tri) Or(o Tri) Tri {
+	if t == TriTrue || o == TriTrue {
+		return TriTrue
+	}
+	if t == TriNull || o == TriNull {
+		return TriNull
+	}
+	return TriFalse
+}
+
+// Xor combines with SQL NULL semantics (NULL if either side is NULL).
+func (t Tri) Xor(o Tri) Tri {
+	if t == TriNull || o == TriNull {
+		return TriNull
+	}
+	return TriOf((t == TriTrue) != (o == TriTrue))
+}
+
+// Value converts the Tri back into a SQL value.
+func (t Tri) Value() Value {
+	switch t {
+	case TriTrue:
+		return Bool(true)
+	case TriFalse:
+		return Bool(false)
+	default:
+		return Null()
+	}
+}
+
+// truthiness converts a value to Tri under dynamic-typing coercion rules:
+// NULL is NULL; booleans are themselves; integers are v != 0; text parses
+// its leading integer.
+func truthiness(v Value) Tri {
+	switch v.K {
+	case KindNull:
+		return TriNull
+	case KindBool:
+		return TriOf(v.B)
+	case KindInt:
+		return TriOf(v.I != 0)
+	case KindText:
+		return TriOf(parseLeadingInt(v.S) != 0)
+	default:
+		return TriNull
+	}
+}
+
+// parseLeadingInt parses an optional sign and leading digits of s
+// (SQLite-style numeric coercion); no digits yields 0.
+func parseLeadingInt(s string) int64 {
+	s = strings.TrimLeft(s, " \t")
+	i := 0
+	neg := false
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		neg = s[i] == '-'
+		i++
+	}
+	var n int64
+	any := false
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		n = n*10 + int64(s[i]-'0')
+		any = true
+		i++
+	}
+	if !any {
+		return 0
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+// toInt coerces a value to an integer (dynamic typing).
+func toInt(v Value) int64 {
+	switch v.K {
+	case KindInt:
+		return v.I
+	case KindBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case KindText:
+		return parseLeadingInt(v.S)
+	default:
+		return 0
+	}
+}
+
+// toText coerces a value to text (dynamic typing).
+func toText(v Value) string {
+	switch v.K {
+	case KindText:
+		return v.S
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	default:
+		return ""
+	}
+}
+
+// numericKind reports whether a kind participates in numeric comparison.
+func numericKind(k Kind) bool { return k == KindInt || k == KindBool }
+
+// Compare orders two non-NULL values using storage-class rules: numeric
+// values (integers and booleans) order before text; within a class,
+// integers order numerically and text orders bytewise. It returns
+// -1, 0, or +1. Callers must handle NULL before calling.
+func Compare(a, b Value) int {
+	an, bn := numericKind(a.K), numericKind(b.K)
+	switch {
+	case an && bn:
+		ai, bi := toInt(a), toInt(b)
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		default:
+			return 0
+		}
+	case an && !bn:
+		return -1 // numeric storage class sorts first
+	case !an && bn:
+		return 1
+	default:
+		return strings.Compare(a.S, b.S)
+	}
+}
+
+// CompareText compares the textual coercions of two values (used by the
+// CmpMixedText fault and by text-context functions).
+func CompareText(a, b Value) int {
+	return strings.Compare(toText(a), toText(b))
+}
+
+// Equal reports SQL equality for grouping/DISTINCT purposes, where NULLs
+// compare equal to each other.
+func Equal(a, b Value) bool {
+	if a.K == KindNull || b.K == KindNull {
+		return a.K == b.K
+	}
+	if numericKind(a.K) != numericKind(b.K) {
+		return false
+	}
+	return Compare(a, b) == 0
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueRender(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(0), "0"},
+		{Int(-42), "-42"},
+		{Text(""), "''"},
+		{Text("a'b"), "'a'b'"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.Render(); got != c.want {
+			t.Errorf("Render(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTriLogic(t *testing.T) {
+	// Kleene truth tables.
+	if TriTrue.And(TriNull) != TriNull {
+		t.Error("TRUE AND NULL must be NULL")
+	}
+	if TriFalse.And(TriNull) != TriFalse {
+		t.Error("FALSE AND NULL must be FALSE")
+	}
+	if TriTrue.Or(TriNull) != TriTrue {
+		t.Error("TRUE OR NULL must be TRUE")
+	}
+	if TriFalse.Or(TriNull) != TriNull {
+		t.Error("FALSE OR NULL must be NULL")
+	}
+	if TriNull.Not() != TriNull {
+		t.Error("NOT NULL must be NULL")
+	}
+	if TriTrue.Xor(TriNull) != TriNull {
+		t.Error("TRUE XOR NULL must be NULL")
+	}
+	if TriTrue.Xor(TriFalse) != TriTrue || TriTrue.Xor(TriTrue) != TriFalse {
+		t.Error("XOR truth table broken")
+	}
+}
+
+func TestTriLogicProperties(t *testing.T) {
+	tri := func(b byte) Tri { return Tri(int8(b % 3)) }
+	// De Morgan: NOT(a AND b) == NOT a OR NOT b.
+	deMorgan := func(a, b byte) bool {
+		x, y := tri(a), tri(b)
+		return x.And(y).Not() == x.Not().Or(y.Not())
+	}
+	if err := quick.Check(deMorgan, nil); err != nil {
+		t.Error(err)
+	}
+	// Commutativity.
+	comm := func(a, b byte) bool {
+		x, y := tri(a), tri(b)
+		return x.And(y) == y.And(x) && x.Or(y) == y.Or(x) && x.Xor(y) == y.Xor(x)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	// Double negation.
+	dn := func(a byte) bool { return tri(a).Not().Not() == tri(a) }
+	if err := quick.Check(dn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareStorageClasses(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Text("a"), Text("b"), -1},
+		{Text("b"), Text("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Int(1), 0},  // booleans compare numerically
+		{Int(999), Text(""), -1}, // numerics order before text
+		{Text("0"), Int(999), 1}, // ... symmetrically
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	gen := func(kind byte, i int64, s string) Value {
+		switch kind % 3 {
+		case 0:
+			return Int(i)
+		case 1:
+			return Text(s)
+		default:
+			return Bool(i%2 == 0)
+		}
+	}
+	// Antisymmetry: Compare(a,b) == -Compare(b,a).
+	anti := func(k1, k2 byte, i1, i2 int64, s1, s2 string) bool {
+		a, b := gen(k1, i1, s1), gen(k2, i2, s2)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(anti, nil); err != nil {
+		t.Error(err)
+	}
+	// Reflexivity: Compare(a,a) == 0.
+	refl := func(k byte, i int64, s string) bool {
+		a := gen(k, i, s)
+		return Compare(a, a) == 0
+	}
+	if err := quick.Check(refl, nil); err != nil {
+		t.Error(err)
+	}
+	// Transitivity over a fixed triple sample.
+	trans := func(k1, k2, k3 byte, i1, i2, i3 int64, s1, s2, s3 string) bool {
+		a, b, c := gen(k1, i1, s1), gen(k2, i2, s2), gen(k3, i3, s3)
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoercions(t *testing.T) {
+	if toInt(Text("42abc")) != 42 {
+		t.Error("leading-integer parse failed")
+	}
+	if toInt(Text("  -7x")) != -7 {
+		t.Error("signed leading-integer parse failed")
+	}
+	if toInt(Text("abc")) != 0 {
+		t.Error("non-numeric text must coerce to 0")
+	}
+	if toInt(Bool(true)) != 1 || toInt(Bool(false)) != 0 {
+		t.Error("bool coercion broken")
+	}
+	if toText(Int(-3)) != "-3" {
+		t.Error("int→text coercion broken")
+	}
+	if truthiness(Text("1x")) != TriTrue || truthiness(Text("x")) != TriFalse {
+		t.Error("text truthiness broken")
+	}
+	if truthiness(Null()) != TriNull {
+		t.Error("NULL truthiness broken")
+	}
+}
+
+func TestParseFullInt(t *testing.T) {
+	if v, ok := parseFullInt(" 42 "); !ok || v != 42 {
+		t.Error("parseFullInt should trim spaces")
+	}
+	if v, ok := parseFullInt("-7"); !ok || v != -7 {
+		t.Error("parseFullInt should handle signs")
+	}
+	if _, ok := parseFullInt("42x"); ok {
+		t.Error("parseFullInt must reject trailing garbage")
+	}
+	if _, ok := parseFullInt(""); ok {
+		t.Error("parseFullInt must reject empty")
+	}
+	if _, ok := parseFullInt("-"); ok {
+		t.Error("parseFullInt must reject bare sign")
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if !Equal(Null(), Null()) {
+		t.Error("grouping equality treats NULLs as equal")
+	}
+	if Equal(Null(), Int(0)) {
+		t.Error("NULL must not equal 0")
+	}
+	if Equal(Int(1), Text("1")) {
+		t.Error("cross-class values are not equal")
+	}
+	if !Equal(Bool(true), Int(1)) {
+		t.Error("bool and int share the numeric class")
+	}
+}

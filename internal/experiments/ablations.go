@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sqlancerpp/internal/core/campaign"
+	"sqlancerpp/internal/dialect"
+)
+
+// AblationRow is one configuration of a design-choice ablation.
+type AblationRow struct {
+	Config      string
+	Validity    float64
+	Detected    int
+	UniqueBugs  int
+	Prioritized int
+}
+
+func runAblation(cfg campaign.Config) (AblationRow, error) {
+	cfg.KeepAllCases = true
+	runner, err := campaign.New(cfg)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	rep, err := runner.Run()
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Validity:    rep.ValidityRate(),
+		Detected:    rep.Detected,
+		UniqueBugs:  rep.UniqueGroundTruth,
+		Prioritized: rep.Prioritized,
+	}, nil
+}
+
+func renderAblation(title string, rows []AblationRow) string {
+	t := &table{header: []string{"Configuration", "Validity", "Detected", "Prioritized", "Unique"}}
+	for _, r := range rows {
+		t.add(r.Config, pct(r.Validity), itoa(r.Detected), itoa(r.Prioritized), itoa(r.UniqueBugs))
+	}
+	return t.render(title)
+}
+
+// AblationThreshold sweeps the Bayesian minimum-success threshold p
+// (paper §4: lowering p needs more executions for the same confidence).
+func AblationThreshold(scale Scale, seed int64) ([]AblationRow, string, error) {
+	d := dialect.MustGet("cratedb")
+	var rows []AblationRow
+	for _, p := range []float64{0.01, 0.05, 0.2} {
+		row, err := runAblation(campaign.Config{
+			Dialect: d, Mode: campaign.Adaptive,
+			TestCases: scale.AblationCases, Seed: seed, Threshold: p,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		row.Config = fmt.Sprintf("threshold p=%.2f", p)
+		rows = append(rows, row)
+	}
+	return rows, renderAblation("Ablation — Bayesian threshold p (CrateDB)", rows), nil
+}
+
+// AblationDepthSchedule compares the paper's 1→3 depth ramp (Appendix
+// A.3) against starting at full depth.
+func AblationDepthSchedule(scale Scale, seed int64) ([]AblationRow, string, error) {
+	d := dialect.MustGet("cratedb")
+	var rows []AblationRow
+	configs := []struct {
+		name             string
+		start, max, step int
+	}{
+		{"ramp 1→3 (paper)", 1, 3, 0},
+		{"fixed depth 3", 3, 3, 0},
+		{"fixed depth 1", 1, 1, 0},
+	}
+	for _, c := range configs {
+		row, err := runAblation(campaign.Config{
+			Dialect: d, Mode: campaign.Adaptive,
+			TestCases: scale.AblationCases, Seed: seed,
+			StartDepth: c.start, MaxDepth: c.max,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		row.Config = c.name
+		rows = append(rows, row)
+	}
+	return rows, renderAblation("Ablation — expression depth schedule (CrateDB)", rows), nil
+}
+
+// AblationUpdateInterval sweeps the feedback update interval I
+// (Appendix A.3: the paper updates every 100K statements).
+func AblationUpdateInterval(scale Scale, seed int64) ([]AblationRow, string, error) {
+	d := dialect.MustGet("postgresql")
+	var rows []AblationRow
+	for _, interval := range []int{100, 400, 2000} {
+		row, err := runAblation(campaign.Config{
+			Dialect: d, Mode: campaign.Adaptive,
+			TestCases: scale.AblationCases, Seed: seed,
+			UpdateInterval: interval,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		row.Config = fmt.Sprintf("update every %d", interval)
+		rows = append(rows, row)
+	}
+	return rows, renderAblation("Ablation — feedback update interval (PostgreSQL validity)", rows), nil
+}
+
+// ValiditySeries measures validity over consecutive windows, showing the
+// convergence the paper reports ("the validity rate converged in less
+// than one minute", §5.4).
+func ValiditySeries(dbms string, windows, casesPerWindow int, seed int64) ([]float64, string, error) {
+	d := dialect.MustGet(dbms)
+	var state []byte
+	var series []float64
+	for w := 0; w < windows; w++ {
+		runner, err := campaign.New(campaign.Config{
+			Dialect: d, Mode: campaign.Adaptive,
+			TestCases: casesPerWindow, Seed: seed + int64(w),
+			FeedbackState: state,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		rep, err := runner.Run()
+		if err != nil {
+			return nil, "", err
+		}
+		state = rep.FeedbackState
+		series = append(series, rep.ValidityRate())
+	}
+	out := fmt.Sprintf("Validity convergence on %s (windows of %d cases): ", dbms, casesPerWindow)
+	for i, v := range series {
+		if i > 0 {
+			out += " → "
+		}
+		out += fmt.Sprintf("%.1f%%", 100*v)
+	}
+	return series, out + "\n", nil
+}

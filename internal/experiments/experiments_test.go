@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sqlancerpp/internal/dialect"
+)
+
+func dialectFor(t *testing.T) *dialect.Dialect {
+	t.Helper()
+	return dialect.MustGet("sqlite")
+}
+
+func tinyScale() Scale {
+	return Scale{
+		Table2Cases:         500,
+		Table3Cases:         600,
+		Table4Cases:         800,
+		Table5Cases:         800,
+		Table5Runs:          2,
+		Fig6Cases:           400,
+		Fig6MaxCasesPerDBMS: 10,
+		AblationCases:       600,
+	}
+}
+
+func TestTable1AndTable6AndFig7(t *testing.T) {
+	rows, rendered := Table1()
+	if len(rows) != 8 || !strings.Contains(rendered, "SQLancer++") {
+		t.Fatal("Table 1 malformed")
+	}
+	t6, r6 := Table6()
+	if len(t6) == 0 || !strings.Contains(r6, "58") {
+		t.Fatalf("Table 6 malformed: %s", r6)
+	}
+	f7 := Fig7()
+	// The adaptive grammar shares features with both baseline generators
+	// (non-empty center) and each baseline has dialect-specific extras.
+	if f7.FuncRegions["ABC"] == 0 {
+		t.Error("Figure 7: empty center region")
+	}
+	if f7.FuncRegions["B"]+f7.FuncRegions["BC"] == 0 {
+		t.Error("Figure 7: SQLite generator needs functions outside the grammar")
+	}
+	if f7.FuncRegions["C"]+f7.FuncRegions["BC"] == 0 {
+		t.Error("Figure 7: PostgreSQL generator needs functions outside the grammar")
+	}
+}
+
+func TestFig1MeasuresRepo(t *testing.T) {
+	rows, rendered, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rendered, "3665") {
+		t.Error("Figure 1 must quote the paper's SQLancer LOC")
+	}
+	adapter := rows[len(rows)-2].PerDBMSLOC
+	generator := rows[len(rows)-1].PerDBMSLOC
+	if adapter <= 0 || generator <= 0 {
+		t.Fatalf("LOC measurements empty: adapter=%d generator=%d", adapter, generator)
+	}
+	// The paper's point: the adapter is orders of magnitude smaller.
+	if adapter*10 > generator {
+		t.Fatalf("adapter %d LOC vs generator %d LOC — the gap must be large",
+			adapter, generator)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	res, err := Table4(tinyScale(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(dbms, mode string) float64 {
+		for _, c := range res.Cells {
+			if c.DBMS == dbms && c.Mode == mode {
+				return c.Validity
+			}
+		}
+		t.Fatalf("missing cell %s/%s", dbms, mode)
+		return 0
+	}
+	for _, dbms := range []string{"sqlite", "postgresql", "duckdb"} {
+		if get(dbms, "SQLancer++") <= get(dbms, "SQLancer++ Rand") {
+			t.Errorf("%s: feedback must beat no-feedback", dbms)
+		}
+	}
+	// Dynamic typing keeps SQLite validity above the static systems.
+	if get("sqlite", "SQLancer++") <= get("postgresql", "SQLancer++") {
+		t.Error("SQLite validity must exceed PostgreSQL (dynamic vs static)")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	res, err := Table5(tinyScale(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 approaches, got %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Detected < r.Prioritized || r.Prioritized < r.Unique {
+			t.Errorf("%s: detected ≥ prioritized ≥ unique violated: %+v", r.Mode, r)
+		}
+		if r.Detected == 0 {
+			t.Errorf("%s: no bugs detected on CrateDB", r.Mode)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, rendered, err := AblationThreshold(tinyScale(), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || !strings.Contains(rendered, "threshold") {
+		t.Fatal("threshold ablation malformed")
+	}
+	rows2, _, err := AblationDepthSchedule(tinyScale(), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 3 {
+		t.Fatal("depth ablation malformed")
+	}
+	rows3, _, err := AblationPrioritizer(tinyScale(), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The subset rule must report no more than exact dedup, which reports
+	// no more than keeping everything; and it must not lose bugs.
+	if rows3[0].Reported > rows3[1].Reported || rows3[1].Reported > rows3[2].Reported {
+		t.Errorf("dedup strength ordering violated: %+v", rows3)
+	}
+	if rows3[2].MissedBugs != 0 {
+		t.Errorf("no-dedup cannot miss bugs: %+v", rows3[2])
+	}
+}
+
+func TestValiditySeriesImproves(t *testing.T) {
+	series, rendered, err := ValiditySeries("postgresql", 4, 600, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 || rendered == "" {
+		t.Fatal("series malformed")
+	}
+	if series[len(series)-1] <= series[0] {
+		t.Errorf("validity must improve across windows: %v", series)
+	}
+}
+
+func TestConfigForModes(t *testing.T) {
+	d := dialectFor(t)
+	for _, m := range modes {
+		cfg := configFor(m, d, 10, 1)
+		if cfg.TestCases != 10 || cfg.Seed != 1 {
+			t.Fatalf("%v: budget/seed not preserved", m)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlancerpp/internal/core/campaign"
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/engine"
+)
+
+// Fig6Result is the cross-DBMS validity matrix (paper Figure 6).
+type Fig6Result struct {
+	// Sources and Targets list the DBMS order of the matrix.
+	Sources []string
+	Targets []string
+	// Validity[i][j] is the fraction of source i's bug-inducing cases
+	// that execute without error on target j.
+	Validity [][]float64
+	// Overall is the mean off-diagonal validity (the paper reports 48%).
+	Overall float64
+	// RunsOnAll counts cases executable on every target (paper: none).
+	RunsOnAll int
+	// TotalCases is the number of bug-inducing cases collected.
+	TotalCases int
+	// BestTarget is the most permissive target (the paper: SQLite).
+	BestTarget string
+	Rendered   string
+}
+
+// Fig6 reproduces the SQL feature study (paper §5.2): bug-inducing test
+// cases found on each source DBMS are re-executed on every target DBMS
+// (fault-free instances); a case counts as valid on a target when every
+// one of its statements executes without error.
+func Fig6(scale Scale, seed int64) (*Fig6Result, error) {
+	type caseStmts struct{ stmts []string }
+	bySource := map[string][]caseStmts{}
+
+	for _, name := range dialect.PaperDBMSs {
+		d := dialect.MustGet(name)
+		runner, err := campaign.New(campaign.Config{
+			Dialect:   d,
+			Mode:      campaign.Adaptive,
+			TestCases: scale.Fig6Cases,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := runner.Run()
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range rep.Bugs {
+			if b.Class != campaign.ClassLogic {
+				continue // the paper's study uses only logic bugs
+			}
+			stmts := append(append([]string{}, b.Setup...), b.Queries...)
+			bySource[name] = append(bySource[name], caseStmts{stmts: stmts})
+			if len(bySource[name]) >= scale.Fig6MaxCasesPerDBMS {
+				break
+			}
+		}
+	}
+
+	res := &Fig6Result{}
+	var offDiagSum float64
+	var offDiagN int
+	targetValiditySum := map[string]float64{}
+	for _, src := range dialect.PaperDBMSs {
+		cases := bySource[src]
+		if len(cases) == 0 {
+			continue
+		}
+		res.Sources = append(res.Sources, src)
+		res.TotalCases += len(cases)
+		var row []float64
+		okOnAll := make([]bool, len(cases))
+		for i := range okOnAll {
+			okOnAll[i] = true
+		}
+		for _, tgt := range dialect.PaperDBMSs {
+			td := dialect.MustGet(tgt)
+			okCases := 0
+			for ci, c := range cases {
+				db := engine.Open(td, engine.WithoutFaults())
+				allOK := true
+				for _, stmt := range c.stmts {
+					if err := db.Exec(stmt); err != nil {
+						allOK = false
+						break
+					}
+				}
+				if allOK {
+					okCases++
+				} else {
+					okOnAll[ci] = false
+				}
+			}
+			v := float64(okCases) / float64(len(cases))
+			row = append(row, v)
+			targetValiditySum[tgt] += v
+			if tgt != src {
+				offDiagSum += v
+				offDiagN++
+			}
+		}
+		for _, all := range okOnAll {
+			if all {
+				res.RunsOnAll++
+			}
+		}
+		res.Validity = append(res.Validity, row)
+	}
+	res.Targets = append([]string{}, dialect.PaperDBMSs...)
+	if offDiagN > 0 {
+		res.Overall = offDiagSum / float64(offDiagN)
+	}
+	best, bestV := "", -1.0
+	for tgt, sum := range targetValiditySum {
+		if sum > bestV {
+			best, bestV = tgt, sum
+		}
+	}
+	res.BestTarget = best
+
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — validity of bug-inducing cases across DBMSs (rows: source, cols: target)\n")
+	sb.WriteString("(paper: overall off-diagonal validity 48%; no case runs on all 18; SQLite is the most permissive target)\n")
+	sb.WriteString(fmt.Sprintf("%-12s", ""))
+	for _, tgt := range res.Targets {
+		sb.WriteString(fmt.Sprintf("%6s", tgt[:min(5, len(tgt))]))
+	}
+	sb.WriteByte('\n')
+	for i, src := range res.Sources {
+		sb.WriteString(fmt.Sprintf("%-12s", src))
+		for _, v := range res.Validity[i] {
+			sb.WriteString(fmt.Sprintf("%6.2f", v))
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(fmt.Sprintf(
+		"overall off-diagonal validity: %.1f%%  cases executable on all targets: %d/%d  most permissive target: %s\n",
+		100*res.Overall, res.RunsOnAll, res.TotalCases, res.BestTarget))
+	res.Rendered = sb.String()
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

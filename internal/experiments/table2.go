@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"sqlancerpp/internal/core/campaign"
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/faults"
+)
+
+// Table2Row is one DBMS of the bug-finding campaign (paper Table 2).
+type Table2Row struct {
+	DBMS    string
+	Display string
+	// Injected* describe the ground-truth fault catalogue (the stand-in
+	// for the real bugs a months-long campaign can find).
+	Injected      int
+	InjectedLogic int
+	// Detected counts bug-inducing test cases; Prioritized those the
+	// prioritizer reported; Unique* the distinct ground-truth faults
+	// found, by class (the paper's "unique bugs" via fix commits).
+	Detected    int
+	Prioritized int
+	Unique      int
+	UniqueLogic int
+	UniqueOther int
+	Validity    float64
+	// FalsePositives must be zero; non-zero values indicate an engine
+	// defect.
+	FalsePositives int
+}
+
+// Table2Result aggregates the campaign.
+type Table2Result struct {
+	Rows     []Table2Row
+	Rendered string
+	// Totals.
+	TotalInjected, TotalUnique, TotalLogic, TotalOther int
+}
+
+// Table2 runs the bug-finding campaign across the paper's 18 DBMSs
+// (paper §5.1, Table 2). The per-DBMS fault catalogue follows the shape
+// of the paper's per-DBMS bug counts at roughly half scale; "found"
+// equals the number of distinct ground-truth faults the campaign
+// triggers within the budget.
+func Table2(scale Scale, seed int64) (*Table2Result, error) {
+	res := &Table2Result{}
+	classOf := func(dbms string) map[string]faults.Class {
+		m := map[string]faults.Class{}
+		for _, f := range faults.ForDialect(dbms) {
+			m[f.ID] = f.Class
+		}
+		return m
+	}
+	for _, name := range dialect.PaperDBMSs {
+		d := dialect.MustGet(name)
+		injected := faults.ForDialect(name)
+		nLogic := 0
+		for _, f := range injected {
+			if f.Class == faults.Logic {
+				nLogic++
+			}
+		}
+		runner, err := campaign.New(campaign.Config{
+			Dialect:      d,
+			Mode:         campaign.Adaptive,
+			TestCases:    scale.Table2Cases,
+			Seed:         seed,
+			KeepAllCases: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := runner.Run()
+		if err != nil {
+			return nil, err
+		}
+		classes := classOf(name)
+		uniq := map[string]bool{}
+		for _, c := range rep.AllCases {
+			for _, id := range c.Triggered {
+				uniq[id] = true
+			}
+		}
+		row := Table2Row{
+			DBMS:           name,
+			Display:        d.DisplayName,
+			Injected:       len(injected),
+			InjectedLogic:  nLogic,
+			Detected:       rep.Detected,
+			Prioritized:    rep.Prioritized,
+			Unique:         len(uniq),
+			Validity:       rep.ValidityRate(),
+			FalsePositives: rep.FalsePositives,
+		}
+		for id := range uniq {
+			if classes[id] == faults.Logic {
+				row.UniqueLogic++
+			} else {
+				row.UniqueOther++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		res.TotalInjected += row.Injected
+		res.TotalUnique += row.Unique
+		res.TotalLogic += row.UniqueLogic
+		res.TotalOther += row.UniqueOther
+	}
+
+	t := &table{header: []string{"DBMS", "Injected", "Inj.Logic", "Detected",
+		"Prioritized", "Unique", "Logic", "Other", "Validity", "FP"}}
+	for _, r := range res.Rows {
+		t.add(r.Display, itoa(r.Injected), itoa(r.InjectedLogic),
+			itoa(r.Detected), itoa(r.Prioritized), itoa(r.Unique),
+			itoa(r.UniqueLogic), itoa(r.UniqueOther), pct(r.Validity),
+			itoa(r.FalsePositives))
+	}
+	t.add("Total", itoa(res.TotalInjected), "", "", "", itoa(res.TotalUnique),
+		itoa(res.TotalLogic), itoa(res.TotalOther), "", "")
+	res.Rendered = t.render(
+		"Table 2 — bug-finding campaign across the 18 paper DBMSs\n" +
+			"(paper: 196 reported bugs, 140 logic / 56 other; catalogue here is half-scale for the bug-heavy systems)")
+	return res, nil
+}

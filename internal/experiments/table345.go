@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sqlancerpp/internal/baseline"
+	"sqlancerpp/internal/core/campaign"
+	"sqlancerpp/internal/core/prioritize"
+	"sqlancerpp/internal/coverage"
+	"sqlancerpp/internal/dialect"
+)
+
+// coverageDBMSs are the systems of the paper's Tables 3 and 4.
+var coverageDBMSs = []string{"sqlite", "postgresql", "duckdb"}
+
+// modes are the three compared approaches.
+var modes = []campaign.Mode{campaign.Adaptive, campaign.Rand, campaign.Baseline}
+
+func configFor(mode campaign.Mode, d *dialect.Dialect, cases int, seed int64) campaign.Config {
+	cfg := campaign.Config{
+		Dialect:   d,
+		Mode:      mode,
+		TestCases: cases,
+		Seed:      seed,
+	}
+	if mode == campaign.Baseline {
+		cfg = baseline.Configure(cfg, d)
+		cfg.TestCases = cases
+		cfg.Seed = seed
+	}
+	return cfg
+}
+
+// Table3Cell is one approach × DBMS coverage measurement.
+type Table3Cell struct {
+	DBMS, Mode string
+	LinePct    float64
+	BranchPct  float64
+}
+
+// Table3Result is the coverage comparison (paper Table 3).
+type Table3Result struct {
+	Cells    []Table3Cell
+	Rendered string
+}
+
+// Table3 measures engine coverage (instrumentation points as the gcov
+// stand-in) for SQLancer++, SQLancer++ Rand, and the baseline on SQLite,
+// PostgreSQL, and DuckDB. The paper's ordering — baseline > adaptive >
+// random, with the smallest gap on DuckDB — should reproduce.
+func Table3(scale Scale, seed int64) (*Table3Result, error) {
+	res := &Table3Result{}
+	for _, name := range coverageDBMSs {
+		for _, mode := range modes {
+			d := dialect.MustGet(name)
+			rec := coverage.NewRecorder()
+			cfg := configFor(mode, d, scale.Table3Cases, seed)
+			cfg.Coverage = rec
+			runner, err := campaign.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := runner.Run(); err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, Table3Cell{
+				DBMS:      name,
+				Mode:      mode.String(),
+				LinePct:   rec.LinePercent(),
+				BranchPct: rec.BranchPercent(),
+			})
+		}
+	}
+	t := &table{header: []string{"Approach", "SQLite line", "branch",
+		"PostgreSQL line", "branch", "DuckDB line", "branch"}}
+	for _, mode := range modes {
+		row := []string{mode.String()}
+		for _, name := range coverageDBMSs {
+			for _, c := range res.Cells {
+				if c.DBMS == name && c.Mode == mode.String() {
+					row = append(row, fmt.Sprintf("%.1f%%", c.LinePct),
+						fmt.Sprintf("%.1f%%", c.BranchPct))
+				}
+			}
+		}
+		t.add(row...)
+	}
+	res.Rendered = t.render(
+		"Table 3 — engine coverage after a fixed budget\n" +
+			"(paper, 24 h: SQLancer 46.6/32.3/33.4 line vs SQLancer++ 30.5/26.3/31.6; smallest gap on DuckDB)")
+	return res, nil
+}
+
+// Table4Cell is one approach × DBMS validity measurement.
+type Table4Cell struct {
+	DBMS, Mode string
+	Validity   float64
+}
+
+// Table4Result is the validity comparison (paper Table 4).
+type Table4Result struct {
+	Cells    []Table4Cell
+	Rendered string
+}
+
+// Table4 measures the validity rate of oracle test cases for the three
+// approaches (paper §5.4: feedback raises SQLite validity to 97.7% from
+// 24.9%, PostgreSQL to 52.4% from 21.6%; the hand-written PostgreSQL
+// baseline sits at 25.1% because of its complex dialect-specific
+// features).
+func Table4(scale Scale, seed int64) (*Table4Result, error) {
+	res := &Table4Result{}
+	for _, name := range coverageDBMSs {
+		for _, mode := range modes {
+			d := dialect.MustGet(name)
+			runner, err := campaign.New(configFor(mode, d, scale.Table4Cases, seed))
+			if err != nil {
+				return nil, err
+			}
+			rep, err := runner.Run()
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, Table4Cell{
+				DBMS: name, Mode: mode.String(), Validity: rep.ValidityRate(),
+			})
+		}
+	}
+	t := &table{header: []string{"Approach", "SQLite", "PostgreSQL", "DuckDB"}}
+	for _, mode := range modes {
+		row := []string{mode.String()}
+		for _, name := range coverageDBMSs {
+			for _, c := range res.Cells {
+				if c.DBMS == name && c.Mode == mode.String() {
+					row = append(row, pct(c.Validity))
+				}
+			}
+		}
+		t.add(row...)
+	}
+	res.Rendered = t.render(
+		"Table 4 — validity rate of generated test cases\n" +
+			"(paper: 97.7/52.4/64.2 adaptive vs 24.9/21.6/24.6 random vs 98.0/25.1/35.5 baseline)")
+	return res, nil
+}
+
+// Table5Row is one approach of the prioritization study.
+type Table5Row struct {
+	Mode        string
+	Detected    float64
+	Prioritized float64
+	Unique      float64
+}
+
+// Table5Result is the prioritization study (paper Table 5).
+type Table5Result struct {
+	Rows     []Table5Row
+	Rendered string
+}
+
+// Table5 runs the CrateDB prioritization study (paper §5.5): averages of
+// detected bug-inducing cases, prioritized cases, and unique bugs over
+// several runs, with and without feedback. The paper reports 67,878.2 →
+// 35.8 → 11.4 with feedback and 55,412.2 → 28.4 → 9.8 without: the
+// prioritizer removes >99% of duplicates, and feedback finds more.
+func Table5(scale Scale, seed int64) (*Table5Result, error) {
+	res := &Table5Result{}
+	d := dialect.MustGet("cratedb")
+	for _, mode := range []campaign.Mode{campaign.Adaptive, campaign.Rand} {
+		var det, pri, uniq float64
+		for run := 0; run < scale.Table5Runs; run++ {
+			cfg := configFor(mode, d, scale.Table5Cases, seed+int64(run))
+			cfg.KeepAllCases = true
+			runner, err := campaign.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := runner.Run()
+			if err != nil {
+				return nil, err
+			}
+			det += float64(rep.Detected)
+			pri += float64(rep.Prioritized)
+			uniq += float64(rep.UniquePrioritized)
+		}
+		n := float64(scale.Table5Runs)
+		res.Rows = append(res.Rows, Table5Row{
+			Mode:        mode.String(),
+			Detected:    det / n,
+			Prioritized: pri / n,
+			Unique:      uniq / n,
+		})
+	}
+	t := &table{header: []string{"Approach", "Detected", "Prioritized", "Unique"}}
+	for _, r := range res.Rows {
+		t.add(r.Mode, f1(r.Detected), f1(r.Prioritized), f1(r.Unique))
+	}
+	res.Rendered = t.render(fmt.Sprintf(
+		"Table 5 — CrateDB bugs: average of %d runs × %d test cases\n"+
+			"(paper, 1 h × 5 runs: 67878.2/35.8/11.4 with feedback, 55412.2/28.4/9.8 without)",
+		scale.Table5Runs, scale.Table5Cases))
+	return res, nil
+}
+
+// PrioritizerAblationRow compares dedup strategies on the same case set.
+type PrioritizerAblationRow struct {
+	Strategy   string
+	Reported   int
+	UniqueBugs int
+	MissedBugs int
+}
+
+// AblationPrioritizer replays one CrateDB campaign's detected cases
+// through three dedup strategies: the paper's subset rule, exact-set
+// dedup, and no dedup (DESIGN.md §5 ablations).
+func AblationPrioritizer(scale Scale, seed int64) ([]PrioritizerAblationRow, string, error) {
+	d := dialect.MustGet("cratedb")
+	cfg := configFor(campaign.Adaptive, d, scale.AblationCases, seed)
+	cfg.KeepAllCases = true
+	runner, err := campaign.New(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	rep, err := runner.Run()
+	if err != nil {
+		return nil, "", err
+	}
+	allFaults := map[string]bool{}
+	for _, c := range rep.AllCases {
+		for _, id := range c.Triggered {
+			allFaults[id] = true
+		}
+	}
+	evaluate := func(name string, report func(features []string) bool) PrioritizerAblationRow {
+		found := map[string]bool{}
+		reported := 0
+		for _, c := range rep.AllCases {
+			if report(c.Features) {
+				reported++
+				for _, id := range c.Triggered {
+					found[id] = true
+				}
+			}
+		}
+		return PrioritizerAblationRow{
+			Strategy:   name,
+			Reported:   reported,
+			UniqueBugs: len(found),
+			MissedBugs: len(allFaults) - len(found),
+		}
+	}
+	var rows []PrioritizerAblationRow
+	p := prioritize.New()
+	rows = append(rows, evaluate("subset rule (paper)", p.Report))
+	exact := map[string]bool{}
+	rows = append(rows, evaluate("exact-set dedup", func(fs []string) bool {
+		key := fmt.Sprint(fs)
+		if exact[key] {
+			return false
+		}
+		exact[key] = true
+		return true
+	}))
+	rows = append(rows, evaluate("no dedup", func([]string) bool { return true }))
+
+	t := &table{header: []string{"Strategy", "Reported", "Unique bugs", "Missed bugs"}}
+	for _, r := range rows {
+		t.add(r.Strategy, itoa(r.Reported), itoa(r.UniqueBugs), itoa(r.MissedBugs))
+	}
+	return rows, t.render("Ablation — bug deduplication strategy (CrateDB)"), nil
+}

@@ -1,0 +1,371 @@
+// Package faults defines the injected-bug catalogue that stands in for
+// the real, unknown bugs the paper found in 18 production DBMSs.
+//
+// Each fault is a small, realistic defect wired into the engine's
+// *optimized* evaluation path (top-level filter predicates, optimizer
+// rewrites, index scans) — the same places where real logic bugs hide and
+// the reason the TLP and NoREC oracles can detect them. Crash and
+// internal-error faults model the paper's "other bugs" category.
+//
+// Every logic mechanism flips a filter-root predicate between TRUE and
+// not-TRUE (or perturbs a value feeding such a predicate): a defect that
+// merely turns NULL into FALSE at a WHERE root is semantically invisible,
+// because WHERE drops non-TRUE rows either way.
+//
+// Fault IDs are ground truth: the engine records which faults a query
+// triggered, and the evaluation harness uses the IDs to count *unique*
+// bugs (the paper used fix commits for this). The tester itself — the
+// generator, oracles, and prioritizer — never sees fault IDs.
+package faults
+
+// Class categorizes a fault by user-visible symptom, mirroring the
+// paper's bug classes in Table 2 and §6.
+type Class int
+
+// Fault classes.
+const (
+	Logic Class = iota // silent wrong result (detected by TLP/NoREC)
+	Crash              // simulated server crash
+	Error              // unexpected internal error
+	Perf               // performance cliff
+)
+
+// String returns a short class label.
+func (c Class) String() string {
+	switch c {
+	case Logic:
+		return "logic"
+	case Crash:
+		return "crash"
+	case Error:
+		return "error"
+	case Perf:
+		return "perf"
+	default:
+		return "?"
+	}
+}
+
+// Kind is the defect mechanism, interpreted by the engine.
+type Kind int
+
+// Fault mechanisms. "Filter root" means a top-level conjunct of a WHERE
+// clause in the optimized path — the position where real DBMSs apply
+// special-case rewrites and index selection, and therefore where a defect
+// makes the optimized result diverge from the reference semantics.
+const (
+	// CmpNullTrue: a filter-root comparison with operator Param whose
+	// result is NULL is treated as TRUE (row kept).
+	CmpNullTrue Kind = iota
+	// CmpNullEqTrue: a filter-root comparison with operator Param whose
+	// operands are both NULL yields TRUE ("NULL equals NULL" defect).
+	CmpNullEqTrue
+	// CmpMixedText: a filter-root comparison with operator Param between a
+	// numeric and a TEXT operand compares textually instead of using
+	// storage-class order (dynamic-typing dialects only).
+	CmpMixedText
+	// FuncCmpNumeric: a filter-root comparison against the result of
+	// function Param compares numerically even for TEXT operands — the
+	// shape of the SQLite REPLACE bug (paper Listing 2).
+	FuncCmpNumeric
+	// FuncWrongVal: function Param, when it appears under a filter-root
+	// comparison, returns a perturbed value for non-NULL inputs (an
+	// index-constant-folding defect).
+	FuncWrongVal
+	// JoinOnToWhere: when a WHERE clause is present, the flattener
+	// degrades outer join Param ("LEFT JOIN"/"RIGHT JOIN"/"FULL JOIN") to
+	// an inner join, losing NULL-extended rows — the shape of the SQLite
+	// subquery bug (paper Listing 3).
+	JoinOnToWhere
+	// NotElim: the rewrite NOT (a Param b) at a filter root uses a wrong
+	// complement operator (e.g. NOT (a < b) => (a > b), losing equality).
+	NotElim
+	// NotInNullTrue: a filter-root NOT IN whose list contains NULL yields
+	// TRUE instead of NULL when no listed element matches.
+	NotInNullTrue
+	// BetweenExclusive: a filter-root BETWEEN treats its bounds as
+	// exclusive.
+	BetweenExclusive
+	// LikeUnderscore: a filter-root LIKE fails to match the '_' wildcard.
+	LikeUnderscore
+	// CaseNullTrue: a filter-root CASE treats a NULL WHEN condition as
+	// TRUE (takes the wrong branch).
+	CaseNullTrue
+	// DistinctFromNull: a filter-root IS DISTINCT FROM treats two NULLs
+	// as distinct (returns TRUE instead of FALSE).
+	DistinctFromNull
+	// PartialIndexScan: an equality filter on the leading column of a
+	// *partial* index uses the index without re-checking rows outside the
+	// index predicate, silently dropping them.
+	PartialIndexScan
+	// UnionAllDedup: UNION ALL incorrectly removes duplicate rows, as if
+	// it were UNION (a classic set-operation defect).
+	UnionAllDedup
+	// CrashOnFeature: any executed statement containing feature Param (an
+	// operator spelling, function name, join keyword, or statement
+	// keyword) crashes the server.
+	CrashOnFeature
+	// CrashOnDeepExpr: expressions nested deeper than 6 crash the server.
+	CrashOnDeepExpr
+	// InternalErrorOnFeature: feature Param triggers an internal error
+	// ("unexpected error" bug class).
+	InternalErrorOnFeature
+	// PerfOnFeature: feature Param makes the executor fall off a
+	// performance cliff (cost multiplied; detected by the campaign's cost
+	// watchdog).
+	PerfOnFeature
+)
+
+// Fault is one injected defect.
+type Fault struct {
+	ID          string // unique, e.g. "sqlite-1"
+	Dialect     string // dialect the fault is injected into
+	Class       Class
+	Kind        Kind
+	Param       string // operator spelling / function name / join or feature keyword
+	Description string
+}
+
+// Set is the runtime view of a dialect's faults, indexed for the engine's
+// hot paths. A nil *Set disables injection entirely.
+type Set struct {
+	all []Fault
+
+	cmpNullTrue  map[string]*Fault // by comparison operator spelling
+	cmpNullEq    map[string]*Fault
+	cmpMixed     map[string]*Fault
+	funcCmp      map[string]*Fault // by function name
+	funcWrong    map[string]*Fault
+	notElim      map[string]*Fault // by inner comparison operator
+	joinFlatten  map[string]*Fault // by join keyword
+	notInNull    *Fault
+	between      *Fault
+	like         *Fault
+	caseNull     *Fault
+	distinctFrom *Fault
+	partialIndex *Fault
+	unionDedup   *Fault
+	crashFeature map[string]*Fault
+	crashDeep    *Fault
+	errFeature   map[string]*Fault
+	perfFeature  map[string]*Fault
+}
+
+// NewSet indexes a fault list.
+func NewSet(list []Fault) *Set {
+	s := &Set{
+		all:          append([]Fault(nil), list...),
+		cmpNullTrue:  map[string]*Fault{},
+		cmpNullEq:    map[string]*Fault{},
+		cmpMixed:     map[string]*Fault{},
+		funcCmp:      map[string]*Fault{},
+		funcWrong:    map[string]*Fault{},
+		notElim:      map[string]*Fault{},
+		joinFlatten:  map[string]*Fault{},
+		crashFeature: map[string]*Fault{},
+		errFeature:   map[string]*Fault{},
+		perfFeature:  map[string]*Fault{},
+	}
+	for i := range s.all {
+		f := &s.all[i]
+		switch f.Kind {
+		case CmpNullTrue:
+			s.cmpNullTrue[f.Param] = f
+		case CmpNullEqTrue:
+			s.cmpNullEq[f.Param] = f
+		case CmpMixedText:
+			s.cmpMixed[f.Param] = f
+		case FuncCmpNumeric:
+			s.funcCmp[f.Param] = f
+		case FuncWrongVal:
+			s.funcWrong[f.Param] = f
+		case NotElim:
+			s.notElim[f.Param] = f
+		case JoinOnToWhere:
+			s.joinFlatten[f.Param] = f
+		case NotInNullTrue:
+			s.notInNull = f
+		case BetweenExclusive:
+			s.between = f
+		case LikeUnderscore:
+			s.like = f
+		case CaseNullTrue:
+			s.caseNull = f
+		case DistinctFromNull:
+			s.distinctFrom = f
+		case PartialIndexScan:
+			s.partialIndex = f
+		case UnionAllDedup:
+			s.unionDedup = f
+		case CrashOnFeature:
+			s.crashFeature[f.Param] = f
+		case CrashOnDeepExpr:
+			s.crashDeep = f
+		case InternalErrorOnFeature:
+			s.errFeature[f.Param] = f
+		case PerfOnFeature:
+			s.perfFeature[f.Param] = f
+		}
+	}
+	return s
+}
+
+// All returns the fault list.
+func (s *Set) All() []Fault {
+	if s == nil {
+		return nil
+	}
+	return s.all
+}
+
+// Len returns the number of faults.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.all)
+}
+
+// CmpNullTrue returns the NULL-as-TRUE fault for a comparison operator.
+func (s *Set) CmpNullTrue(op string) *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.cmpNullTrue[op]
+}
+
+// CmpNullEq returns the NULL-equals-NULL fault for a comparison operator.
+func (s *Set) CmpNullEq(op string) *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.cmpNullEq[op]
+}
+
+// CmpMixed returns the mixed-type textual-comparison fault for an operator.
+func (s *Set) CmpMixed(op string) *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.cmpMixed[op]
+}
+
+// FuncCmp returns the FuncCmpNumeric fault targeting function name.
+func (s *Set) FuncCmp(name string) *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.funcCmp[name]
+}
+
+// FuncWrong returns the FuncWrongVal fault targeting function name.
+func (s *Set) FuncWrong(name string) *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.funcWrong[name]
+}
+
+// NotElim returns the NOT-elimination fault for an inner operator.
+func (s *Set) NotElim(op string) *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.notElim[op]
+}
+
+// JoinFlatten returns the ON→WHERE flattener fault for a join keyword.
+func (s *Set) JoinFlatten(join string) *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.joinFlatten[join]
+}
+
+// NotInNull returns the NOT-IN-with-NULL fault, if any.
+func (s *Set) NotInNull() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.notInNull
+}
+
+// Between returns the exclusive-BETWEEN fault, if any.
+func (s *Set) Between() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.between
+}
+
+// Like returns the LIKE-underscore fault, if any.
+func (s *Set) Like() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.like
+}
+
+// CaseNull returns the CASE-null-condition fault, if any.
+func (s *Set) CaseNull() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.caseNull
+}
+
+// DistinctFrom returns the IS DISTINCT FROM fault, if any.
+func (s *Set) DistinctFrom() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.distinctFrom
+}
+
+// PartialIndex returns the partial-index-scan fault, if any.
+func (s *Set) PartialIndex() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.partialIndex
+}
+
+// UnionDedup returns the UNION ALL dedup fault, if any.
+func (s *Set) UnionDedup() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.unionDedup
+}
+
+// CrashFeature returns the crash fault for a feature keyword.
+func (s *Set) CrashFeature(feature string) *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.crashFeature[feature]
+}
+
+// CrashDeep returns the deep-expression crash fault, if any.
+func (s *Set) CrashDeep() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.crashDeep
+}
+
+// ErrFeature returns the internal-error fault for a feature keyword.
+func (s *Set) ErrFeature(feature string) *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.errFeature[feature]
+}
+
+// PerfFeature returns the performance fault for a feature keyword.
+func (s *Set) PerfFeature(feature string) *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.perfFeature[feature]
+}

@@ -1,0 +1,503 @@
+// Package sqlast defines the SQL abstract syntax tree shared by the
+// adaptive generator, the parser, the engine, and the reducer.
+//
+// Every node renders to deterministic SQL text via SQL(). Expressions are
+// fully parenthesized on rendering, so rendered text round-trips through
+// internal/sqlparse without precedence ambiguity.
+package sqlast
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Type is a SQL data type name. The platform supports the paper's three
+// data types: INTEGER, TEXT, and BOOLEAN (Appendix A.1).
+type Type int
+
+// Supported data types.
+const (
+	TypeUnknown Type = iota
+	TypeInt
+	TypeText
+	TypeBool
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "INTEGER"
+	case TypeText:
+		return "TEXT"
+	case TypeBool:
+		return "BOOLEAN"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	// SQL renders the expression as deterministic SQL text.
+	SQL() string
+}
+
+// LitKind distinguishes literal constants.
+type LitKind int
+
+// Literal kinds.
+const (
+	LitNull LitKind = iota
+	LitInt
+	LitText
+	LitBool
+)
+
+// Literal is a constant: NULL, an integer, a string, or a boolean.
+type Literal struct {
+	Kind LitKind
+	Int  int64
+	Text string
+	Bool bool
+}
+
+// Null, True and False are shared literal constructors.
+func Null() *Literal          { return &Literal{Kind: LitNull} }
+func IntLit(v int64) *Literal { return &Literal{Kind: LitInt, Int: v} }
+func TextLit(s string) *Literal {
+	return &Literal{Kind: LitText, Text: s}
+}
+func BoolLit(b bool) *Literal { return &Literal{Kind: LitBool, Bool: b} }
+
+func (l *Literal) exprNode() {}
+
+// SQL renders the literal. Strings use single quotes with ” escaping.
+func (l *Literal) SQL() string {
+	switch l.Kind {
+	case LitNull:
+		return "NULL"
+	case LitInt:
+		return strconv.FormatInt(l.Int, 10)
+	case LitText:
+		return "'" + strings.ReplaceAll(l.Text, "'", "''") + "'"
+	case LitBool:
+		if l.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "NULL"
+	}
+}
+
+// ColumnRef references a column, optionally qualified by table (or alias).
+type ColumnRef struct {
+	Table  string // optional qualifier
+	Column string
+}
+
+func (c *ColumnRef) exprNode() {}
+
+// SQL renders the (optionally qualified) column reference.
+func (c *ColumnRef) SQL() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// UnaryOp enumerates prefix operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	UMinus  UnaryOp = iota // -x
+	UPlus                  // +x
+	UBitNot                // ~x
+	UNot                   // NOT x
+)
+
+// String returns the SQL spelling of the operator.
+func (op UnaryOp) String() string {
+	switch op {
+	case UMinus:
+		return "-"
+	case UPlus:
+		return "+"
+	case UBitNot:
+		return "~"
+	case UNot:
+		return "NOT"
+	default:
+		return "?"
+	}
+}
+
+// Unary applies a prefix operator to an operand.
+type Unary struct {
+	Op UnaryOp
+	X  Expr
+}
+
+func (u *Unary) exprNode() {}
+
+// SQL renders the unary expression fully parenthesized. A space follows
+// the operator so that "-(-2000)" cannot render as the line comment
+// "--2000".
+func (u *Unary) SQL() string {
+	if u.Op == UNot {
+		return "(NOT " + u.X.SQL() + ")"
+	}
+	return "(" + u.Op.String() + " " + u.X.SQL() + ")"
+}
+
+// BinaryOp enumerates infix operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpAdd           BinaryOp = iota // +
+	OpSub                           // -
+	OpMul                           // *
+	OpDiv                           // /
+	OpMod                           // %
+	OpConcat                        // ||
+	OpBitAnd                        // &
+	OpBitOr                         // |
+	OpBitXor                        // ^
+	OpShl                           // <<
+	OpShr                           // >>
+	OpEq                            // =
+	OpNeq                           // !=
+	OpNeq2                          // <>
+	OpLt                            // <
+	OpLe                            // <=
+	OpGt                            // >
+	OpGe                            // >=
+	OpNullSafeEq                    // <=> (MySQL-family null-safe equality)
+	OpAnd                           // AND
+	OpOr                            // OR
+	OpXor                           // XOR (logical)
+	OpIsDistinct                    // IS DISTINCT FROM
+	OpIsNotDistinct                 // IS NOT DISTINCT FROM
+)
+
+// String returns the SQL spelling of the operator.
+func (op BinaryOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpConcat:
+		return "||"
+	case OpBitAnd:
+		return "&"
+	case OpBitOr:
+		return "|"
+	case OpBitXor:
+		return "^"
+	case OpShl:
+		return "<<"
+	case OpShr:
+		return ">>"
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "!="
+	case OpNeq2:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpNullSafeEq:
+		return "<=>"
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpXor:
+		return "XOR"
+	case OpIsDistinct:
+		return "IS DISTINCT FROM"
+	case OpIsNotDistinct:
+		return "IS NOT DISTINCT FROM"
+	default:
+		return "?"
+	}
+}
+
+// IsComparison reports whether the operator yields a boolean from two
+// comparable operands.
+func (op BinaryOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNeq, OpNeq2, OpLt, OpLe, OpGt, OpGe, OpNullSafeEq,
+		OpIsDistinct, OpIsNotDistinct:
+		return true
+	}
+	return false
+}
+
+// IsLogical reports whether the operator combines booleans.
+func (op BinaryOp) IsLogical() bool {
+	return op == OpAnd || op == OpOr || op == OpXor
+}
+
+// IsArithmetic reports whether the operator is numeric (incl. bitwise).
+func (op BinaryOp) IsArithmetic() bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpBitAnd, OpBitOr, OpBitXor,
+		OpShl, OpShr:
+		return true
+	}
+	return false
+}
+
+// Binary applies an infix operator.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+func (b *Binary) exprNode() {}
+
+// SQL renders the binary expression fully parenthesized.
+func (b *Binary) SQL() string {
+	return "(" + b.L.SQL() + " " + b.Op.String() + " " + b.R.SQL() + ")"
+}
+
+// Func is a scalar or aggregate function call.
+type Func struct {
+	Name     string // upper-case function name
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x)
+}
+
+func (f *Func) exprNode() {}
+
+// SQL renders the call.
+func (f *Func) SQL() string {
+	var sb strings.Builder
+	sb.WriteString(f.Name)
+	sb.WriteByte('(')
+	if f.Star {
+		sb.WriteByte('*')
+	} else {
+		if f.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		for i, a := range f.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.SQL())
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// When is one WHEN ... THEN ... arm of a CASE expression.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is a CASE expression, with or without an operand.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []When
+	Else    Expr // nil if absent
+}
+
+func (c *Case) exprNode() {}
+
+// SQL renders the CASE expression.
+func (c *Case) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("(CASE")
+	if c.Operand != nil {
+		sb.WriteByte(' ')
+		sb.WriteString(c.Operand.SQL())
+	}
+	for _, w := range c.Whens {
+		sb.WriteString(" WHEN ")
+		sb.WriteString(w.Cond.SQL())
+		sb.WriteString(" THEN ")
+		sb.WriteString(w.Then.SQL())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE ")
+		sb.WriteString(c.Else.SQL())
+	}
+	sb.WriteString(" END)")
+	return sb.String()
+}
+
+// Cast converts an expression to a type.
+type Cast struct {
+	X  Expr
+	To Type
+}
+
+func (c *Cast) exprNode() {}
+
+// SQL renders the CAST expression.
+func (c *Cast) SQL() string {
+	return "CAST(" + c.X.SQL() + " AS " + c.To.String() + ")"
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+func (b *Between) exprNode() {}
+
+// SQL renders the BETWEEN expression.
+func (b *Between) SQL() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return "(" + b.X.SQL() + " " + not + "BETWEEN " + b.Lo.SQL() +
+		" AND " + b.Hi.SQL() + ")"
+}
+
+// InList is x [NOT] IN (e1, e2, ...).
+type InList struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+func (in *InList) exprNode() {}
+
+// SQL renders the IN expression.
+func (in *InList) SQL() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	sb.WriteString(in.X.SQL())
+	if in.Not {
+		sb.WriteString(" NOT")
+	}
+	sb.WriteString(" IN (")
+	for i, e := range in.List {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(e.SQL())
+	}
+	sb.WriteString("))")
+	return sb.String()
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+func (i *IsNull) exprNode() {}
+
+// SQL renders the IS NULL test.
+func (i *IsNull) SQL() string {
+	if i.Not {
+		return "(" + i.X.SQL() + " IS NOT NULL)"
+	}
+	return "(" + i.X.SQL() + " IS NULL)"
+}
+
+// IsBool is x IS [NOT] TRUE/FALSE.
+type IsBool struct {
+	X   Expr
+	Val bool
+	Not bool
+}
+
+func (i *IsBool) exprNode() {}
+
+// SQL renders the IS TRUE/FALSE test.
+func (i *IsBool) SQL() string {
+	s := "(" + i.X.SQL() + " IS "
+	if i.Not {
+		s += "NOT "
+	}
+	if i.Val {
+		s += "TRUE)"
+	} else {
+		s += "FALSE)"
+	}
+	return s
+}
+
+// LikeKind distinguishes pattern-matching operators.
+type LikeKind int
+
+// Pattern-matching operators.
+const (
+	LikeLike LikeKind = iota // LIKE: % and _ wildcards, case-insensitive ASCII
+	LikeGlob                 // GLOB: * and ? wildcards, case-sensitive
+)
+
+// Like is x [NOT] LIKE/GLOB pattern.
+type Like struct {
+	X, Pattern Expr
+	Kind       LikeKind
+	Not        bool
+}
+
+func (l *Like) exprNode() {}
+
+// SQL renders the pattern-matching expression.
+func (l *Like) SQL() string {
+	op := "LIKE"
+	if l.Kind == LikeGlob {
+		op = "GLOB"
+	}
+	if l.Not {
+		op = "NOT " + op
+	}
+	return "(" + l.X.SQL() + " " + op + " " + l.Pattern.SQL() + ")"
+}
+
+// Subquery is a scalar subquery: (SELECT ...) used as an expression.
+type Subquery struct {
+	Select *Select
+}
+
+func (s *Subquery) exprNode() {}
+
+// SQL renders the scalar subquery.
+func (s *Subquery) SQL() string { return "(" + s.Select.SQL() + ")" }
+
+// Exists is [NOT] EXISTS (SELECT ...).
+type Exists struct {
+	Select *Select
+	Not    bool
+}
+
+func (e *Exists) exprNode() {}
+
+// SQL renders the EXISTS expression.
+func (e *Exists) SQL() string {
+	if e.Not {
+		return "(NOT EXISTS (" + e.Select.SQL() + "))"
+	}
+	return "(EXISTS (" + e.Select.SQL() + "))"
+}

@@ -1,0 +1,539 @@
+package sqlast
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	// SQL renders the statement as deterministic SQL text (no trailing ';').
+	SQL() string
+}
+
+// ColumnDef defines one column in CREATE TABLE / ALTER TABLE ADD COLUMN.
+type ColumnDef struct {
+	Name       string
+	Type       Type
+	NotNull    bool
+	Unique     bool
+	PrimaryKey bool // rendered as a table-level PRIMARY KEY (name) constraint
+}
+
+// SQL renders the column definition without the PRIMARY KEY constraint
+// (which is table-level).
+func (c *ColumnDef) SQL() string {
+	s := c.Name + " " + c.Type.String()
+	if c.NotNull {
+		s += " NOT NULL"
+	}
+	if c.Unique {
+		s += " UNIQUE"
+	}
+	return s
+}
+
+// CreateTable is CREATE TABLE name (cols..., [PRIMARY KEY (...)]).
+type CreateTable struct {
+	Name        string
+	Columns     []ColumnDef
+	IfNotExists bool
+}
+
+func (c *CreateTable) stmtNode() {}
+
+// SQL renders the CREATE TABLE statement.
+func (c *CreateTable) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	if c.IfNotExists {
+		sb.WriteString("IF NOT EXISTS ")
+	}
+	sb.WriteString(c.Name)
+	sb.WriteString(" (")
+	var pk []string
+	for i, col := range c.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(col.SQL())
+		if col.PrimaryKey {
+			pk = append(pk, col.Name)
+		}
+	}
+	if len(pk) > 0 {
+		sb.WriteString(", PRIMARY KEY (")
+		sb.WriteString(strings.Join(pk, ", "))
+		sb.WriteByte(')')
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (cols) [WHERE pred].
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	Where   Expr // partial index predicate, nil if absent
+}
+
+func (c *CreateIndex) stmtNode() {}
+
+// SQL renders the CREATE INDEX statement.
+func (c *CreateIndex) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE ")
+	if c.Unique {
+		sb.WriteString("UNIQUE ")
+	}
+	sb.WriteString("INDEX ")
+	sb.WriteString(c.Name)
+	sb.WriteString(" ON ")
+	sb.WriteString(c.Table)
+	sb.WriteString(" (")
+	sb.WriteString(strings.Join(c.Columns, ", "))
+	sb.WriteByte(')')
+	if c.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(c.Where.SQL())
+	}
+	return sb.String()
+}
+
+// CreateView is CREATE VIEW name [(cols)] AS select.
+type CreateView struct {
+	Name    string
+	Columns []string // optional explicit column names
+	Select  *Select
+}
+
+func (c *CreateView) stmtNode() {}
+
+// SQL renders the CREATE VIEW statement.
+func (c *CreateView) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE VIEW ")
+	sb.WriteString(c.Name)
+	if len(c.Columns) > 0 {
+		sb.WriteString(" (")
+		sb.WriteString(strings.Join(c.Columns, ", "))
+		sb.WriteByte(')')
+	}
+	sb.WriteString(" AS ")
+	sb.WriteString(c.Select.SQL())
+	return sb.String()
+}
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table    string
+	Columns  []string
+	Rows     [][]Expr
+	OrIgnore bool // INSERT OR IGNORE (SQLite-family conflict handling)
+}
+
+func (i *Insert) stmtNode() {}
+
+// SQL renders the INSERT statement.
+func (i *Insert) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT ")
+	if i.OrIgnore {
+		sb.WriteString("OR IGNORE ")
+	}
+	sb.WriteString("INTO ")
+	sb.WriteString(i.Table)
+	if len(i.Columns) > 0 {
+		sb.WriteString(" (")
+		sb.WriteString(strings.Join(i.Columns, ", "))
+		sb.WriteByte(')')
+	}
+	sb.WriteString(" VALUES ")
+	for r, row := range i.Rows {
+		if r > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('(')
+		for c, e := range row {
+			if c > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.SQL())
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// Assignment is one SET col = expr clause of UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Update is UPDATE table SET ... [WHERE pred].
+type Update struct {
+	Table string
+	Sets  []Assignment
+	Where Expr
+}
+
+func (u *Update) stmtNode() {}
+
+// SQL renders the UPDATE statement.
+func (u *Update) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("UPDATE ")
+	sb.WriteString(u.Table)
+	sb.WriteString(" SET ")
+	for i, a := range u.Sets {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.Column)
+		sb.WriteString(" = ")
+		sb.WriteString(a.Value.SQL())
+	}
+	if u.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(u.Where.SQL())
+	}
+	return sb.String()
+}
+
+// Delete is DELETE FROM table [WHERE pred].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+func (d *Delete) stmtNode() {}
+
+// SQL renders the DELETE statement.
+func (d *Delete) SQL() string {
+	s := "DELETE FROM " + d.Table
+	if d.Where != nil {
+		s += " WHERE " + d.Where.SQL()
+	}
+	return s
+}
+
+// AlterTable is ALTER TABLE t ADD COLUMN def | DROP COLUMN name.
+type AlterTable struct {
+	Table      string
+	AddColumn  *ColumnDef // exactly one of AddColumn/DropColumn is set
+	DropColumn string
+}
+
+func (a *AlterTable) stmtNode() {}
+
+// SQL renders the ALTER TABLE statement.
+func (a *AlterTable) SQL() string {
+	if a.AddColumn != nil {
+		return "ALTER TABLE " + a.Table + " ADD COLUMN " + a.AddColumn.SQL()
+	}
+	return "ALTER TABLE " + a.Table + " DROP COLUMN " + a.DropColumn
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct {
+	Name string
+}
+
+func (d *DropTable) stmtNode() {}
+
+// SQL renders the DROP TABLE statement.
+func (d *DropTable) SQL() string { return "DROP TABLE " + d.Name }
+
+// DropView is DROP VIEW name.
+type DropView struct {
+	Name string
+}
+
+func (d *DropView) stmtNode() {}
+
+// SQL renders the DROP VIEW statement.
+func (d *DropView) SQL() string { return "DROP VIEW " + d.Name }
+
+// Analyze is ANALYZE [table]: collects planner statistics.
+type Analyze struct {
+	Table string // optional
+}
+
+func (a *Analyze) stmtNode() {}
+
+// SQL renders the ANALYZE statement.
+func (a *Analyze) SQL() string {
+	if a.Table != "" {
+		return "ANALYZE " + a.Table
+	}
+	return "ANALYZE"
+}
+
+// Refresh is REFRESH TABLE name — the CrateDB-style statement that makes
+// inserted data visible to subsequent queries (paper §6, "Manual effort").
+type Refresh struct {
+	Table string
+}
+
+func (r *Refresh) stmtNode() {}
+
+// SQL renders the REFRESH TABLE statement.
+func (r *Refresh) SQL() string { return "REFRESH TABLE " + r.Table }
+
+// SelectItem is one projection of a SELECT: either * or expr [AS alias].
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// SQL renders the projection item.
+func (s *SelectItem) SQL() string {
+	if s.Star {
+		return "*"
+	}
+	out := s.Expr.SQL()
+	if s.Alias != "" {
+		out += " AS " + s.Alias
+	}
+	return out
+}
+
+// JoinType enumerates join clauses. JoinNone marks the first FROM item
+// (no join keyword).
+type JoinType int
+
+// Join types (paper Appendix A.1: six types of join are supported).
+const (
+	JoinNone  JoinType = iota
+	JoinComma          // FROM a, b
+	JoinInner
+	JoinLeft
+	JoinRight
+	JoinFull
+	JoinCross
+	JoinNatural // NATURAL JOIN (inner, shared columns)
+)
+
+// String returns the SQL spelling of the join keyword.
+func (j JoinType) String() string {
+	switch j {
+	case JoinComma:
+		return ","
+	case JoinInner:
+		return "INNER JOIN"
+	case JoinLeft:
+		return "LEFT JOIN"
+	case JoinRight:
+		return "RIGHT JOIN"
+	case JoinFull:
+		return "FULL JOIN"
+	case JoinCross:
+		return "CROSS JOIN"
+	case JoinNatural:
+		return "NATURAL JOIN"
+	default:
+		return ""
+	}
+}
+
+// TableRef is a table source in FROM: a named table/view or a derived table.
+type TableRef interface {
+	tableRefNode()
+	// SQL renders the table reference.
+	SQL() string
+	// RefName returns the name the source is addressable by (alias or name).
+	RefName() string
+}
+
+// TableName references a table or view by name with an optional alias.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+func (t *TableName) tableRefNode() {}
+
+// SQL renders the table reference.
+func (t *TableName) SQL() string {
+	if t.Alias != "" {
+		return t.Name + " AS " + t.Alias
+	}
+	return t.Name
+}
+
+// RefName returns the alias if present, else the table name.
+func (t *TableName) RefName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// DerivedTable is a subquery in FROM: (SELECT ...) AS alias.
+type DerivedTable struct {
+	Select *Select
+	Alias  string
+}
+
+func (d *DerivedTable) tableRefNode() {}
+
+// SQL renders the derived table.
+func (d *DerivedTable) SQL() string {
+	return "(" + d.Select.SQL() + ") AS " + d.Alias
+}
+
+// RefName returns the mandatory alias.
+func (d *DerivedTable) RefName() string { return d.Alias }
+
+// FromItem is one element of the FROM clause. The first item has
+// Join == JoinNone; subsequent items carry their join type and ON clause.
+type FromItem struct {
+	Ref  TableRef
+	Join JoinType
+	On   Expr // nil for comma/cross/natural joins
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SetOp is a compound-query operator.
+type SetOp int
+
+// Set operators. Non-ALL operators use set semantics (duplicates
+// removed); UNION ALL keeps the multiset.
+const (
+	SetNone SetOp = iota
+	SetUnion
+	SetUnionAll
+	SetIntersect
+	SetExcept
+)
+
+// String returns the SQL spelling of the set operator.
+func (op SetOp) String() string {
+	switch op {
+	case SetUnion:
+		return "UNION"
+	case SetUnionAll:
+		return "UNION ALL"
+	case SetIntersect:
+		return "INTERSECT"
+	case SetExcept:
+		return "EXCEPT"
+	default:
+		return ""
+	}
+}
+
+// CompoundPart is one arm of a compound query: OP SELECT ...
+type CompoundPart struct {
+	Op     SetOp
+	Select *Select
+}
+
+// Select is a SELECT statement (also usable as a subquery). ORDER BY,
+// LIMIT, and OFFSET apply to the whole compound query when Compound is
+// non-empty.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem // empty means SELECT without FROM
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	Compound []CompoundPart
+	OrderBy  []OrderItem
+	Limit    *int64
+	Offset   *int64
+}
+
+func (s *Select) stmtNode() {}
+func (s *Select) exprNode() {} // a bare Select never appears as Expr; Subquery wraps it
+
+// SQL renders the SELECT statement.
+func (s *Select) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(s.Items[i].SQL())
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, f := range s.From {
+			if i == 0 {
+				sb.WriteString(f.Ref.SQL())
+				continue
+			}
+			if f.Join == JoinComma {
+				sb.WriteString(", ")
+			} else {
+				sb.WriteByte(' ')
+				sb.WriteString(f.Join.String())
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(f.Ref.SQL())
+			if f.On != nil {
+				sb.WriteString(" ON ")
+				sb.WriteString(f.On.SQL())
+			}
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.SQL())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(s.Having.SQL())
+	}
+	for _, part := range s.Compound {
+		sb.WriteByte(' ')
+		sb.WriteString(part.Op.String())
+		sb.WriteByte(' ')
+		sb.WriteString(part.Select.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.SQL())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.FormatInt(*s.Limit, 10))
+	}
+	if s.Offset != nil {
+		sb.WriteString(" OFFSET ")
+		sb.WriteString(strconv.FormatInt(*s.Offset, 10))
+	}
+	return sb.String()
+}

@@ -1,0 +1,157 @@
+// Package sqlparse implements a lexer and recursive-descent parser for the
+// SQL subset used by the platform. The engine ingests SQL as text — as a
+// real DBMS would — so every statement produced by the generator makes a
+// full round trip through rendering and parsing.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokString
+	TokOp    // operator or punctuation
+	TokError // lexer error; Text holds the message
+)
+
+// Token is one lexical token. Keywords are upper-cased in Text.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+// keywords recognized by the lexer (upper-case).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"DISTINCT": true, "AS": true, "ON": true, "AND": true, "OR": true,
+	"NOT": true, "XOR": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"IS": true, "IN": true, "BETWEEN": true, "LIKE": true, "GLOB": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"CAST": true, "EXISTS": true, "CREATE": true, "TABLE": true,
+	"INDEX": true, "VIEW": true, "UNIQUE": true, "PRIMARY": true,
+	"KEY": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "ALTER": true,
+	"ADD": true, "DROP": true, "COLUMN": true, "ANALYZE": true,
+	"REFRESH": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"RIGHT": true, "FULL": true, "CROSS": true, "NATURAL": true,
+	"OUTER": true, "DESC": true, "ASC": true, "INTEGER": true, "INT": true,
+	"TEXT": true, "VARCHAR": true, "BOOLEAN": true, "BOOL": true,
+	"IF": true, "EXIST": true, "DISTINCTFROM": true, "IGNORE": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true, "ALL": true,
+	"DEFAULT": true,
+}
+
+// Lexer tokenizes SQL text.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token.
+func (l *Lexer) Next() Token {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c):
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		return Token{Kind: TokInt, Text: l.src[start:l.pos], Pos: start}
+	case c == '\'':
+		return l.lexString(start)
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return Token{Kind: TokKeyword, Text: upper, Pos: start}
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start}
+	default:
+		return l.lexOp(start)
+	}
+}
+
+func (l *Lexer) lexString(start int) Token {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{Kind: TokError, Text: "unterminated string literal", Pos: start}
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{"<=>", "<<", ">>", "<=", ">=", "!=", "<>", "||", "=="}
+
+func (l *Lexer) lexOp(start int) Token {
+	rest := l.src[l.pos:]
+	for _, op := range multiOps {
+		if strings.HasPrefix(rest, op) {
+			l.pos += len(op)
+			return Token{Kind: TokOp, Text: op, Pos: start}
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '=', '<', '>',
+		'(', ')', ',', '.', ';':
+		l.pos++
+		return Token{Kind: TokOp, Text: string(c), Pos: start}
+	}
+	l.pos++
+	return Token{Kind: TokError, Text: fmt.Sprintf("unexpected character %q", c), Pos: start}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,238 @@
+package sqlparse_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqlancerpp/internal/core/gen"
+	"sqlancerpp/internal/sqlparse"
+)
+
+// roundtrip parses SQL and expects rendering to reproduce want (or the
+// input when want is empty).
+func roundtrip(t *testing.T, sql, want string) {
+	t.Helper()
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	if want == "" {
+		want = sql
+	}
+	if got := st.SQL(); got != want {
+		t.Fatalf("roundtrip %q\n  got  %q\n  want %q", sql, got, want)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	// Fixed-point inputs: rendering reproduces the input exactly.
+	for _, sql := range []string{
+		"CREATE TABLE t0 (c0 INTEGER NOT NULL, c1 TEXT UNIQUE, PRIMARY KEY (c0))",
+		"CREATE TABLE IF NOT EXISTS t1 (c0 BOOLEAN)",
+		"CREATE UNIQUE INDEX i0 ON t0 (c0, c1) WHERE (c0 > 1)",
+		"CREATE VIEW v0 (x) AS SELECT c0 FROM t0",
+		"INSERT INTO t0 (c0) VALUES (1), (2)",
+		"INSERT OR IGNORE INTO t0 (c0) VALUES (3)",
+		"UPDATE t0 SET c0 = 1, c1 = 'x' WHERE (c0 = 2)",
+		"DELETE FROM t0 WHERE (c0 IS NULL)",
+		"ALTER TABLE t0 ADD COLUMN c2 BOOLEAN",
+		"ALTER TABLE t0 DROP COLUMN c2",
+		"DROP TABLE t0",
+		"DROP VIEW v0",
+		"ANALYZE",
+		"ANALYZE t0",
+		"REFRESH TABLE t0",
+		"SELECT * FROM t0",
+		"SELECT DISTINCT c0 AS x FROM t0 ORDER BY c0 DESC LIMIT 3 OFFSET 1",
+		"SELECT t0.c0 FROM t0 INNER JOIN t1 ON (t0.c0 = t1.c0)",
+		"SELECT * FROM t0 LEFT JOIN t1 ON TRUE",
+		"SELECT * FROM t0 RIGHT JOIN t1 ON TRUE",
+		"SELECT * FROM t0 FULL JOIN t1 ON TRUE",
+		"SELECT * FROM t0 CROSS JOIN t1",
+		"SELECT * FROM t0 NATURAL JOIN t1",
+		"SELECT * FROM t0, t1",
+		"SELECT * FROM (SELECT c0 FROM t0) AS sub0",
+		"SELECT COUNT(*) FROM t0 GROUP BY c0 HAVING (COUNT(*) > 1)",
+		"SELECT COUNT(DISTINCT c0) FROM t0",
+		"SELECT c0 FROM t0 UNION SELECT c0 FROM t1",
+		"SELECT c0 FROM t0 UNION ALL SELECT c0 FROM t1 ORDER BY c0 LIMIT 2",
+		"SELECT c0 FROM t0 INTERSECT SELECT c0 FROM t1 EXCEPT SELECT c0 FROM t0",
+		"CREATE VIEW v1 AS SELECT c0 FROM t0 UNION SELECT c0 FROM t1",
+	} {
+		roundtrip(t, sql, "")
+	}
+}
+
+func TestParseStatementVariants(t *testing.T) {
+	// Inputs that normalize to a canonical rendering.
+	roundtrip(t, "SELECT 1;", "SELECT 1")
+	roundtrip(t, "select c0 from t0 where c0 = 1 -- trailing comment",
+		"SELECT c0 FROM t0 WHERE (c0 = 1)")
+	roundtrip(t, "SELECT * FROM t0 AS x", "SELECT * FROM t0 AS x")
+	roundtrip(t, "SELECT * FROM t0 x", "SELECT * FROM t0 AS x")
+	roundtrip(t, "SELECT c0 x FROM t0", "SELECT c0 AS x FROM t0")
+	roundtrip(t, "SELECT * FROM t0 LEFT OUTER JOIN t1 ON TRUE",
+		"SELECT * FROM t0 LEFT JOIN t1 ON TRUE")
+	roundtrip(t, "CREATE TABLE t (c INT)", "CREATE TABLE t (c INTEGER)")
+	roundtrip(t, "CREATE TABLE t (c VARCHAR)", "CREATE TABLE t (c TEXT)")
+	roundtrip(t, "CREATE TABLE t (c BOOL)", "CREATE TABLE t (c BOOLEAN)")
+	roundtrip(t, "CREATE TABLE t (c INTEGER PRIMARY KEY)",
+		"CREATE TABLE t (c INTEGER, PRIMARY KEY (c))")
+}
+
+func TestParseExpressions(t *testing.T) {
+	for sql, want := range map[string]string{
+		"1 + 2 * 3":                     "(1 + (2 * 3))",
+		"(1 + 2) * 3":                   "((1 + 2) * 3)",
+		"1 < 2 AND 3 >= 2":              "((1 < 2) AND (3 >= 2))",
+		"NOT a = b":                     "(NOT (a = b))",
+		"a OR b AND c":                  "(a OR (b AND c))",
+		"a XOR b":                       "(a XOR b)",
+		"x BETWEEN 1 AND 2 + 3":         "(x BETWEEN 1 AND (2 + 3))",
+		"x NOT BETWEEN 1 AND 2":         "(x NOT BETWEEN 1 AND 2)",
+		"x IN (1, 2)":                   "(x IN (1, 2))",
+		"x NOT IN (1)":                  "(x NOT IN (1))",
+		"x IS NULL":                     "(x IS NULL)",
+		"x IS NOT NULL":                 "(x IS NOT NULL)",
+		"x IS TRUE":                     "(x IS TRUE)",
+		"x IS NOT FALSE":                "(x IS NOT FALSE)",
+		"x IS DISTINCT FROM y":          "(x IS DISTINCT FROM y)",
+		"x IS NOT DISTINCT FROM y":      "(x IS NOT DISTINCT FROM y)",
+		"x LIKE 'a%'":                   "(x LIKE 'a%')",
+		"x NOT GLOB '*'":                "(x NOT GLOB '*')",
+		"a <=> b":                       "(a <=> b)",
+		"a == b":                        "(a = b)",
+		"'it''s'":                       "'it''s'",
+		"- - 2000":                      "2000", // folded into one literal
+		"~ 5":                           "(~ 5)",
+		"'a' || 'b' || 'c'":             "(('a' || 'b') || 'c')",
+		"CAST(x AS TEXT)":               "CAST(x AS TEXT)",
+		"CASE WHEN a THEN 1 ELSE 2 END": "(CASE WHEN a THEN 1 ELSE 2 END)",
+		"CASE x WHEN 1 THEN 'a' END":    "(CASE x WHEN 1 THEN 'a' END)",
+		"EXISTS (SELECT 1)":             "(EXISTS (SELECT 1))",
+		"NOT EXISTS (SELECT 1)":         "(NOT EXISTS (SELECT 1))",
+		"(SELECT MAX(c) FROM t)":        "(SELECT MAX(c) FROM t)",
+		"NULLIF(a, b)":                  "NULLIF(a, b)",
+		"t.c":                           "t.c",
+		"1 & 2 | 3 << 4":                "(((1 & 2) | 3) << 4)",
+		"a < b < c":                     "((a < b) < c)", // left-assoc chain
+	} {
+		e, err := sqlparse.ParseExpr(sql)
+		if err != nil {
+			t.Errorf("parse expr %q: %v", sql, err)
+			continue
+		}
+		if got := e.SQL(); got != want {
+			t.Errorf("expr %q → %q, want %q", sql, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, sql := range []string{
+		"",
+		"SELEC 1",
+		"SELECT",
+		"SELECT 1 FROM",
+		"SELECT * FROM t0 WHERE",
+		"SELECT (1",
+		"CREATE TABLE t",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (c0 FLOAT)",
+		"INSERT INTO t VALUES",
+		"UPDATE t SET",
+		"SELECT 1 2",
+		"SELECT 'unterminated",
+		"SELECT * FROM (SELECT 1)", // derived table needs an alias
+		"SELECT CASE END",          // CASE needs a WHEN
+		"DELETE t",                 // missing FROM
+		"CREATE UNIQUE TABLE t (c INTEGER)",
+		"SELECT 1 $ 2",
+	} {
+		if _, err := sqlparse.Parse(sql); err == nil {
+			t.Errorf("parse %q: expected error", sql)
+		}
+	}
+}
+
+// TestGeneratorOutputRoundtrips is the workhorse property test: every
+// statement the adaptive generator can produce must parse back to
+// identical SQL (the engine consumes text, so any asymmetry between
+// renderer and parser breaks the platform).
+func TestGeneratorOutputRoundtrips(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := gen.New(gen.Config{Seed: seed, StartDepth: 3, MaxDepth: 3, RiskyProb: 0.2})
+		for i := 0; i < 40; i++ {
+			st := g.GenSetup()
+			if st.OnSuccess != nil {
+				st.OnSuccess()
+			}
+			checkRoundtrip(t, st.SQL)
+		}
+		for i := 0; i < 2500; i++ {
+			var sql string
+			if i%3 == 0 {
+				oc := g.GenOracleCase()
+				if oc == nil {
+					continue
+				}
+				sel := oc.Base
+				sel.Where = oc.Pred
+				sql = sel.SQL()
+			} else {
+				sql = g.GenQuery().SQL
+			}
+			checkRoundtrip(t, sql)
+		}
+	}
+}
+
+func checkRoundtrip(t *testing.T, sql string) {
+	t.Helper()
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("generated SQL does not parse: %v\n  %s", err, sql)
+	}
+	if got := st.SQL(); got != sql {
+		// Show a trimmed diff position.
+		i := 0
+		for i < len(got) && i < len(sql) && got[i] == sql[i] {
+			i++
+		}
+		lo := i - 20
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("roundtrip mismatch near %q:\n  in:  %s\n  out: %s",
+			sql[lo:min(i+20, len(sql))], sql, got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLexerTokens(t *testing.T) {
+	lex := sqlparse.NewLexer("SELECT c0, 'a''b' <= 42 <=>")
+	var kinds []sqlparse.TokKind
+	var texts []string
+	for {
+		tok := lex.Next()
+		if tok.Kind == sqlparse.TokEOF {
+			break
+		}
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"SELECT", "c0", ",", "a'b", "<=", "42", "<=>"}
+	if strings.Join(texts, "|") != strings.Join(want, "|") {
+		t.Fatalf("tokens %v, want %v", texts, want)
+	}
+	if kinds[0] != sqlparse.TokKeyword || kinds[1] != sqlparse.TokIdent ||
+		kinds[3] != sqlparse.TokString || kinds[5] != sqlparse.TokInt {
+		t.Fatalf("token kinds wrong: %v", kinds)
+	}
+}

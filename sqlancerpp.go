@@ -1,0 +1,286 @@
+// Package sqlancerpp is a Go implementation of SQLancer++ — the
+// automated DBMS-testing platform of "Scaling Automated Database System
+// Testing" (ASPLOS 2026) — together with the full substrate it needs to
+// run self-contained: an in-memory SQL engine configurable with 19 DBMS
+// dialect profiles and a ground-truth fault-injection catalogue.
+//
+// The platform finds logic bugs with the TLP and NoREC metamorphic test
+// oracles, driven by an adaptive statement generator that learns, via
+// Bayesian inference over execution feedback, which SQL features the
+// system under test supports. Bug-inducing cases are prioritized by
+// feature-set subsumption and automatically reduced.
+//
+// Quick start:
+//
+//	report, err := sqlancerpp.Run(sqlancerpp.Options{
+//		DBMS:      "cratedb",
+//		TestCases: 20000,
+//	})
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package sqlancerpp
+
+import (
+	"fmt"
+
+	"sqlancerpp/internal/baseline"
+	"sqlancerpp/internal/core/campaign"
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/faults"
+	"sqlancerpp/internal/feature"
+)
+
+// Options configures a testing campaign.
+type Options struct {
+	// DBMS names the dialect under test (see Dialects).
+	DBMS string
+	// Oracle selects the test oracle: "tlp", "norec", or "" for both.
+	Oracle string
+	// TestCases is the number of oracle checks (default 1000).
+	TestCases int
+	// Seed makes the campaign deterministic.
+	Seed int64
+	// NoFeedback disables the adaptive validity feedback
+	// ("SQLancer++ Rand" in the paper).
+	NoFeedback bool
+	// Baseline uses the hand-written per-DBMS generator stand-in
+	// ("SQLancer" in the paper) instead of the adaptive generator.
+	Baseline bool
+	// Reduce runs the test-case reducer on prioritized logic bugs.
+	Reduce bool
+	// Threshold is the Bayesian minimum success probability p
+	// (default 0.05 for scaled runs; the paper uses 0.01).
+	Threshold float64
+	// FeedbackState seeds the generator with previously learned feature
+	// probabilities (Report.FeedbackState of an earlier run).
+	FeedbackState []byte
+	// CleanEngine disables fault injection — useful for soundness checks;
+	// a campaign on a clean engine must report zero bugs.
+	CleanEngine bool
+}
+
+// Bug is one prioritized bug-inducing test case.
+type Bug struct {
+	ID      int
+	Class   string // "logic", "crash", "error", or "perf"
+	Oracle  string // "TLP" or "NoREC" (empty for non-oracle bugs)
+	Setup   []string
+	Queries []string
+	Reduced []string // reduced statement sequence, when reduction ran
+	Detail  string
+	// Features is the SQL feature set the prioritizer used.
+	Features []string
+	// GroundTruthFaults lists the injected fault IDs the case triggered
+	// (empty only if the engine itself misbehaved).
+	GroundTruthFaults []string
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	DBMS string
+	Mode string
+
+	Detected    int // all bug-inducing test cases
+	Prioritized int // cases the prioritizer reported
+	UniqueBugs  int // distinct ground-truth faults among detected cases
+
+	TestCases    int
+	ValidCases   int
+	ValidityRate float64
+
+	Bugs []Bug
+
+	// FeedbackState holds the learned feature probabilities for reuse.
+	FeedbackState []byte
+	// UnsupportedFeatures lists features learned to be unsupported.
+	UnsupportedFeatures []string
+	// FalsePositives counts bug cases with no ground-truth fault; any
+	// non-zero value indicates a defect in this library.
+	FalsePositives int
+}
+
+// Run executes a testing campaign against a registered dialect.
+func Run(o Options) (*Report, error) {
+	d, err := dialect.Get(o.DBMS)
+	if err != nil {
+		return nil, err
+	}
+	if o.CleanEngine {
+		d = d.Clone()
+		d.Faults = nil
+	}
+	cfg := campaign.Config{
+		Dialect:       d,
+		TestCases:     o.TestCases,
+		Seed:          o.Seed,
+		Threshold:     o.Threshold,
+		ReduceBugs:    o.Reduce,
+		FeedbackState: o.FeedbackState,
+	}
+	switch o.Oracle {
+	case "tlp":
+		cfg.UseTLP = true
+	case "norec":
+		cfg.UseNoREC = true
+	case "", "both":
+	default:
+		return nil, fmt.Errorf("sqlancerpp: unknown oracle %q (want tlp, norec, or both)", o.Oracle)
+	}
+	switch {
+	case o.Baseline:
+		cfg = baseline.Configure(cfg, d)
+	case o.NoFeedback:
+		cfg.Mode = campaign.Rand
+	default:
+		cfg.Mode = campaign.Adaptive
+	}
+	runner, err := campaign.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := runner.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &Report{
+		DBMS:                rep.Dialect,
+		Mode:                rep.Mode,
+		Detected:            rep.Detected,
+		Prioritized:         rep.Prioritized,
+		UniqueBugs:          rep.UniqueGroundTruth,
+		TestCases:           rep.TestCases,
+		ValidCases:          rep.ValidCases,
+		ValidityRate:        rep.ValidityRate(),
+		FeedbackState:       rep.FeedbackState,
+		UnsupportedFeatures: rep.Unsupported,
+		FalsePositives:      rep.FalsePositives,
+	}
+	for _, b := range rep.Bugs {
+		out.Bugs = append(out.Bugs, Bug{
+			ID:                b.ID,
+			Class:             string(b.Class),
+			Oracle:            string(b.Oracle),
+			Setup:             b.Setup,
+			Queries:           b.Queries,
+			Reduced:           b.Reduced,
+			Detail:            b.Detail,
+			Features:          b.Features,
+			GroundTruthFaults: b.Triggered,
+		})
+	}
+	return out, nil
+}
+
+// Dialects returns the registered dialect names.
+func Dialects() []string { return dialect.Names() }
+
+// PaperDBMSs returns the 18 systems of the paper's Table 2.
+func PaperDBMSs() []string {
+	return append([]string(nil), dialect.PaperDBMSs...)
+}
+
+// DB is a handle to one simulated DBMS instance, for direct SQL use.
+type DB struct {
+	s *engine.DB
+}
+
+// Open creates an empty database with the named dialect's behavior,
+// including its injected faults (pass clean=true for a pristine system).
+func Open(dbms string, clean bool) (*DB, error) {
+	d, err := dialect.Get(dbms)
+	if err != nil {
+		return nil, err
+	}
+	var opts []engine.Option
+	if clean {
+		opts = append(opts, engine.WithoutFaults())
+	}
+	return &DB{s: engine.Open(d, opts...)}, nil
+}
+
+// Exec runs a statement, discarding rows.
+func (db *DB) Exec(sql string) error { return db.s.Exec(sql) }
+
+// Query runs a statement and returns column names plus rendered rows.
+func (db *DB) Query(sql string) (cols []string, rows [][]string, err error) {
+	res, err := db.s.Query(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		row := make([]string, len(r))
+		for j, v := range r {
+			row[j] = v.Render()
+		}
+		rows[i] = row
+	}
+	return res.Columns, rows, nil
+}
+
+// TriggeredFaults reports the ground-truth fault IDs the last statement
+// fired (evaluation use only).
+func (db *DB) TriggeredFaults() []string { return db.s.TriggeredFaults() }
+
+// DialectSpec describes a custom dialect derived from a base profile —
+// the paper's core use case: a DBMS team (e.g. Vitess) pointing the
+// platform at their own system with a few lines of configuration.
+type DialectSpec struct {
+	Name string
+	// Base names the profile to derive from (e.g. "postgresql",
+	// "sqlite", "mysql").
+	Base string
+	// RemoveFeatures / AddFeatures adjust the feature matrices; names are
+	// statement keywords, clause keywords, operator spellings, function
+	// names, or data types.
+	RemoveFeatures []string
+	AddFeatures    []string
+	// RequiresRefresh marks CrateDB-style visibility semantics.
+	RequiresRefresh bool
+}
+
+// RegisterDialect derives and registers a custom dialect.
+func RegisterDialect(spec DialectSpec) error {
+	base, err := dialect.Get(spec.Base)
+	if err != nil {
+		return err
+	}
+	d := base.Clone()
+	d.Name = spec.Name
+	d.DisplayName = spec.Name
+	d.RequiresRefresh = spec.RequiresRefresh
+	d.Faults = faults.NewSet(faults.ForDialect(spec.Name))
+	for _, f := range spec.RemoveFeatures {
+		delete(d.Statements, f)
+		delete(d.Clauses, f)
+		delete(d.Operators, f)
+		delete(d.Functions, f)
+		delete(d.Types, f)
+	}
+	for _, f := range spec.AddFeatures {
+		switch {
+		case engine.LookupFunc(f) != nil:
+			d.Functions[f] = true
+		case isStatementFeature(f):
+			d.Statements[f] = true
+		case f == feature.TypeInteger || f == feature.TypeText || f == feature.TypeBoolean:
+			d.Types[f] = true
+		default:
+			// Clause keywords and operator spellings share a namespace;
+			// set both, as lookups are per-map.
+			d.Clauses[f] = true
+			d.Operators[f] = true
+		}
+	}
+	return dialect.Register(d)
+}
+
+func isStatementFeature(f string) bool {
+	for _, s := range feature.Statements {
+		if s == f {
+			return true
+		}
+	}
+	return f == feature.StmtDropTable || f == feature.StmtDropView
+}
