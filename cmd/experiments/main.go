@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments [-exp all|table1|table2|table3|table4|table5|table6|fig1|fig6|fig7|ablations|series]
-//	            [-scale default|full] [-seed N]
+//	            [-scale default|full] [-seed N] [-workers N]
 package main
 
 import (
@@ -21,12 +21,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	scaleName := flag.String("scale", "default", "budget scale: default or full")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "campaign worker pool for the multi-campaign experiments (0 = min(GOMAXPROCS, 8))")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
 	if *scaleName == "full" {
 		scale = experiments.FullScale()
 	}
+	scale.Workers = *workers
 
 	run := func(name string, f func() (string, error)) {
 		if *exp != "all" && *exp != name {

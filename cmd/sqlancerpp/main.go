@@ -5,7 +5,7 @@
 //
 //	sqlancerpp -dbms cratedb [-cases 20000] [-oracle both|tlp|norec]
 //	           [-seed 1] [-no-feedback] [-baseline] [-reduce]
-//	           [-state feedback.json] [-list]
+//	           [-state feedback.json] [-workers 8] [-list]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	baselineMode := flag.Bool("baseline", false, "use the per-DBMS baseline generator (SQLancer)")
 	reduceBugs := flag.Bool("reduce", true, "reduce prioritized logic bugs")
 	statePath := flag.String("state", "", "load/persist learned feature probabilities (JSON)")
+	workers := flag.Int("workers", 0, "run the campaign as deterministic parallel shards over N workers (0 = serial)")
 	list := flag.Bool("list", false, "list registered dialects and exit")
 	maxPrint := flag.Int("max-print", 5, "bug reports to print in full")
 	flag.Parse()
@@ -49,6 +50,7 @@ func main() {
 		NoFeedback: *noFeedback,
 		Baseline:   *baselineMode,
 		Reduce:     *reduceBugs,
+		Workers:    *workers,
 	}
 	if *statePath != "" {
 		if data, err := os.ReadFile(*statePath); err == nil {

@@ -1,0 +1,3 @@
+module sqlancerpp
+
+go 1.24

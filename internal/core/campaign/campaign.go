@@ -8,6 +8,7 @@ package campaign
 
 import (
 	"fmt"
+	"sort"
 
 	"sqlancerpp/internal/core/feedback"
 	"sqlancerpp/internal/core/gen"
@@ -171,6 +172,10 @@ type Report struct {
 	FeedbackState []byte
 	// Unsupported lists the features learned to be unsupported.
 	Unsupported []string
+	// GroundTruthFaults lists the distinct injected fault IDs among all
+	// detected cases, sorted (len == UniqueGroundTruth). Shard merging
+	// unions these sets.
+	GroundTruthFaults []string
 }
 
 // ValidityRate returns valid/total test cases.
@@ -197,11 +202,10 @@ type Runner struct {
 	allFaults map[string]bool
 }
 
-// New prepares a campaign runner.
-func New(cfg Config) (*Runner, error) {
-	if cfg.Dialect == nil {
-		return nil, fmt.Errorf("campaign: no dialect configured")
-	}
+// withDefaults resolves the zero-value configuration knobs. RunSharded
+// applies it before partitioning so the shard layout is a function of the
+// resolved configuration only.
+func (cfg Config) withDefaults() Config {
 	if cfg.TestCases == 0 {
 		cfg.TestCases = 1000
 	}
@@ -225,7 +229,12 @@ func New(cfg Config) (*Runner, error) {
 		// ~60 observations; see EXPERIMENTS.md.
 		cfg.Threshold = 0.05
 	}
+	return cfg
+}
 
+// newTracker builds the Bayesian tracker for a resolved configuration
+// (shared by New and the shard merger).
+func newTracker(cfg Config) *feedback.Tracker {
 	var topts []feedback.Option
 	if cfg.Threshold > 0 {
 		topts = append(topts, feedback.WithThreshold(cfg.Threshold))
@@ -242,7 +251,17 @@ func New(cfg Config) (*Runner, error) {
 	if cfg.Mode != Adaptive {
 		topts = append(topts, feedback.Disabled())
 	}
-	tracker := feedback.New(topts...)
+	return feedback.New(topts...)
+}
+
+// New prepares a campaign runner.
+func New(cfg Config) (*Runner, error) {
+	if cfg.Dialect == nil {
+		return nil, fmt.Errorf("campaign: no dialect configured")
+	}
+	cfg = cfg.withDefaults()
+
+	tracker := newTracker(cfg)
 	if cfg.FeedbackState != nil {
 		if err := tracker.Load(cfg.FeedbackState); err != nil {
 			return nil, fmt.Errorf("campaign: loading feedback state: %w", err)
@@ -583,6 +602,20 @@ func (r *Runner) finishReport() {
 	}
 	r.report.UniquePrioritized = len(pri)
 	r.report.UniqueGroundTruth = len(r.allFaults)
+	r.report.GroundTruthFaults = sortedKeys(r.allFaults)
+}
+
+// sortedKeys returns the keys of a string set, sorted.
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // noteFaults records triggered ground-truth faults for unique-bug

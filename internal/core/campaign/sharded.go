@@ -1,0 +1,176 @@
+package campaign
+
+import (
+	"fmt"
+
+	"sqlancerpp/internal/core/prioritize"
+	"sqlancerpp/internal/par"
+)
+
+// splitmix64 advances a seed sequence and returns the new state plus the
+// derived value (Steele et al., "Fast splittable pseudorandom number
+// generators"). Shard seeds come from this sequence so that shard i's
+// generator stream is a pure function of (Config.Seed, i).
+func splitmix64(x uint64) (next uint64, value int64) {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return x, int64(z)
+}
+
+// ShardCount returns the number of logical shards RunSharded partitions
+// a configuration into: one shard per database epoch (CasesPerDB oracle
+// checks). The partition depends on the configuration only — never on
+// the worker count — which is what makes the merged report reproducible
+// on any machine.
+func ShardCount(cfg Config) int {
+	cfg = cfg.withDefaults()
+	n := (cfg.TestCases + cfg.CasesPerDB - 1) / cfg.CasesPerDB
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// RunSharded executes a campaign as deterministic parallel shards and
+// merges the results.
+//
+// The test-case budget splits into ShardCount logical shards; workers
+// only bounds how many execute concurrently. Each shard runs a complete
+// Runner — its own engine instance, generator, prioritizer, and Bayesian
+// tracker (seeded from Config.FeedbackState) — under a per-shard seed
+// derived from Config.Seed via splitmix64. Because shards never share
+// mutable state and the merge is a fold in shard-index order, the same
+// seed yields a byte-identical report for every worker count, including
+// the serial workers == 1 run.
+//
+// Semantically the difference from Run is that validity feedback does not
+// flow across database epochs during the campaign; the merged
+// FeedbackState still pools every shard's evidence for reuse in later
+// runs (paper Figure 5).
+func RunSharded(cfg Config, workers int) (*Report, error) {
+	if cfg.Dialect == nil {
+		return nil, fmt.Errorf("campaign: no dialect configured")
+	}
+	cfg = cfg.withDefaults()
+
+	nShards := ShardCount(cfg)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nShards {
+		workers = nShards
+	}
+
+	shards := make([]Config, nShards)
+	seq := uint64(cfg.Seed)
+	for i := range shards {
+		sc := cfg
+		sc.TestCases = cfg.CasesPerDB
+		if i == nShards-1 {
+			sc.TestCases = cfg.TestCases - cfg.CasesPerDB*(nShards-1)
+		}
+		seq, sc.Seed = splitmix64(seq)
+		shards[i] = sc
+	}
+
+	reports := make([]*Report, nShards)
+	if err := par.ForEach(nShards, workers, func(i int) error {
+		runner, err := New(shards[i])
+		if err != nil {
+			return err
+		}
+		reports[i], err = runner.Run()
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return mergeReports(cfg, reports)
+}
+
+// mergeReports folds per-shard reports, in shard-index order, into one.
+//
+// Counters add; bug IDs shift by the preceding shards' detected-case
+// counts (preserving "ID = position among detected cases"); bugs
+// prioritized within their shard replay through a fresh global
+// prioritizer so feature-subsumed duplicates across shards are dropped
+// exactly as a serial prioritizer would drop them; feedback states merge
+// via Tracker.MergeState followed by one posterior update over the
+// pooled evidence. Ground-truth fault sets union. Every step is a
+// deterministic function of the shard reports, which are themselves
+// deterministic per shard seed.
+func mergeReports(cfg Config, reps []*Report) (*Report, error) {
+	merged := &Report{
+		Dialect:            cfg.Dialect.Name,
+		Mode:               cfg.Mode.String(),
+		DetectedByClass:    map[BugClass]int{},
+		PrioritizedByClass: map[BugClass]int{},
+	}
+	// The merged tracker starts empty: each shard already loaded
+	// Config.FeedbackState, so its saved state carries those priors
+	// (deduplicated below before the posterior update).
+	tracker := newTracker(cfg)
+	pri := prioritize.New()
+	faults := map[string]bool{}
+	priFaults := map[string]bool{}
+
+	for _, rep := range reps {
+		idOffset := merged.Detected
+		merged.TestCases += rep.TestCases
+		merged.ValidCases += rep.ValidCases
+		merged.SetupTotal += rep.SetupTotal
+		merged.SetupOK += rep.SetupOK
+		merged.Detected += rep.Detected
+		merged.FalsePositives += rep.FalsePositives
+		for c, n := range rep.DetectedByClass {
+			merged.DetectedByClass[c] += n
+		}
+		for _, id := range rep.GroundTruthFaults {
+			faults[id] = true
+		}
+		for _, b := range rep.Bugs {
+			nb := *b
+			nb.ID += idOffset
+			if !pri.Report(prioritizerFeatures(nb.Features)) {
+				continue
+			}
+			merged.Prioritized++
+			merged.PrioritizedByClass[nb.Class]++
+			for _, id := range nb.Triggered {
+				priFaults[id] = true
+			}
+			merged.Bugs = append(merged.Bugs, &nb)
+		}
+		for _, c := range rep.AllCases {
+			nc := *c
+			nc.ID += idOffset
+			merged.AllCases = append(merged.AllCases, &nc)
+		}
+		if rep.FeedbackState != nil {
+			if err := tracker.MergeState(rep.FeedbackState); err != nil {
+				return nil, fmt.Errorf("campaign: merging shard feedback: %w", err)
+			}
+		}
+	}
+
+	merged.UniqueGroundTruth = len(faults)
+	merged.GroundTruthFaults = sortedKeys(faults)
+	merged.UniquePrioritized = len(priFaults)
+
+	// Every shard's saved state re-includes the warm-start prior it was
+	// seeded with; keep exactly one copy of that prior in the pooled
+	// evidence.
+	if cfg.FeedbackState != nil && len(reps) > 1 {
+		if err := tracker.DiscountState(cfg.FeedbackState, len(reps)-1); err != nil {
+			return nil, fmt.Errorf("campaign: discounting warm-start prior: %w", err)
+		}
+	}
+	tracker.Update()
+	if state, err := tracker.Save(); err == nil {
+		merged.FeedbackState = state
+	}
+	merged.Unsupported = tracker.Unsupported()
+	return merged, nil
+}

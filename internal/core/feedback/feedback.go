@@ -234,6 +234,68 @@ func (t *Tracker) Save() ([]byte, error) {
 	return json.MarshalIndent(snap, "", "  ")
 }
 
+// MergeState folds another tracker's saved state into t: execution
+// counts add, the DDL flag ORs, consecutive-failure streaks take their
+// maximum (streams cannot be interleaved after the fact), and features
+// either side deemed unsupported start out unsupported. Callers merging
+// several states should finish with Update() so the Bayesian
+// classifications reflect the pooled evidence; the DDL consecutive-
+// failure rule is monotone, so union is its exact merge.
+func (t *Tracker) MergeState(data []byte) error {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for f, st := range snap.Stats {
+		dst := t.stat(f)
+		dst.N += st.N
+		dst.Y += st.Y
+		dst.DDL = dst.DDL || st.DDL
+		if st.ConsecFail > dst.ConsecFail {
+			dst.ConsecFail = st.ConsecFail
+		}
+	}
+	for _, f := range snap.Unsupported {
+		t.unsupported[f] = true
+	}
+	return nil
+}
+
+// DiscountState subtracts times copies of a saved state's execution
+// counts from t (flooring at zero). A shard merge uses it to remove the
+// shared warm-start prior that every shard's saved state re-includes, so
+// the pooled evidence counts the prior exactly once. DDL flags,
+// failure streaks, and unsupported markings are left alone — they are
+// monotone under the merge, not additive.
+func (t *Tracker) DiscountState(data []byte, times int) error {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return err
+	}
+	if times <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for f, st := range snap.Stats {
+		dst := t.stats[f]
+		if dst == nil {
+			continue
+		}
+		dst.N -= times * st.N
+		dst.Y -= times * st.Y
+		if dst.N < 0 {
+			dst.N = 0
+		}
+		if dst.Y < 0 {
+			dst.Y = 0
+		}
+	}
+	return nil
+}
+
 // Load restores tracker state saved by Save.
 func (t *Tracker) Load(data []byte) error {
 	var snap snapshot

@@ -184,3 +184,62 @@ func TestTrackerUpdateCadence(t *testing.T) {
 		t.Fatalf("want 4 updates after 100 records at interval 25, got %d", got)
 	}
 }
+
+func TestTrackerMergeState(t *testing.T) {
+	mk := func(feat string, n, fails int) []byte {
+		tr := New(WithThreshold(0.05))
+		for i := 0; i < n; i++ {
+			tr.RecordQuery([]string{feat}, i >= fails)
+		}
+		data, err := tr.Save()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	merged := New(WithThreshold(0.05))
+	// Two shards: one saw XOR fail 40/40 times, one 30/30 — pooled
+	// evidence must condemn it; "=" succeeded everywhere and must stay.
+	if err := merged.MergeState(mk("XOR", 40, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.MergeState(mk("XOR", 30, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.MergeState(mk("=", 50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	merged.Update()
+	if n, y := merged.Stats("XOR"); n != 70 || y != 0 {
+		t.Fatalf("merged XOR stats: N=%d y=%d, want 70/0", n, y)
+	}
+	if merged.Supported("XOR") {
+		t.Fatal("pooled evidence must mark XOR unsupported")
+	}
+	if !merged.Supported("=") {
+		t.Fatal("= must stay supported after merge")
+	}
+	if err := merged.MergeState([]byte("{broken")); err == nil {
+		t.Fatal("corrupt state must be rejected")
+	}
+}
+
+func TestTrackerMergeStateKeepsDDLRule(t *testing.T) {
+	shard := New()
+	for i := 0; i < DefaultDDLMaxFailures; i++ {
+		shard.RecordDDL([]string{"CREATE VIEW"}, false)
+	}
+	shard.Update()
+	data, err := shard.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := New()
+	if err := merged.MergeState(data); err != nil {
+		t.Fatal(err)
+	}
+	merged.Update()
+	if merged.Supported("CREATE VIEW") {
+		t.Fatal("DDL condemnation must survive the merge")
+	}
+}

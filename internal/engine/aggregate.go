@@ -11,10 +11,12 @@ func (ctx *evalCtx) evalAggregate(x *sqlast.Func) (Value, *Error) {
 		return Int(int64(len(ctx.group))), nil
 	}
 	// Collect the argument's values over the group, fault-free: aggregate
-	// inputs are reference-path evaluations.
-	var vals []Value
+	// inputs are reference-path evaluations. One context is rebound per
+	// member instead of allocated per member.
+	vals := make([]Value, 0, len(ctx.group))
+	mctx := ctx.s.newEvalCtx(nil)
 	for _, env := range ctx.group {
-		mctx := ctx.s.newEvalCtx(env)
+		mctx.env = env
 		v, err := mctx.eval(x.Args[0])
 		if err != nil {
 			return Null(), err

@@ -27,6 +27,22 @@ type Table struct {
 	Pending [][]Value
 	// Analyzed records whether ANALYZE collected statistics.
 	Analyzed bool
+	// names caches the column-name slice handed to scans; ALTER TABLE
+	// invalidates it.
+	names []string
+}
+
+// colNames returns the column names as a shared slice. Scans and row
+// environments hold it read-only; it is rebuilt after schema changes.
+func (t *Table) colNames() []string {
+	if t.names == nil {
+		names := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			names[i] = t.Columns[i].Name
+		}
+		t.names = names
+	}
+	return t.names
 }
 
 // ColumnIndex returns the position of a column by case-insensitive name,

@@ -159,11 +159,7 @@ func (s *DB) indexEntry(t *Table, ix *Index, row []Value) (bool, string, *Error)
 }
 
 func tableRowRel(t *Table, row []Value) rowRel {
-	cols := make([]string, len(t.Columns))
-	for i := range t.Columns {
-		cols[i] = t.Columns[i].Name
-	}
-	return rowRel{alias: t.Name, cols: cols, vals: row}
+	return rowRel{alias: t.Name, cols: t.colNames(), vals: row}
 }
 
 func (s *DB) execCreateView(st *sqlast.CreateView) error {
@@ -310,10 +306,16 @@ func (s *DB) execUpdate(st *sqlast.Update) error {
 	// Compute the post-image first; apply only if all constraints hold.
 	newRows := make([][]Value, len(t.Rows))
 	updated := make([]bool, len(t.Rows))
+	env := &rowEnv{rels: []rowRel{tableRowRel(t, nil)}}
+	ctx := s.newEvalCtx(env)
+	var conjs []sqlast.Expr
+	if st.Where != nil {
+		conjs = splitAnd(st.Where, nil)
+	}
 	for ri, row := range t.Rows {
-		env := &rowEnv{rels: []rowRel{tableRowRel(t, row)}}
+		env.rels[0].vals = row
 		if st.Where != nil {
-			pass, err := s.evalFilter(st.Where, env)
+			pass, err := s.evalFilterConjs(conjs, ctx)
 			if err != nil {
 				return err
 			}
@@ -322,7 +324,6 @@ func (s *DB) execUpdate(st *sqlast.Update) error {
 				continue
 			}
 		}
-		ctx := s.newEvalCtx(env)
 		nr := append([]Value(nil), row...)
 		for _, a := range st.Sets {
 			v, err := ctx.eval(a.Value)
@@ -360,19 +361,22 @@ func (s *DB) execUpdate(st *sqlast.Update) error {
 func (s *DB) execDelete(st *sqlast.Delete) error {
 	s.cov.Hit("exec.delete")
 	t := s.store.table(st.Table)
+	if st.Where == nil {
+		t.Rows = nil // unconditional DELETE removes everything
+		return nil
+	}
 	var kept [][]Value
+	env := &rowEnv{rels: []rowRel{tableRowRel(t, nil)}}
+	ctx := s.newEvalCtx(env)
+	conjs := splitAnd(st.Where, nil)
 	for _, row := range t.Rows {
-		if st.Where != nil {
-			env := &rowEnv{rels: []rowRel{tableRowRel(t, row)}}
-			pass, err := s.evalFilter(st.Where, env)
-			if err != nil {
-				return err
-			}
-			if pass {
-				continue
-			}
-		} else {
-			continue // unconditional DELETE removes everything
+		env.rels[0].vals = row
+		pass, err := s.evalFilterConjs(conjs, ctx)
+		if err != nil {
+			return err
+		}
+		if pass {
+			continue
 		}
 		kept = append(kept, row)
 	}
@@ -399,6 +403,7 @@ func (s *DB) execAlter(st *sqlast.AlterTable) error {
 			NotNull: st.AddColumn.NotNull,
 			Unique:  st.AddColumn.Unique,
 		})
+		t.names = nil
 		for i := range t.Rows {
 			t.Rows[i] = append(t.Rows[i], Null())
 		}
@@ -422,6 +427,7 @@ func (s *DB) execAlter(st *sqlast.AlterTable) error {
 		}
 	}
 	t.Columns = append(t.Columns[:idx], t.Columns[idx+1:]...)
+	t.names = nil
 	for i := range t.Rows {
 		t.Rows[i] = append(t.Rows[i][:idx], t.Rows[i][idx+1:]...)
 	}

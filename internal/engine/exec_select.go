@@ -18,13 +18,56 @@ type matRel struct {
 // jrow is one combined join row: one value slice per relation.
 type jrow [][]Value
 
-// buildEnv exposes a combined row to the evaluator.
+// buildEnv exposes a combined row to the evaluator. It allocates a fresh
+// environment and is reserved for rows that must be retained (the grouped
+// path keeps one environment per group member); transient per-row
+// evaluation uses a scratch environment instead.
 func buildEnv(rels []matRel, row jrow, outer *rowEnv) *rowEnv {
 	env := &rowEnv{outer: outer, rels: make([]rowRel, len(rels))}
 	for i := range rels {
 		env.rels[i] = rowRel{alias: rels[i].alias, cols: rels[i].cols, vals: row[i]}
 	}
 	return env
+}
+
+// newScratchEnv builds a reusable environment over a fixed relation list.
+// Callers point it at successive rows with bindRow, so a statement that
+// scans a million rows allocates one environment, not a million.
+func newScratchEnv(rels []matRel, outer *rowEnv) *rowEnv {
+	env := &rowEnv{outer: outer, rels: make([]rowRel, len(rels))}
+	for i := range rels {
+		env.rels[i] = rowRel{alias: rels[i].alias, cols: rels[i].cols}
+	}
+	return env
+}
+
+// bindRow points a scratch environment at one combined row.
+func (env *rowEnv) bindRow(row jrow) {
+	for i := range row {
+		env.rels[i].vals = row[i]
+	}
+}
+
+// jrowArena hands out combined join rows from chunked backing storage,
+// replacing one slice allocation per output row with one per chunk.
+type jrowArena struct {
+	buf [][]Value
+}
+
+func (a *jrowArena) row(lrow jrow, rrow []Value) jrow {
+	n := len(lrow) + 1
+	if len(a.buf) < n {
+		size := 1024
+		if n > size {
+			size = n
+		}
+		a.buf = make([][]Value, size)
+	}
+	out := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	copy(out, lrow)
+	out[n-1] = rrow
+	return out
 }
 
 func nullRow(n int) []Value {
@@ -41,13 +84,10 @@ func (s *DB) materializeRef(ref sqlast.TableRef, outer *rowEnv) (matRel, *Error)
 	case *sqlast.TableName:
 		if t := s.store.table(r.Name); t != nil {
 			s.cov.Hit("exec.scan.table")
-			cols := make([]string, len(t.Columns))
-			for i := range t.Columns {
-				cols[i] = t.Columns[i].Name
-			}
-			rows := make([][]Value, len(t.Rows))
-			copy(rows, t.Rows)
-			return matRel{alias: r.RefName(), cols: cols, rows: rows, baseTable: t.Name}, nil
+			// The scan shares the table's row slice: rows are immutable for
+			// the duration of a statement (DML replaces slices, it never
+			// writes through them), and projection copies values out.
+			return matRel{alias: r.RefName(), cols: t.colNames(), rows: t.Rows, baseTable: t.Name}, nil
 		}
 		if v := s.store.view(r.Name); v != nil {
 			s.cov.Hit("exec.scan.view")
@@ -87,8 +127,10 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 		}
 		rels = []matRel{first}
 		rows = make([]jrow, len(first.rows))
-		for i, r := range first.rows {
-			rows[i] = jrow{r}
+		for i := range first.rows {
+			// Slice into the materialized row list: one allocation for the
+			// whole scan instead of one jrow header per row.
+			rows[i] = first.rows[i : i+1 : i+1]
 		}
 		for _, item := range sel.From[1:] {
 			right, err := s.materializeRef(item.Ref, outer)
@@ -105,18 +147,24 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 		rows = []jrow{{}} // SELECT without FROM: one empty row
 	}
 
+	// One scratch environment and evaluation context serve every row of
+	// the WHERE and projection loops.
+	env := newScratchEnv(rels, outer)
+	ctx := s.newEvalCtx(env)
+
 	s.cov.HitBranch("where.present", sel.Where != nil)
 	// WHERE (the optimized filter path, including the partial-index
 	// defect hook).
 	if sel.Where != nil {
+		conjs := splitAnd(sel.Where, nil)
 		kept := rows[:0:0]
 		for _, row := range rows {
-			env := buildEnv(rels, row, outer)
-			pass, err := s.evalFilter(sel.Where, env)
+			env.bindRow(row)
+			pass, err := s.evalFilterConjs(conjs, ctx)
 			if err != nil {
 				return nil, err
 			}
-			if pass && !s.partialIndexDrop(sel.Where, rels, row) {
+			if pass && !s.partialIndexDrop(conjs, rels, row) {
 				kept = append(kept, row)
 			}
 			s.cost++
@@ -136,9 +184,12 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 			return nil, err
 		}
 	} else {
+		width := projWidth(sel, rels)
+		outRows = make([][]Value, 0, len(rows))
+		sortKeys = make([][]Value, 0, len(rows))
 		for _, row := range rows {
-			env := buildEnv(rels, row, outer)
-			out, keys, err := s.projectRow(sel, rels, row, env)
+			env.bindRow(row)
+			out, keys, err := s.projectRow(sel, rels, row, ctx, width)
 			if err != nil {
 				return nil, err
 			}
@@ -209,14 +260,37 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 	flatten := s.faultSet().JoinFlatten(jf)
 	degraded := flatten != nil && sel.Where != nil
 
+	// One scratch environment covers every candidate pair, the ON
+	// conjuncts are split once per join step, and combined output rows
+	// come from a chunked arena — the candidate loop itself is
+	// allocation-free.
+	jrels := make([]matRel, len(rels)+1)
+	copy(jrels, rels)
+	jrels[len(rels)] = right
+	env := newScratchEnv(jrels, outer)
+	ctx := s.newEvalCtx(env)
+	var onConjs []sqlast.Expr
+	if on != nil {
+		onConjs = splitAnd(on, nil)
+	}
 	match := func(lrow jrow, rrow []Value) (bool, *Error) {
 		if on == nil {
 			return true, nil
 		}
-		env := buildEnv(append(append([]matRel{}, rels...), right), append(append(jrow{}, lrow...), rrow), outer)
-		ok, err := s.evalFilter(on, env)
+		env.bindRow(lrow)
+		env.rels[len(lrow)].vals = rrow
+		ok, err := s.evalFilterConjs(onConjs, ctx)
 		s.cov.HitBranch("join.match."+jf, ok)
 		return ok, err
+	}
+
+	// NULL-extension rows are immutable, so every NULL-extended output row
+	// shares the same backing slices.
+	var arena jrowArena
+	rightNull := nullRow(len(right.cols))
+	leftNull := make(jrow, len(rels))
+	for i := range rels {
+		leftNull[i] = nullRow(len(rels[i].cols))
 	}
 
 	var out []jrow
@@ -229,7 +303,7 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 					return nil, err
 				}
 				if ok {
-					out = append(out, append(append(jrow{}, lrow...), rrow))
+					out = append(out, arena.row(lrow, rrow))
 				}
 				s.cost++
 			}
@@ -246,7 +320,7 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 				if ok {
 					any = true
 					matchedRight[ri] = true
-					out = append(out, append(append(jrow{}, lrow...), rrow))
+					out = append(out, arena.row(lrow, rrow))
 				}
 				s.cost++
 			}
@@ -255,7 +329,7 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 					s.trigger(flatten)
 					continue
 				}
-				out = append(out, append(append(jrow{}, lrow...), nullRow(len(right.cols))))
+				out = append(out, arena.row(lrow, rightNull))
 			}
 		}
 		if item.Join == sqlast.JoinFull {
@@ -267,11 +341,7 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 					s.trigger(flatten)
 					continue
 				}
-				nulls := make(jrow, len(rels))
-				for i := range rels {
-					nulls[i] = nullRow(len(rels[i].cols))
-				}
-				out = append(out, append(nulls, rrow))
+				out = append(out, arena.row(leftNull, rrow))
 			}
 		}
 	case sqlast.JoinRight:
@@ -284,7 +354,7 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 				}
 				if ok {
 					any = true
-					out = append(out, append(append(jrow{}, lrow...), rrow))
+					out = append(out, arena.row(lrow, rrow))
 				}
 				s.cost++
 			}
@@ -293,11 +363,7 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 					s.trigger(flatten)
 					continue
 				}
-				nulls := make(jrow, len(rels))
-				for i := range rels {
-					nulls[i] = nullRow(len(rels[i].cols))
-				}
-				out = append(out, append(nulls, rrow))
+				out = append(out, arena.row(leftNull, rrow))
 			}
 		}
 	default:
@@ -341,13 +407,14 @@ func naturalOn(rels []matRel, right matRel) sqlast.Expr {
 // partialIndexDrop implements the PartialIndexScan defect: an equality
 // conjunct on the leading column of a partial index reads only the index,
 // silently dropping rows outside the index predicate. It reports whether
-// the row must be (wrongly) dropped.
-func (s *DB) partialIndexDrop(where sqlast.Expr, rels []matRel, row jrow) bool {
+// the row must be (wrongly) dropped. conjs are the WHERE clause's
+// top-level conjuncts, split once by the caller.
+func (s *DB) partialIndexDrop(conjs []sqlast.Expr, rels []matRel, row jrow) bool {
 	f := s.faultSet().PartialIndex()
 	if f == nil {
 		return false
 	}
-	for _, conj := range splitAnd(where, nil) {
+	for _, conj := range conjs {
 		b, ok := conj.(*sqlast.Binary)
 		if !ok || b.Op != sqlast.OpEq {
 			continue
@@ -420,10 +487,28 @@ func (s *DB) outputColumns(sel *sqlast.Select, rels []matRel) []string {
 	return out
 }
 
+// projWidth computes the output width of a projection (stars expand to
+// every visible column), so row buffers can be sized exactly once per
+// statement.
+func projWidth(sel *sqlast.Select, rels []matRel) int {
+	w := 0
+	for i := range sel.Items {
+		if sel.Items[i].Star {
+			for _, rel := range rels {
+				w += len(rel.cols)
+			}
+			continue
+		}
+		w++
+	}
+	return w
+}
+
 // projectRow evaluates the projections and ORDER BY keys for one row.
-func (s *DB) projectRow(sel *sqlast.Select, rels []matRel, row jrow, env *rowEnv) ([]Value, []Value, *Error) {
-	ctx := s.newEvalCtx(env)
-	var out []Value
+// ctx is the statement's reused evaluation context, already bound to the
+// row; width is the precomputed projection width.
+func (s *DB) projectRow(sel *sqlast.Select, rels []matRel, row jrow, ctx *evalCtx, width int) ([]Value, []Value, *Error) {
+	out := make([]Value, 0, width)
 	for i := range sel.Items {
 		item := &sel.Items[i]
 		if item.Star {
@@ -542,20 +627,25 @@ func (s *DB) execGrouped(sel *sqlast.Select, rels []matRel, rows []jrow, outer *
 	}
 	var order []string
 	groups := map[string]*group{}
+	kctx := s.newEvalCtx(nil)
+	var keyb strings.Builder
 	for _, row := range rows {
 		env := buildEnv(rels, row, outer)
 		key := ""
 		if len(sel.GroupBy) > 0 {
-			ctx := s.newEvalCtx(env)
-			var parts []string
-			for _, g := range sel.GroupBy {
-				v, err := ctx.eval(g)
+			kctx.env = env
+			keyb.Reset()
+			for gi, g := range sel.GroupBy {
+				v, err := kctx.eval(g)
 				if err != nil {
 					return nil, nil, err
 				}
-				parts = append(parts, v.Render())
+				if gi > 0 {
+					keyb.WriteByte('|')
+				}
+				keyb.WriteString(v.Render())
 			}
-			key = strings.Join(parts, "|")
+			key = keyb.String()
 		}
 		gr := groups[key]
 		if gr == nil {
@@ -581,13 +671,14 @@ func (s *DB) execGrouped(sel *sqlast.Select, rels []matRel, rows []jrow, outer *
 
 	var outRows [][]Value
 	var sortKeys [][]Value
+	ctx := s.newEvalCtx(nil)
 	for _, key := range order {
 		gr := groups[key]
 		rep := emptyEnv
 		if len(gr.envs) > 0 {
 			rep = gr.envs[0]
 		}
-		ctx := s.newEvalCtx(rep)
+		ctx.env = rep
 		ctx.group = gr.envs
 		if ctx.group == nil {
 			ctx.group = []*rowEnv{} // empty group, still an aggregate context

@@ -22,12 +22,15 @@ func splitAnd(e sqlast.Expr, out []sqlast.Expr) []sqlast.Expr {
 	return append(out, e)
 }
 
-// evalFilter evaluates pred as an optimized filter: TRUE keeps the row.
-func (s *DB) evalFilter(pred sqlast.Expr, env *rowEnv) (bool, *Error) {
+// evalFilterConjs evaluates a predicate as an optimized filter: TRUE
+// keeps the row. conjs are the predicate's top-level conjuncts, split
+// once per statement (splitAnd); ctx is the caller's reused evaluation
+// context, already bound to the current row.
+func (s *DB) evalFilterConjs(conjs []sqlast.Expr, ctx *evalCtx) (bool, *Error) {
 	s.cov.Hit("filter.eval")
 	result := TriTrue
-	for _, conj := range splitAnd(pred, nil) {
-		t, err := s.evalFilterRoot(conj, env)
+	for _, conj := range conjs {
+		t, err := s.evalFilterRoot(conj, ctx)
 		if err != nil {
 			return false, err
 		}
@@ -51,8 +54,7 @@ var wrongComplement = map[sqlast.BinaryOp]sqlast.BinaryOp{
 
 // evalFilterRoot evaluates one conjunct with fault hooks applied at its
 // root node only.
-func (s *DB) evalFilterRoot(e sqlast.Expr, env *rowEnv) (Tri, *Error) {
-	ctx := s.newEvalCtx(env)
+func (s *DB) evalFilterRoot(e sqlast.Expr, ctx *evalCtx) (Tri, *Error) {
 	fs := s.faultSet()
 	if fs == nil {
 		return ctx.evalTri(e)

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"sqlancerpp/internal/dialect"
+)
+
+// TestCachedParseCloneIsolation exercises the parse cache through the
+// engine: the same SQL text executed on two instances must yield
+// independent state, because each execution clones the shared AST. A
+// stored view definition is the sharpest probe — it is retained by the
+// instance long after the statement finished.
+func TestCachedParseCloneIsolation(t *testing.T) {
+	d := dialect.MustGet("sqlite")
+	setup := []string{
+		"CREATE TABLE t0 (c0 INTEGER)",
+		"INSERT INTO t0 VALUES (1), (2), (3)",
+		"CREATE VIEW v0 AS SELECT c0 FROM t0 WHERE c0 > 1",
+	}
+	run := func() *DB {
+		db := Open(d, WithoutFaults())
+		for _, s := range setup {
+			if err := db.Exec(s); err != nil {
+				t.Fatalf("%s: %v", s, err)
+			}
+		}
+		return db
+	}
+	db1, db2 := run(), run()
+
+	// Diverge the underlying tables; each view must see only its own DB.
+	if err := db1.Exec("INSERT INTO t0 VALUES (10)"); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := db1.Query("SELECT c0 FROM v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.Query("SELECT c0 FROM v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != 3 || len(r2.Rows) != 2 {
+		t.Fatalf("view row counts = %d, %d; want 3, 2", len(r1.Rows), len(r2.Rows))
+	}
+}
+
+// TestCachedParseRepeatableResults re-executes identical text (cache hits
+// after the first run) and checks results stay identical.
+func TestCachedParseRepeatableResults(t *testing.T) {
+	d := dialect.MustGet("sqlite")
+	db := Open(d, WithoutFaults())
+	for _, s := range []string{
+		"CREATE TABLE t0 (c0 INTEGER, c1 TEXT)",
+		"INSERT INTO t0 VALUES (1, 'a'), (2, 'b'), (3, 'c')",
+	} {
+		if err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const q = "SELECT c1 FROM t0 WHERE c0 % 2 = 1 ORDER BY c0 DESC"
+	first, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.RenderRows(), first.RenderRows()) {
+			t.Fatalf("run %d: %v != %v", i, res.RenderRows(), first.RenderRows())
+		}
+	}
+}

@@ -18,18 +18,12 @@ type Result struct {
 }
 
 // RenderRows returns the canonical textual form of each row, used by the
-// oracles' multiset comparison.
+// oracles' multiset comparison. Each row renders through a strings.Builder
+// (linear in the row's width, unlike naive += concatenation).
 func (r *Result) RenderRows() []string {
 	out := make([]string, len(r.Rows))
 	for i, row := range r.Rows {
-		s := ""
-		for j, v := range row {
-			if j > 0 {
-				s += "|"
-			}
-			s += v.Render()
-		}
-		out[i] = s
+		out[i] = renderRow(row)
 	}
 	return out
 }
@@ -143,12 +137,24 @@ func (s *DB) run(sql string) (*Result, error) {
 	if s.crashed {
 		return nil, errf(ErrCrash, "server is not running (restart required)")
 	}
-	stmt, perr := sqlparse.Parse(sql)
+	// The process-wide LRU fronts the parser; the cached AST is shared
+	// and immutable. Execution never mutates an AST, so most statements
+	// run on the shared copy directly; the exceptions are cloned below.
+	// The black-box contract is unchanged: SQL text in, status and rows
+	// out.
+	stmt, perr := sqlparse.Shared().Parse(sql)
 	if perr != nil {
 		s.cov.Hit("parse.error")
 		return nil, &Error{Class: ErrSyntax, Msg: perr.Error()}
 	}
 	s.cov.Hit("parse.ok")
+	switch stmt.(type) {
+	case *sqlast.CreateView, *sqlast.CreateIndex:
+		// These retain sub-ASTs in catalog state beyond this statement
+		// (the view definition, the partial-index predicate); give the
+		// instance its own copy so no live state aliases the cache.
+		stmt = sqlast.CloneStmt(stmt)
+	}
 	return s.RunStmt(stmt)
 }
 

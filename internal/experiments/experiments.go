@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 )
 
@@ -32,6 +33,26 @@ type Scale struct {
 	Fig6MaxCasesPerDBMS int
 	// AblationCases is the per-configuration budget of the ablations.
 	AblationCases int
+	// Workers bounds the pool the multi-campaign experiments (Table 2,
+	// Table 5, Figure 6) fan their independent campaigns out over.
+	// 0 picks min(GOMAXPROCS, 8); results are index-ordered, so the
+	// output is identical for every worker count.
+	Workers int
+}
+
+// workerCount resolves the Workers default.
+func (s Scale) workerCount() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // DefaultScale keeps every experiment comfortably inside a test run.

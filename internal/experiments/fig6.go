@@ -7,6 +7,7 @@ import (
 	"sqlancerpp/internal/core/campaign"
 	"sqlancerpp/internal/dialect"
 	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/par"
 )
 
 // Fig6Result is the cross-DBMS validity matrix (paper Figure 6).
@@ -34,50 +35,58 @@ type Fig6Result struct {
 // one of its statements executes without error.
 func Fig6(scale Scale, seed int64) (*Fig6Result, error) {
 	type caseStmts struct{ stmts []string }
-	bySource := map[string][]caseStmts{}
 
-	for _, name := range dialect.PaperDBMSs {
-		d := dialect.MustGet(name)
+	// Phase 1: one bug-collection campaign per source DBMS, fanned out
+	// over the worker pool into dialect-order slots.
+	collected := make([][]caseStmts, len(dialect.PaperDBMSs))
+	err := par.ForEach(len(dialect.PaperDBMSs), scale.workerCount(), func(i int) error {
+		name := dialect.PaperDBMSs[i]
 		runner, err := campaign.New(campaign.Config{
-			Dialect:   d,
+			Dialect:   dialect.MustGet(name),
 			Mode:      campaign.Adaptive,
 			TestCases: scale.Fig6Cases,
 			Seed:      seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rep, err := runner.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, b := range rep.Bugs {
 			if b.Class != campaign.ClassLogic {
 				continue // the paper's study uses only logic bugs
 			}
 			stmts := append(append([]string{}, b.Setup...), b.Queries...)
-			bySource[name] = append(bySource[name], caseStmts{stmts: stmts})
-			if len(bySource[name]) >= scale.Fig6MaxCasesPerDBMS {
+			collected[i] = append(collected[i], caseStmts{stmts: stmts})
+			if len(collected[i]) >= scale.Fig6MaxCasesPerDBMS {
 				break
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	res := &Fig6Result{}
-	var offDiagSum float64
-	var offDiagN int
-	targetValiditySum := map[string]float64{}
-	for _, src := range dialect.PaperDBMSs {
-		cases := bySource[src]
+	// Phase 2: the re-execution matrix. Each source row (its cases run
+	// against all 18 targets on pristine instances) is independent; rows
+	// fan out and fold in dialect order below.
+	type srcRow struct {
+		row       []float64
+		runsOnAll int
+	}
+	matrix := make([]*srcRow, len(dialect.PaperDBMSs))
+	err = par.ForEach(len(dialect.PaperDBMSs), scale.workerCount(), func(i int) error {
+		cases := collected[i]
 		if len(cases) == 0 {
-			continue
+			return nil
 		}
-		res.Sources = append(res.Sources, src)
-		res.TotalCases += len(cases)
-		var row []float64
+		sr := &srcRow{}
 		okOnAll := make([]bool, len(cases))
-		for i := range okOnAll {
-			okOnAll[i] = true
+		for ci := range okOnAll {
+			okOnAll[ci] = true
 		}
 		for _, tgt := range dialect.PaperDBMSs {
 			td := dialect.MustGet(tgt)
@@ -97,28 +106,50 @@ func Fig6(scale Scale, seed int64) (*Fig6Result, error) {
 					okOnAll[ci] = false
 				}
 			}
-			v := float64(okCases) / float64(len(cases))
-			row = append(row, v)
+			sr.row = append(sr.row, float64(okCases)/float64(len(cases)))
+		}
+		for _, all := range okOnAll {
+			if all {
+				sr.runsOnAll++
+			}
+		}
+		matrix[i] = sr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig6Result{}
+	var offDiagSum float64
+	var offDiagN int
+	targetValiditySum := map[string]float64{}
+	for i, src := range dialect.PaperDBMSs {
+		sr := matrix[i]
+		if sr == nil {
+			continue
+		}
+		res.Sources = append(res.Sources, src)
+		res.TotalCases += len(collected[i])
+		for j, tgt := range dialect.PaperDBMSs {
+			v := sr.row[j]
 			targetValiditySum[tgt] += v
 			if tgt != src {
 				offDiagSum += v
 				offDiagN++
 			}
 		}
-		for _, all := range okOnAll {
-			if all {
-				res.RunsOnAll++
-			}
-		}
-		res.Validity = append(res.Validity, row)
+		res.RunsOnAll += sr.runsOnAll
+		res.Validity = append(res.Validity, sr.row)
 	}
 	res.Targets = append([]string{}, dialect.PaperDBMSs...)
 	if offDiagN > 0 {
 		res.Overall = offDiagSum / float64(offDiagN)
 	}
+	// Iterate in dialect order so ties break deterministically.
 	best, bestV := "", -1.0
-	for tgt, sum := range targetValiditySum {
-		if sum > bestV {
+	for _, tgt := range dialect.PaperDBMSs {
+		if sum := targetValiditySum[tgt]; sum > bestV {
 			best, bestV = tgt, sum
 		}
 	}

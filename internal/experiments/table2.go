@@ -4,6 +4,7 @@ import (
 	"sqlancerpp/internal/core/campaign"
 	"sqlancerpp/internal/dialect"
 	"sqlancerpp/internal/faults"
+	"sqlancerpp/internal/par"
 )
 
 // Table2Row is one DBMS of the bug-finding campaign (paper Table 2).
@@ -50,7 +51,12 @@ func Table2(scale Scale, seed int64) (*Table2Result, error) {
 		}
 		return m
 	}
-	for _, name := range dialect.PaperDBMSs {
+	// The 18 per-DBMS campaigns are independent; they fan out over a
+	// bounded worker pool and land in dialect-order slots, so the table
+	// is identical for every worker count.
+	rows := make([]Table2Row, len(dialect.PaperDBMSs))
+	err := par.ForEach(len(dialect.PaperDBMSs), scale.workerCount(), func(i int) error {
+		name := dialect.PaperDBMSs[i]
 		d := dialect.MustGet(name)
 		injected := faults.ForDialect(name)
 		nLogic := 0
@@ -67,11 +73,11 @@ func Table2(scale Scale, seed int64) (*Table2Result, error) {
 			KeepAllCases: true,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rep, err := runner.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		classes := classOf(name)
 		uniq := map[string]bool{}
@@ -98,6 +104,13 @@ func Table2(scale Scale, seed int64) (*Table2Result, error) {
 				row.UniqueOther++
 			}
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
 		res.TotalInjected += row.Injected
 		res.TotalUnique += row.Unique

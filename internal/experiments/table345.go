@@ -8,6 +8,7 @@ import (
 	"sqlancerpp/internal/core/prioritize"
 	"sqlancerpp/internal/coverage"
 	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/par"
 )
 
 // coverageDBMSs are the systems of the paper's Tables 3 and 4.
@@ -166,22 +167,41 @@ type Table5Result struct {
 func Table5(scale Scale, seed int64) (*Table5Result, error) {
 	res := &Table5Result{}
 	d := dialect.MustGet("cratedb")
-	for _, mode := range []campaign.Mode{campaign.Adaptive, campaign.Rand} {
+	t5modes := []campaign.Mode{campaign.Adaptive, campaign.Rand}
+	// Every mode × run cell is an independent campaign; fan the full
+	// cross product out and fold the index-ordered results afterwards.
+	type cell struct{ det, pri, uniq float64 }
+	cells := make([]cell, len(t5modes)*scale.Table5Runs)
+	err := par.ForEach(len(cells), scale.workerCount(), func(i int) error {
+		mode := t5modes[i/scale.Table5Runs]
+		run := i % scale.Table5Runs
+		cfg := configFor(mode, d, scale.Table5Cases, seed+int64(run))
+		cfg.KeepAllCases = true
+		runner, err := campaign.New(cfg)
+		if err != nil {
+			return err
+		}
+		rep, err := runner.Run()
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{
+			det:  float64(rep.Detected),
+			pri:  float64(rep.Prioritized),
+			uniq: float64(rep.UniquePrioritized),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range t5modes {
 		var det, pri, uniq float64
 		for run := 0; run < scale.Table5Runs; run++ {
-			cfg := configFor(mode, d, scale.Table5Cases, seed+int64(run))
-			cfg.KeepAllCases = true
-			runner, err := campaign.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := runner.Run()
-			if err != nil {
-				return nil, err
-			}
-			det += float64(rep.Detected)
-			pri += float64(rep.Prioritized)
-			uniq += float64(rep.UniquePrioritized)
+			c := cells[mi*scale.Table5Runs+run]
+			det += c.det
+			pri += c.pri
+			uniq += c.uniq
 		}
 		n := float64(scale.Table5Runs)
 		res.Rows = append(res.Rows, Table5Row{

@@ -1,0 +1,59 @@
+// Package par provides the bounded worker pool the campaign sharder and
+// the experiment fan-outs share.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0), …, fn(n-1) over at most workers goroutines.
+//
+// Callers must write results into index-addressed slots inside fn, so the
+// assembled output never depends on goroutine scheduling. After any fn
+// fails, items that have not started yet are skipped; the lowest-index
+// recorded error is returned. workers <= 1 runs everything inline, in
+// order.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		hit := make([]int32, 20)
+		if err := ForEach(len(hit), workers, func(i int) error {
+			atomic.AddInt32(&hit[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range hit {
+			if n != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(10, workers, func(i int) error {
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsEarly(t *testing.T) {
+	var ran int32
+	boom := errors.New("boom")
+	err := ForEach(10000, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := atomic.LoadInt32(&ran); n > 100 {
+		t.Fatalf("%d items ran after the first failure; early stop is broken", n)
+	}
+}

@@ -1,0 +1,97 @@
+package sqlparse
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitReturnsSharedAST(t *testing.T) {
+	c := NewCache(8)
+	const q = "SELECT c0 FROM t0 WHERE c0 > 1"
+	a, err := c.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("second Parse of identical text returned a different AST")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	if a.SQL() != b.SQL() {
+		t.Fatalf("cached AST renders %q, want %q", b.SQL(), a.SQL())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2)
+	q := func(i int) string { return fmt.Sprintf("SELECT %d", i) }
+	for i := 0; i < 3; i++ {
+		if _, err := c.Parse(q(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	// q(0) was evicted; parsing it again must be a miss.
+	if _, err := c.Parse(q(0)); err != nil {
+		t.Fatal(err)
+	}
+	_, misses := c.Stats()
+	if misses != 4 {
+		t.Fatalf("misses = %d, want 4 (eviction forces a re-parse)", misses)
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	c := NewCache(8)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Parse("SELEKT nonsense"); err == nil {
+			t.Fatal("expected a syntax error")
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after two failed parses, want 0", c.Len())
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := fmt.Sprintf("SELECT %d", i%40)
+				st, err := c.Parse(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if st.SQL() != q {
+					t.Errorf("got %q, want %q", st.SQL(), q)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("len = %d exceeds capacity", c.Len())
+	}
+}
+
+func TestNilCacheFallsThrough(t *testing.T) {
+	var c *Cache
+	if _, err := c.Parse("SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+}

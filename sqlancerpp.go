@@ -58,6 +58,12 @@ type Options struct {
 	// CleanEngine disables fault injection — useful for soundness checks;
 	// a campaign on a clean engine must report zero bugs.
 	CleanEngine bool
+	// Workers > 0 runs the campaign as deterministic parallel shards
+	// (one shard per database epoch, up to Workers executing
+	// concurrently): the same seed produces a byte-identical report for
+	// every Workers value, including 1. 0 keeps the serial runner, whose
+	// validity feedback flows across database epochs. See DESIGN.md.
+	Workers int
 }
 
 // Bug is one prioritized bug-inducing test case.
@@ -135,13 +141,21 @@ func Run(o Options) (*Report, error) {
 	default:
 		cfg.Mode = campaign.Adaptive
 	}
-	runner, err := campaign.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := runner.Run()
-	if err != nil {
-		return nil, err
+	var rep *campaign.Report
+	if o.Workers > 0 {
+		rep, err = campaign.RunSharded(cfg, o.Workers)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		runner, err := campaign.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep, err = runner.Run()
+		if err != nil {
+			return nil, err
+		}
 	}
 	out := &Report{
 		DBMS:                rep.Dialect,

@@ -1,6 +1,8 @@
 package sqlancerpp
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -209,5 +211,47 @@ func TestBaselineMode(t *testing.T) {
 	}
 	if report2.Mode != "SQLancer++ Rand" {
 		t.Fatalf("mode = %q, want SQLancer++ Rand", report2.Mode)
+	}
+}
+
+func TestRunWorkersDeterministic(t *testing.T) {
+	opts := func(workers int) Options {
+		return Options{DBMS: "sqlite", TestCases: 600, Seed: 11, Workers: workers}
+	}
+	serial, err := Run(opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(opts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Workers=4 report differs from Workers=1")
+	}
+	if serial.Detected == 0 || serial.UniqueBugs == 0 {
+		t.Fatalf("sharded campaign found nothing: %+v", serial)
+	}
+	if serial.FalsePositives != 0 {
+		t.Fatalf("false positives: %d", serial.FalsePositives)
+	}
+}
+
+func TestRunWorkersCleanEngineIsQuiet(t *testing.T) {
+	rep, err := Run(Options{DBMS: "postgresql", TestCases: 400, Seed: 5,
+		Workers: 3, CleanEngine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected != 0 {
+		t.Fatalf("clean engine reported %d bug cases", rep.Detected)
 	}
 }
