@@ -558,9 +558,7 @@ func (r *Runner) reduceLogicBug(bug *BugCase, oc *gen.OracleCase) []string {
 			return false
 		}
 		db := engine.Open(r.cfg.Dialect)
-		for _, st := range cand[:len(cand)-1] {
-			_ = db.Exec(st.SQL()) // failures are fine during replay
-		}
+		replayStmts(db, cand[:len(cand)-1])
 		cb := sqlast.CloneSelect(carrier)
 		cp := cb.Where
 		cb.Where = nil
@@ -581,6 +579,19 @@ func (r *Runner) reduceLogicBug(bug *BugCase, oc *gen.OracleCase) []string {
 		out[i] = st.SQL()
 	}
 	return out
+}
+
+// replayStmts replays setup statements on a pristine instance. Ordinary
+// failures are fine during replay, but a simulated crash latches the
+// engine's crashed flag and would fail every subsequent statement —
+// poisoning the rest of the sequence and blocking reduction — so the
+// replay restarts the server exactly as the campaign loop does.
+func replayStmts(db *engine.DB, stmts []sqlast.Stmt) {
+	for _, st := range stmts {
+		if err := db.Exec(st.SQL()); err != nil && engine.IsCrash(err) {
+			db.Restart()
+		}
+	}
 }
 
 // finishReport computes the ground-truth uniqueness statistics.

@@ -3,8 +3,12 @@ package campaign
 import (
 	"testing"
 
+	"sqlancerpp/internal/coverage"
 	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/engine"
 	"sqlancerpp/internal/faults"
+	"sqlancerpp/internal/sqlast"
+	"sqlancerpp/internal/sqlparse"
 )
 
 // crashDialect builds a dialect whose only fault crashes on LIKE.
@@ -154,4 +158,68 @@ func TestModeLabels(t *testing.T) {
 		Baseline.String() != "SQLancer" {
 		t.Fatal("mode labels must match the paper's")
 	}
+}
+
+// TestCampaignExercisesIndexPath: with the raised CREATE INDEX weight,
+// a modest campaign must reach database states whose oracle queries go
+// through the engine's index-backed access path — otherwise the whole
+// index fault family is dead weight.
+func TestCampaignExercisesIndexPath(t *testing.T) {
+	rec := coverage.NewRecorder()
+	r, err := New(Config{
+		Dialect: dialect.MustGet("sqlite"), Mode: Adaptive,
+		TestCases: 2000, Seed: 5, Coverage: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	hit := map[string]bool{}
+	for _, p := range rec.HitPoints() {
+		hit[p] = true
+	}
+	if !hit["exec.createindex"] {
+		t.Fatal("campaign never created an index")
+	}
+	if !hit["exec.scan.index"] {
+		t.Fatal("campaign never took the index-backed access path")
+	}
+}
+
+// TestReplayRestartsAfterCrash is the regression test for the reducer's
+// replay loop: a crashing setup statement latches the engine's crashed
+// flag, and without a restart every subsequent statement fails — one
+// crash would poison the whole replay and block reduction.
+func TestReplayRestartsAfterCrash(t *testing.T) {
+	d := crashDialect("crash-replay-test")
+	stmts := parseStmts(t,
+		"CREATE TABLE t0 (c0 TEXT)",
+		"INSERT INTO t0 (c0) VALUES ('a')",
+		"SELECT * FROM t0 WHERE c0 LIKE 'a%'", // crashes the server
+		"INSERT INTO t0 (c0) VALUES ('b')",    // must still execute
+	)
+	db := engine.Open(d)
+	replayStmts(db, stmts)
+	res, err := db.Query("SELECT * FROM t0")
+	if err != nil {
+		t.Fatalf("post-replay query failed (replay poisoned by the crash): %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("replay after crash executed %d of 2 inserts", len(res.Rows))
+	}
+}
+
+func parseStmts(t *testing.T, sqls ...string) []sqlast.Stmt {
+	t.Helper()
+	out := make([]sqlast.Stmt, len(sqls))
+	for i, s := range sqls {
+		st, err := sqlparse.Parse(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		out[i] = st
+	}
+	return out
 }

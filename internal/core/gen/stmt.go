@@ -32,9 +32,14 @@ func (g *Generator) GenSetup() *Statement {
 		alts = append(alts, feature.StmtCreateTable, feature.StmtCreateTable)
 	}
 	if len(tables) > 0 {
+		// CREATE INDEX weighs double so database states regularly carry
+		// indexes: the engine's access-path planner only diverges from a
+		// full scan — and the index-maintenance fault sites only fire —
+		// on indexed states.
 		alts = append(alts, feature.StmtInsert, feature.StmtInsert,
 			feature.StmtInsert, feature.StmtInsert,
-			feature.StmtCreateIndex, feature.StmtUpdate, feature.StmtDelete,
+			feature.StmtCreateIndex, feature.StmtCreateIndex,
+			feature.StmtUpdate, feature.StmtDelete,
 			feature.StmtAnalyze, feature.StmtAlterTable)
 		if len(views) < g.cfg.MaxViews {
 			alts = append(alts, feature.StmtCreateView)

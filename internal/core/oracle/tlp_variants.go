@@ -91,7 +91,14 @@ func TLPAggregate(db *engine.DB, base *sqlast.Select, pred sqlast.Expr, aggIdx i
 	if err != nil {
 		return r.result(TLPName, Invalid, err, "")
 	}
-	baseVal := baseRes.Rows[0][0]
+	// The system under test is deliberately faulty: a malformed result
+	// shape must degrade to Invalid (like NoREC's COUNT shape guard),
+	// never panic and kill the campaign.
+	baseVal, ok := scalarValue(baseRes)
+	if !ok {
+		return r.result(TLPName, Invalid,
+			fmt.Errorf("TLP aggregate: unexpected %s result shape", agg), "")
+	}
 
 	var partVals []engine.Value
 	for _, p := range tlpPartitions(pred) {
@@ -99,16 +106,34 @@ func TLPAggregate(db *engine.DB, base *sqlast.Select, pred sqlast.Expr, aggIdx i
 		if err != nil {
 			return r.result(TLPName, Invalid, err, "")
 		}
-		partVals = append(partVals, res.Rows[0][0])
+		v, ok := scalarValue(res)
+		if !ok {
+			return r.result(TLPName, Invalid,
+				fmt.Errorf("TLP aggregate: unexpected %s partition result shape", agg), "")
+		}
+		partVals = append(partVals, v)
 	}
 
-	combined := combineAggregates(agg, partVals)
+	combined, ok := combineAggregates(agg, partVals)
+	if !ok {
+		return r.result(TLPName, Invalid,
+			fmt.Errorf("TLP aggregate: non-numeric %s partition value", agg), "")
+	}
 	if !engine.Equal(baseVal, combined) {
 		return r.result(TLPName, Bug, nil, fmt.Sprintf(
 			"TLP aggregate (%s) mismatch: base %s vs recombined %s",
 			agg, baseVal.Render(), combined.Render()))
 	}
 	return r.result(TLPName, OK, nil, "")
+}
+
+// scalarValue extracts the single value of a 1×1 result, reporting
+// whether the result has that shape.
+func scalarValue(res *engine.Result) (engine.Value, bool) {
+	if res == nil || len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return engine.Value{}, false
+	}
+	return res.Rows[0][0], true
 }
 
 // firstProjection extracts an expression usable as the aggregate
@@ -122,31 +147,43 @@ func firstProjection(base *sqlast.Select) sqlast.Expr {
 	return nil // star projection: the caller falls back to COUNT(*)
 }
 
-// combineAggregates recombines per-partition aggregate values.
-func combineAggregates(agg string, parts []engine.Value) engine.Value {
+// combineAggregates recombines per-partition aggregate values. For COUNT
+// and SUM every non-NULL partition value must be an integer — a faulty
+// engine may hand back anything, and blindly reading Value.I would fold
+// garbage into the recombination; such shapes report !ok and the check
+// degrades to Invalid.
+func combineAggregates(agg string, parts []engine.Value) (engine.Value, bool) {
 	switch agg {
 	case "COUNT":
 		var total int64
 		for _, v := range parts {
-			if !v.IsNull() {
-				total += v.I
+			if v.IsNull() {
+				continue
 			}
+			if v.K != engine.KindInt {
+				return engine.Value{}, false
+			}
+			total += v.I
 		}
-		return engine.Int(total)
+		return engine.Int(total), true
 	case "SUM":
 		allNull := true
 		var total int64
 		for _, v := range parts {
-			if !v.IsNull() {
-				allNull = false
-				total += v.I
+			if v.IsNull() {
+				continue
 			}
+			if v.K != engine.KindInt {
+				return engine.Value{}, false
+			}
+			allNull = false
+			total += v.I
 		}
 		if allNull {
-			return engine.Null()
+			return engine.Null(), true
 		}
-		return engine.Int(total)
-	default: // MIN, MAX
+		return engine.Int(total), true
+	default: // MIN, MAX order values of any kind
 		var best engine.Value = engine.Null()
 		for _, v := range parts {
 			if v.IsNull() {
@@ -161,6 +198,6 @@ func combineAggregates(agg string, parts []engine.Value) engine.Value {
 				best = v
 			}
 		}
-		return best
+		return best, true
 	}
 }

@@ -117,23 +117,55 @@ func TestTLPAggregateDetectsFault(t *testing.T) {
 
 func TestCombineAggregates(t *testing.T) {
 	vals := []engine.Value{engine.Int(3), engine.Null(), engine.Int(5)}
-	if v := combineAggregates("COUNT", vals); v.I != 8 {
+	if v, ok := combineAggregates("COUNT", vals); !ok || v.I != 8 {
 		t.Errorf("COUNT combine = %v", v.Render())
 	}
-	if v := combineAggregates("SUM", vals); v.I != 8 {
+	if v, ok := combineAggregates("SUM", vals); !ok || v.I != 8 {
 		t.Errorf("SUM combine = %v", v.Render())
 	}
-	if v := combineAggregates("MIN", vals); v.I != 3 {
+	if v, ok := combineAggregates("MIN", vals); !ok || v.I != 3 {
 		t.Errorf("MIN combine = %v", v.Render())
 	}
-	if v := combineAggregates("MAX", vals); v.I != 5 {
+	if v, ok := combineAggregates("MAX", vals); !ok || v.I != 5 {
 		t.Errorf("MAX combine = %v", v.Render())
 	}
 	allNull := []engine.Value{engine.Null(), engine.Null(), engine.Null()}
-	if v := combineAggregates("SUM", allNull); !v.IsNull() {
+	if v, ok := combineAggregates("SUM", allNull); !ok || !v.IsNull() {
 		t.Error("SUM of all-NULL partitions must be NULL")
 	}
-	if v := combineAggregates("MAX", allNull); !v.IsNull() {
+	if v, ok := combineAggregates("MAX", allNull); !ok || !v.IsNull() {
 		t.Error("MAX of all-NULL partitions must be NULL")
+	}
+}
+
+// TestCombineAggregatesKindGuard: COUNT/SUM must refuse non-integer
+// partition values instead of folding Value.I garbage into the total —
+// the system under test is deliberately faulty and may return anything.
+func TestCombineAggregatesKindGuard(t *testing.T) {
+	vals := []engine.Value{engine.Int(3), engine.Text("boom")}
+	if _, ok := combineAggregates("COUNT", vals); ok {
+		t.Error("COUNT must reject a TEXT partition value")
+	}
+	if _, ok := combineAggregates("SUM", vals); ok {
+		t.Error("SUM must reject a TEXT partition value")
+	}
+	// MIN/MAX order any kinds (storage-class order), so they stay ok.
+	if v, ok := combineAggregates("MAX", vals); !ok || v.K != engine.KindText {
+		t.Errorf("MAX over mixed kinds = %v, %v", v.Render(), ok)
+	}
+}
+
+// TestTLPAggregateMalformedShapeIsInvalid: a base query whose aggregate
+// arm returns zero rows (LIMIT 0 survives the clone) must yield Invalid,
+// not a panic that kills the whole campaign.
+func TestTLPAggregateMalformedShapeIsInvalid(t *testing.T) {
+	db := cleanDB(t)
+	base := parseSelect(t, "SELECT a FROM t LIMIT 0")
+	for aggIdx := 0; aggIdx < 4; aggIdx++ {
+		res := TLPAggregate(db, base, parseExpr(t, "a = 1"), aggIdx)
+		if res.Outcome != Invalid {
+			t.Fatalf("zero-row aggregate shape: got %v (%s), want Invalid",
+				res.Outcome, res.Detail)
+		}
 	}
 }

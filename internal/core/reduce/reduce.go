@@ -201,7 +201,9 @@ func reduceExpressions(stmts []sqlast.Stmt, prop Property) []sqlast.Stmt {
 	for rounds := 0; changed && rounds < 4; rounds++ {
 		changed = false
 		for _, st := range stmts {
-			for _, slot := range slotsOf(st) {
+			slots := slotsOf(st)
+			for si := 0; si < len(slots); si++ {
+				slot := slots[si]
 				orig := slot.get()
 				if _, isLit := orig.(*sqlast.Literal); isLit {
 					continue
@@ -210,6 +212,13 @@ func reduceExpressions(stmts []sqlast.Stmt, prop Property) []sqlast.Stmt {
 					slot.set(cand)
 					if prop(stmts) {
 						changed = true
+						// The replacement detached orig's subtree, so the
+						// slots collected from it are dangling: their set
+						// would silently no-op while prop (a full engine
+						// replay) keeps returning true. Re-enumerate from
+						// the live tree; slots are collected in pre-order,
+						// so positions before si are unaffected.
+						slots = slotsOf(st)
 						break
 					}
 					slot.set(orig)

@@ -91,6 +91,43 @@ func TestReducePreservesProperty(t *testing.T) {
 	}
 }
 
+// TestReduceExpressionsRecomputesSlots is the regression test for the
+// stale-slot defect: after a subtree is successfully replaced, slots
+// collected from the detached subtree would silently no-op on set while
+// the property replay kept returning true — a spurious "accepted"
+// without any AST change. The fixed reducer re-enumerates slots after
+// every successful replacement, so a property acceptance must always
+// coincide with a real mutation (observable as a changed rendering).
+func TestReduceExpressionsRecomputesSlots(t *testing.T) {
+	stmts := parseAll(t,
+		"SELECT * FROM t WHERE ((c0 = 0) AND (c1 = 1))",
+	)
+	lastAccepted := render(stmts)
+	spurious := 0
+	prop := func(cand []sqlast.Stmt) bool {
+		ok := strings.Contains(render(cand), "c1 = 1")
+		if ok {
+			s := render(cand)
+			if s == lastAccepted {
+				spurious++
+			}
+			lastAccepted = s
+		}
+		return ok
+	}
+	got := reduceExpressions(cloneAll(stmts), prop)
+	if spurious != 0 {
+		t.Fatalf("%d property acceptances without an AST change (stale slots)", spurious)
+	}
+	s := render(got)
+	if !strings.Contains(s, "c1 = 1") {
+		t.Fatalf("reduction violated its property: %s", s)
+	}
+	if strings.Contains(s, "c0") {
+		t.Fatalf("left conjunct should have been replaced by a literal: %s", s)
+	}
+}
+
 func TestReduceInputUnmodified(t *testing.T) {
 	stmts := parseAll(t,
 		"SELECT * FROM t WHERE ((a + 1) = 2)",

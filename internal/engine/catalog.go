@@ -30,6 +30,11 @@ type Table struct {
 	// names caches the column-name slice handed to scans; ALTER TABLE
 	// invalidates it.
 	names []string
+	// indexes holds the indexes on this table, sorted by name — the
+	// single access path to a table's indexes. The planner and the
+	// constraint checker read it on the hot path, where an allocating
+	// map iteration over the catalog would be too costly.
+	indexes []*Index
 }
 
 // colNames returns the column names as a shared slice. Scans and row
@@ -64,13 +69,35 @@ type View struct {
 	Def     *sqlast.Select
 }
 
-// Index is a stored (optionally unique, optionally partial) index.
+// Index is a stored (optionally unique, optionally partial) index. It is
+// a real access path, not just metadata: entries is an ordered key→row
+// store over the leading column, maintained incrementally by the DML
+// executors and probed by the access-path planner (plan.go).
 type Index struct {
 	Name    string
 	Table   string
 	Columns []string
 	Unique  bool
 	Where   sqlast.Expr // partial index predicate, nil if absent
+
+	// lead is the leading column's position in the table; recomputed when
+	// ALTER TABLE rebuilds the index.
+	lead int
+	// entries holds one entry per covered visible row, sorted by key
+	// (compareForSort order: NULLs first), ties in insertion order.
+	entries []indexEntry
+	// stale marks an index whose maintenance was skipped by the
+	// StaleIndexAfterUpdate fault; probes on a stale index may return
+	// detached pre-update rows.
+	stale bool
+}
+
+// indexEntry maps one leading-column key to its row. The row slice is the
+// identity: DML replaces row slices, never mutates them, so the pointer
+// of the first element identifies a live row.
+type indexEntry struct {
+	key Value
+	row []Value
 }
 
 // database is the catalog plus storage for one DB instance.
@@ -119,16 +146,15 @@ func (db *database) viewNames() []string {
 	return out
 }
 
-// indexesOn returns the indexes on a table, sorted by name.
-func (db *database) indexesOn(table string) []*Index {
-	var out []*Index
-	for _, ix := range db.indexes {
-		if strings.EqualFold(ix.Table, table) {
-			out = append(out, ix)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+// attachIndex registers an index in the catalog and on its table,
+// keeping the table's index list name-sorted (deterministic planning and
+// constraint-check order).
+func (db *database) attachIndex(t *Table, ix *Index) {
+	db.indexes[key(ix.Name)] = ix
+	i := sort.Search(len(t.indexes), func(i int) bool { return t.indexes[i].Name >= ix.Name })
+	t.indexes = append(t.indexes, nil)
+	copy(t.indexes[i+1:], t.indexes[i:])
+	t.indexes[i] = ix
 }
 
 // dropTable removes a table and its indexes.

@@ -98,6 +98,14 @@ func compoundOrderIndex(cols []Column, name string) int {
 // execCompound executes a compound query.
 func (s *DB) execCompound(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) {
 	s.cov.Hit("exec.compound")
+	// A compound-level LIMIT/OFFSET cuts the concatenated arm rows by
+	// position, so the arms' scan order becomes observable: keep every
+	// arm on the order-preserving full scan (see indexOrderSafe).
+	if sel.Limit != nil || sel.Offset != nil {
+		restore := s.noIndexScan
+		s.noIndexScan = true
+		defer func() { s.noIndexScan = restore }()
+	}
 	left, err := s.execSelectEnv(coreOf(sel), outer)
 	if err != nil {
 		return nil, err

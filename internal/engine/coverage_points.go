@@ -17,6 +17,7 @@ func init() {
 		"eval.cast.INTEGER", "eval.cast.TEXT", "eval.cast.BOOLEAN",
 		"filter.eval",
 		"exec.select", "exec.scan.table", "exec.scan.view", "exec.scan.derived",
+		"exec.scan.index",
 		"exec.distinct", "exec.orderby", "exec.limit", "exec.offset",
 		"exec.groupby", "exec.compound",
 		"exec.setop.UNION", "exec.setop.UNION ALL",

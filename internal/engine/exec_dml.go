@@ -64,6 +64,9 @@ func (s *DB) execStmt(stmt sqlast.Stmt) (*Result, error) {
 			return nil, errf(ErrSemantic, "no such table %q", st.Table)
 		}
 		t.Rows = append(t.Rows, t.Pending...)
+		if len(t.indexes) > 0 {
+			s.indexInsertRows(t, t.Pending)
+		}
 		t.Pending = nil
 		return nil, nil
 	default:
@@ -126,7 +129,8 @@ func (s *DB) execCreateIndex(st *sqlast.CreateIndex) error {
 			seen[keyStr] = true
 		}
 	}
-	s.store.indexes[key(st.Name)] = ix
+	s.store.attachIndex(t, ix)
+	s.buildIndex(t, ix)
 	return nil
 }
 
@@ -226,6 +230,9 @@ func (s *DB) execInsert(st *sqlast.Insert) error {
 		t.Pending = append(t.Pending, newRows...)
 	} else {
 		t.Rows = append(t.Rows, newRows...)
+		if len(t.indexes) > 0 {
+			s.indexInsertRows(t, newRows)
+		}
 	}
 	return nil
 }
@@ -279,7 +286,7 @@ func (s *DB) checkRowConstraints(t *Table, row []Value, pending [][]Value, skipR
 			}
 		}
 	}
-	for _, ix := range s.store.indexesOn(t.Name) {
+	for _, ix := range t.indexes {
 		if !ix.Unique {
 			continue
 		}
@@ -287,6 +294,10 @@ func (s *DB) checkRowConstraints(t *Table, row []Value, pending [][]Value, skipR
 		if err != nil || !covered || keyStr == "" {
 			continue
 		}
+		// UniqueIndexFalseConflict defect: the uniqueness probe of a
+		// multi-column unique index compares only the leading key column,
+		// so rows that differ in a later column spuriously conflict.
+		falseConflict := s.faultSet().UniqueConflict()
 		for _, r := range others {
 			c2, k2, err := s.indexEntry(t, ix, r)
 			if err != nil || !c2 || k2 == "" {
@@ -294,6 +305,13 @@ func (s *DB) checkRowConstraints(t *Table, row []Value, pending [][]Value, skipR
 			}
 			if k2 == keyStr {
 				return errf(ErrConstraint, "UNIQUE index constraint failed: %s", ix.Name)
+			}
+			if falseConflict != nil && len(ix.Columns) > 1 &&
+				!row[ix.lead].IsNull() && !r[ix.lead].IsNull() &&
+				nullSafeEqual(row[ix.lead], r[ix.lead]) {
+				s.trigger(falseConflict)
+				return errf(ErrInternal,
+					"internal error: duplicate key in unique index %s (truncated key comparison)", ix.Name)
 			}
 		}
 	}
@@ -355,6 +373,17 @@ func (s *DB) execUpdate(st *sqlast.Update) error {
 			return err
 		}
 	}
+	// Index maintenance: swap entries of the updated rows. The
+	// StaleIndexAfterUpdate defect skips this step, leaving the old
+	// entries behind (triggered at probe time, when observable).
+	if len(t.indexes) > 0 {
+		skip := s.faultSet().StaleIndex() != nil
+		for ri, up := range updated {
+			if up {
+				s.indexUpdateRow(t, saved[ri], newRows[ri], skip)
+			}
+		}
+	}
 	return nil
 }
 
@@ -363,9 +392,10 @@ func (s *DB) execDelete(st *sqlast.Delete) error {
 	t := s.store.table(st.Table)
 	if st.Where == nil {
 		t.Rows = nil // unconditional DELETE removes everything
+		indexClear(t)
 		return nil
 	}
-	var kept [][]Value
+	var kept, removed [][]Value
 	env := &rowEnv{rels: []rowRel{tableRowRel(t, nil)}}
 	ctx := s.newEvalCtx(env)
 	conjs := splitAnd(st.Where, nil)
@@ -376,11 +406,17 @@ func (s *DB) execDelete(st *sqlast.Delete) error {
 			return err
 		}
 		if pass {
+			if len(t.indexes) > 0 {
+				removed = append(removed, row)
+			}
 			continue
 		}
 		kept = append(kept, row)
 	}
 	t.Rows = kept
+	for _, row := range removed {
+		s.indexRemoveRow(t, row)
+	}
 	return nil
 }
 
@@ -410,6 +446,7 @@ func (s *DB) execAlter(st *sqlast.AlterTable) error {
 		for i := range t.Pending {
 			t.Pending[i] = append(t.Pending[i], Null())
 		}
+		s.rebuildIndexes(t)
 		return nil
 	}
 	idx := t.ColumnIndex(st.DropColumn)
@@ -419,7 +456,7 @@ func (s *DB) execAlter(st *sqlast.AlterTable) error {
 	if len(t.Columns) == 1 {
 		return errf(ErrSemantic, "cannot drop the only column of %q", t.Name)
 	}
-	for _, ix := range s.store.indexesOn(t.Name) {
+	for _, ix := range t.indexes {
 		for _, c := range ix.Columns {
 			if strings.EqualFold(c, st.DropColumn) {
 				return errf(ErrSemantic, "cannot drop column %q: used by index %q", st.DropColumn, ix.Name)
@@ -434,5 +471,15 @@ func (s *DB) execAlter(st *sqlast.AlterTable) error {
 	for i := range t.Pending {
 		t.Pending[i] = append(t.Pending[i][:idx], t.Pending[i][idx+1:]...)
 	}
+	s.rebuildIndexes(t)
 	return nil
+}
+
+// rebuildIndexes rebuilds every index on a table after a schema change:
+// ALTER TABLE shifts column positions and re-slices rows in place, so
+// both the lead position and the row identities must be recaptured.
+func (s *DB) rebuildIndexes(t *Table) {
+	for _, ix := range t.indexes {
+		s.buildIndex(t, ix)
+	}
 }

@@ -9,10 +9,10 @@ import (
 
 // matRel is a materialized FROM relation.
 type matRel struct {
-	alias     string
-	cols      []string
-	rows      [][]Value
-	baseTable string // set when the relation is a direct table reference
+	alias string
+	cols  []string
+	rows  [][]Value
+	table *Table // set when the relation is a direct table reference
 }
 
 // jrow is one combined join row: one value slice per relation.
@@ -87,7 +87,7 @@ func (s *DB) materializeRef(ref sqlast.TableRef, outer *rowEnv) (matRel, *Error)
 			// The scan shares the table's row slice: rows are immutable for
 			// the duration of a statement (DML replaces slices, it never
 			// writes through them), and projection copies values out.
-			return matRel{alias: r.RefName(), cols: t.colNames(), rows: t.Rows, baseTable: t.Name}, nil
+			return matRel{alias: r.RefName(), cols: t.colNames(), rows: t.Rows, table: t}, nil
 		}
 		if v := s.store.view(r.Name); v != nil {
 			s.cov.Hit("exec.scan.view")
@@ -119,11 +119,23 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 	s.cov.Hit("exec.select")
 	var rels []matRel
 	var rows []jrow
+	// Filter conjuncts are split once per statement; the access-path
+	// planner and the WHERE loop share them.
+	var conjs []sqlast.Expr
+	if sel.Where != nil {
+		conjs = splitAnd(sel.Where, nil)
+	}
 
 	if len(sel.From) > 0 {
 		first, err := s.materializeRef(sel.From[0].Ref, outer)
 		if err != nil {
 			return nil, err
+		}
+		if len(conjs) > 0 && first.table != nil && indexPlannable(sel.From) && indexOrderSafe(sel) {
+			if idxRows, ok := s.planIndexAccess(first.table, first.alias, conjs); ok {
+				first.rows = idxRows
+				s.cov.Hit("exec.scan.index")
+			}
 		}
 		rels = []matRel{first}
 		rows = make([]jrow, len(first.rows))
@@ -153,10 +165,10 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 	ctx := s.newEvalCtx(env)
 
 	s.cov.HitBranch("where.present", sel.Where != nil)
-	// WHERE (the optimized filter path, including the partial-index
-	// defect hook).
+	// WHERE: the optimized filter path. When the planner chose an index
+	// probe, rows already holds only the candidate span, so the loop —
+	// and the cost it charges — covers just the rows actually touched.
 	if sel.Where != nil {
-		conjs := splitAnd(sel.Where, nil)
 		kept := rows[:0:0]
 		for _, row := range rows {
 			env.bindRow(row)
@@ -164,7 +176,7 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 			if err != nil {
 				return nil, err
 			}
-			if pass && !s.partialIndexDrop(conjs, rels, row) {
+			if pass {
 				kept = append(kept, row)
 			}
 			s.cost++
@@ -402,65 +414,6 @@ func naturalOn(rels []matRel, right matRel) sqlast.Expr {
 		}
 	}
 	return on
-}
-
-// partialIndexDrop implements the PartialIndexScan defect: an equality
-// conjunct on the leading column of a partial index reads only the index,
-// silently dropping rows outside the index predicate. It reports whether
-// the row must be (wrongly) dropped. conjs are the WHERE clause's
-// top-level conjuncts, split once by the caller.
-func (s *DB) partialIndexDrop(conjs []sqlast.Expr, rels []matRel, row jrow) bool {
-	f := s.faultSet().PartialIndex()
-	if f == nil {
-		return false
-	}
-	for _, conj := range conjs {
-		b, ok := conj.(*sqlast.Binary)
-		if !ok || b.Op != sqlast.OpEq {
-			continue
-		}
-		col, okc := b.L.(*sqlast.ColumnRef)
-		if _, lit := b.R.(*sqlast.Literal); !okc || !lit {
-			col, okc = b.R.(*sqlast.ColumnRef)
-			if _, lit := b.L.(*sqlast.Literal); !okc || !lit {
-				continue
-			}
-		}
-		for i, rel := range rels {
-			if rel.baseTable == "" {
-				continue
-			}
-			if col.Table != "" && !strings.EqualFold(col.Table, rel.alias) {
-				continue
-			}
-			found := false
-			for _, c := range rel.cols {
-				if strings.EqualFold(c, col.Column) {
-					found = true
-					break
-				}
-			}
-			if !found {
-				continue
-			}
-			for _, ix := range s.store.indexesOn(rel.baseTable) {
-				if ix.Where == nil || len(ix.Columns) == 0 ||
-					!strings.EqualFold(ix.Columns[0], col.Column) {
-					continue
-				}
-				env := &rowEnv{rels: []rowRel{{alias: rel.alias, cols: rel.cols, vals: row[i]}}}
-				t, err := s.newEvalCtx(env).evalTri(ix.Where)
-				if err != nil {
-					continue
-				}
-				if t != TriTrue {
-					s.trigger(f)
-					return true
-				}
-			}
-		}
-	}
-	return false
 }
 
 // outputColumns computes the result column names.

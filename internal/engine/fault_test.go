@@ -313,11 +313,11 @@ func TestFaultCatalogueShape(t *testing.T) {
 			}
 		}
 	}
-	if total != 114 {
-		t.Errorf("catalogue total = %d, want 114", total)
+	if total != 118 {
+		t.Errorf("catalogue total = %d, want 118", total)
 	}
-	if logic != 83 {
-		t.Errorf("logic faults = %d, want 83", logic)
+	if logic != 86 {
+		t.Errorf("logic faults = %d, want 86", logic)
 	}
 	// Shape: Umbra > MonetDB > CrateDB = Dolt > the rest (paper Table 2).
 	if !(perDialect["umbra"] > perDialect["monetdb"] &&

@@ -1,0 +1,511 @@
+package engine
+
+// Access-path planning and index maintenance. Indexes carry a real
+// ordered key→row store over their leading column (catalog.go); the DML
+// executors keep it incrementally in sync with the table's visible rows,
+// and planIndexAccess chooses between the full scan and an index probe
+// for the first FROM relation of a SELECT.
+//
+// The candidate set an index probe returns is exactly the set of rows
+// whose stored leading-column value satisfies the probe conjunct under
+// the clean comparison semantics (evalCompare over Compare order — the
+// same total order the entries are sorted by). The WHERE loop still
+// re-evaluates every conjunct, fault hooks included, over the candidates,
+// so with faults disabled the index path is observationally identical to
+// the full scan. The injected index defects (PartialIndexScan,
+// IndexRangeBoundary, StaleIndexAfterUpdate) perturb the candidate set
+// itself — rows they drop cannot be resurrected downstream, which is what
+// makes them visible to TLP and NoREC.
+
+import (
+	"sort"
+	"strings"
+
+	"sqlancerpp/internal/sqlast"
+)
+
+// ---------------------------------------------------------------------
+// Ordered store maintenance
+// ---------------------------------------------------------------------
+
+// indexKeyOf returns whether a row is covered by the index (partial
+// predicate TRUE; errors count as uncovered) and its leading-column key.
+func (s *DB) indexKeyOf(t *Table, ix *Index, row []Value) (bool, Value) {
+	if ix.Where != nil {
+		env := &rowEnv{rels: []rowRel{tableRowRel(t, row)}}
+		tri, err := s.newEvalCtx(env).evalTri(ix.Where)
+		if err != nil || tri != TriTrue {
+			return false, Value{}
+		}
+	}
+	return true, row[ix.lead]
+}
+
+// buildIndex (re)builds the ordered store from the table's visible rows.
+// Entries sort by key with ties in table order — the same order the
+// incremental path (insert at the end of the equal-key span) maintains.
+func (s *DB) buildIndex(t *Table, ix *Index) {
+	ix.lead = t.ColumnIndex(ix.Columns[0])
+	ix.entries = ix.entries[:0]
+	ix.stale = false
+	for _, row := range t.Rows {
+		if covered, key := s.indexKeyOf(t, ix, row); covered {
+			ix.entries = append(ix.entries, indexEntry{key: key, row: row})
+		}
+	}
+	sort.SliceStable(ix.entries, func(i, j int) bool {
+		return compareForSort(ix.entries[i].key, ix.entries[j].key) < 0
+	})
+}
+
+// insertEntry adds one entry at the end of its equal-key span.
+func (ix *Index) insertEntry(key Value, row []Value) {
+	i := sort.Search(len(ix.entries), func(i int) bool {
+		return compareForSort(ix.entries[i].key, key) > 0
+	})
+	ix.entries = append(ix.entries, indexEntry{})
+	copy(ix.entries[i+1:], ix.entries[i:])
+	ix.entries[i] = indexEntry{key: key, row: row}
+}
+
+// removeEntry drops the entry of one row, located by key and row
+// identity (the row slice's first element).
+func (ix *Index) removeEntry(key Value, row []Value) {
+	if len(row) == 0 {
+		return
+	}
+	j := sort.Search(len(ix.entries), func(i int) bool {
+		return compareForSort(ix.entries[i].key, key) >= 0
+	})
+	for ; j < len(ix.entries) && compareForSort(ix.entries[j].key, key) == 0; j++ {
+		if len(ix.entries[j].row) > 0 && &ix.entries[j].row[0] == &row[0] {
+			ix.entries = append(ix.entries[:j], ix.entries[j+1:]...)
+			return
+		}
+	}
+}
+
+// indexInsertRows adds entries for rows that just became visible
+// (INSERT, or REFRESH TABLE flushing pending rows).
+func (s *DB) indexInsertRows(t *Table, rows [][]Value) {
+	for _, ix := range t.indexes {
+		for _, row := range rows {
+			if covered, key := s.indexKeyOf(t, ix, row); covered {
+				ix.insertEntry(key, row)
+			}
+		}
+	}
+}
+
+// indexRemoveRow drops the entries of one removed row. Coverage is a
+// pure function of the row's values, so recomputing it finds the same
+// entries the insertion created.
+func (s *DB) indexRemoveRow(t *Table, row []Value) {
+	for _, ix := range t.indexes {
+		if covered, key := s.indexKeyOf(t, ix, row); covered {
+			ix.removeEntry(key, row)
+		}
+	}
+}
+
+// indexUpdateRow swaps the entries of one updated row (remove the old
+// row's entries, insert the new row's). With the StaleIndexAfterUpdate
+// fault active the maintenance is skipped entirely and every index whose
+// entries would have changed is marked stale — later probes on a stale
+// index return detached pre-update rows or miss the updated ones.
+func (s *DB) indexUpdateRow(t *Table, old, nr []Value, skipMaintenance bool) {
+	for _, ix := range t.indexes {
+		co, ko := s.indexKeyOf(t, ix, old)
+		cn, kn := s.indexKeyOf(t, ix, nr)
+		if skipMaintenance {
+			if co || cn {
+				ix.stale = true
+			}
+			continue
+		}
+		if co {
+			ix.removeEntry(ko, old)
+		}
+		if cn {
+			ix.insertEntry(kn, nr)
+		}
+	}
+}
+
+// indexClear empties every index on a table (unconditional DELETE): an
+// empty store is consistent with an empty table, so staleness resets.
+func indexClear(t *Table) {
+	for _, ix := range t.indexes {
+		ix.entries = ix.entries[:0]
+		ix.stale = false
+	}
+}
+
+// ---------------------------------------------------------------------
+// Probe extraction and spans
+// ---------------------------------------------------------------------
+
+// indexProbe is a normalized sargable conjunct: column op literal.
+type indexProbe struct {
+	col string
+	op  sqlast.BinaryOp
+	val Value
+}
+
+// flipCmp mirrors a comparison operator for "literal op column" shapes.
+func flipCmp(op sqlast.BinaryOp) sqlast.BinaryOp {
+	switch op {
+	case sqlast.OpLt:
+		return sqlast.OpGt
+	case sqlast.OpLe:
+		return sqlast.OpGe
+	case sqlast.OpGt:
+		return sqlast.OpLt
+	case sqlast.OpGe:
+		return sqlast.OpLe
+	default: // =, <=>, IS NOT DISTINCT FROM are symmetric
+		return op
+	}
+}
+
+// litValue converts a literal AST node to a runtime value.
+func litValue(l *sqlast.Literal) Value {
+	switch l.Kind {
+	case sqlast.LitNull:
+		return Null()
+	case sqlast.LitInt:
+		return Int(l.Int)
+	case sqlast.LitText:
+		return Text(l.Text)
+	default:
+		return Bool(l.Bool)
+	}
+}
+
+// matchProbe extracts an index probe from one top-level WHERE conjunct
+// for the relation (alias, t). It accepts =, <, <=, >, >= and the
+// null-safe equality spellings between a column of the relation and a
+// literal. The null-safe forms normalize to = only for non-NULL
+// literals: over non-NULL keys the two agree, and NULL keys are outside
+// every span ("x <=> NULL" would instead select them, so it is not
+// sargable here).
+func matchProbe(conj sqlast.Expr, alias string, t *Table) (indexProbe, bool) {
+	b, ok := conj.(*sqlast.Binary)
+	if !ok {
+		return indexProbe{}, false
+	}
+	op := b.Op
+	col, okc := b.L.(*sqlast.ColumnRef)
+	lit, okl := b.R.(*sqlast.Literal)
+	if !okc || !okl {
+		col, okc = b.R.(*sqlast.ColumnRef)
+		lit, okl = b.L.(*sqlast.Literal)
+		if !okc || !okl {
+			return indexProbe{}, false
+		}
+		op = flipCmp(op)
+	}
+	v := litValue(lit)
+	switch op {
+	case sqlast.OpEq, sqlast.OpLt, sqlast.OpLe, sqlast.OpGt, sqlast.OpGe:
+		// With a NULL operand these are never TRUE; the span is empty.
+	case sqlast.OpNullSafeEq, sqlast.OpIsNotDistinct:
+		if v.IsNull() {
+			return indexProbe{}, false
+		}
+		op = sqlast.OpEq
+	default:
+		return indexProbe{}, false
+	}
+	if col.Table != "" && !strings.EqualFold(col.Table, alias) {
+		return indexProbe{}, false
+	}
+	if t.ColumnIndex(col.Column) < 0 {
+		return indexProbe{}, false
+	}
+	return indexProbe{col: col.Column, op: op, val: v}, true
+}
+
+// span returns the half-open entry range [lo, hi) whose keys satisfy
+// "key op val" under the clean comparison semantics. Entries sort in
+// compareForSort order (NULLs first), which agrees with Compare on
+// non-NULL values — the same order evalCompare uses — so the matching
+// region is contiguous and NULL keys fall outside every span.
+func (ix *Index) span(op sqlast.BinaryOp, val Value) (int, int) {
+	n := len(ix.entries)
+	if val.IsNull() {
+		return 0, 0
+	}
+	lowerEq := sort.Search(n, func(i int) bool { return compareForSort(ix.entries[i].key, val) >= 0 })
+	upperEq := sort.Search(n, func(i int) bool { return compareForSort(ix.entries[i].key, val) > 0 })
+	switch op {
+	case sqlast.OpEq:
+		return lowerEq, upperEq
+	case sqlast.OpLt:
+		return ix.firstNonNull(), lowerEq
+	case sqlast.OpLe:
+		return ix.firstNonNull(), upperEq
+	case sqlast.OpGt:
+		return upperEq, n
+	default: // OpGe
+		return lowerEq, n
+	}
+}
+
+// firstNonNull returns the index of the first non-NULL key.
+func (ix *Index) firstNonNull() int {
+	return sort.Search(len(ix.entries), func(i int) bool { return !ix.entries[i].key.IsNull() })
+}
+
+// entryRows extracts the candidate rows of an entry span.
+func entryRows(entries []indexEntry) [][]Value {
+	rows := make([][]Value, len(entries))
+	for i := range entries {
+		rows[i] = entries[i].row
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------
+
+// indexPlannable reports whether pre-filtering the first FROM relation
+// with an index probe preserves the statement's semantics: every
+// subsequent join must be inner-like (no NULL extension), so removing a
+// left row that fails the probe conjunct can only remove joined rows the
+// WHERE clause would have dropped anyway.
+func indexPlannable(from []sqlast.FromItem) bool {
+	for _, it := range from[1:] {
+		switch it.Join {
+		case sqlast.JoinComma, sqlast.JoinCross, sqlast.JoinInner, sqlast.JoinNatural:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// indexOrderSafe reports whether swapping the first relation's scan
+// order can change the statement's result beyond row order. The index
+// path yields candidates in key order, not table order — invisible to
+// multiset comparison, but observable wherever order leaks into row
+// selection or values: LIMIT/OFFSET cut by position (an ORDER BY does
+// not neutralize them — the sort is stable, so ties keep scan order),
+// and grouped execution evaluates non-aggregate expressions on each
+// group's first row.
+func indexOrderSafe(sel *sqlast.Select) bool {
+	if sel.Limit != nil || sel.Offset != nil {
+		return false
+	}
+	if len(sel.GroupBy) > 0 {
+		return false // group representatives are first-row dependent
+	}
+	if !selHasAggregates(sel) {
+		return true // plain select: only the output order changes
+	}
+	// Global aggregate: one output row, safe iff nothing reads a column
+	// (or runs a possibly-correlated subquery) outside an aggregate call
+	// — the single group's representative row is scan-order dependent.
+	for i := range sel.Items {
+		if sel.Items[i].Star || !orderFreeExpr(sel.Items[i].Expr) {
+			return false
+		}
+	}
+	for _, o := range sel.OrderBy {
+		if !orderFreeExpr(o.Expr) {
+			return false
+		}
+	}
+	return sel.Having == nil || orderFreeExpr(sel.Having)
+}
+
+// orderFreeExpr reports whether an expression's value over a single
+// aggregate group is independent of the scan order: every column
+// reference and every subquery sits inside an aggregate call.
+func orderFreeExpr(e sqlast.Expr) bool {
+	safe := true
+	sqlast.WalkExpr(e, func(x sqlast.Expr) bool {
+		switch n := x.(type) {
+		case *sqlast.Func:
+			if isAggregate(n) {
+				return false // aggregates fold the whole group: order-free
+			}
+		case *sqlast.ColumnRef, *sqlast.Subquery, *sqlast.Exists:
+			safe = false
+		}
+		return safe
+	})
+	return safe
+}
+
+// planIndexAccess chooses an access path for a base-table scan given the
+// statement's top-level WHERE conjuncts. It returns the candidate rows
+// in index order when an index probe beats the full scan (fewer entries
+// than table rows). The cost model then charges only the rows actually
+// touched: the WHERE loop runs over the candidates instead of the whole
+// table.
+func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) ([][]Value, bool) {
+	if s.noIndexScan || len(t.indexes) == 0 {
+		return nil, false
+	}
+	fs := s.faultSet()
+
+	// PartialIndexScan defect: an equality probe on the leading column of
+	// a *partial* index wrongly uses that index — regardless of cost, and
+	// without re-checking the rows its predicate excludes.
+	if f := fs.PartialIndex(); f != nil {
+		for _, conj := range conjs {
+			probe, ok := matchProbe(conj, alias, t)
+			if !ok || probe.op != sqlast.OpEq {
+				continue
+			}
+			for _, ix := range t.indexes {
+				if ix.Where == nil || !strings.EqualFold(ix.Columns[0], probe.col) {
+					continue
+				}
+				lo, hi := ix.span(probe.op, probe.val)
+				rows := entryRows(ix.entries[lo:hi])
+				if s.indexDropObservable(t, probe, rows, conjs) {
+					s.trigger(f)
+				}
+				return rows, true
+			}
+		}
+	}
+
+	// Clean planning: ordinary (non-partial) indexes, smallest span wins;
+	// ties keep the first candidate in (conjunct, index-name) order.
+	var best *Index
+	var bestProbe indexProbe
+	bestLo, bestHi := 0, 0
+	bestLen := -1
+	for _, conj := range conjs {
+		probe, ok := matchProbe(conj, alias, t)
+		if !ok {
+			continue
+		}
+		for _, ix := range t.indexes {
+			if ix.Where != nil || !strings.EqualFold(ix.Columns[0], probe.col) {
+				continue
+			}
+			lo, hi := ix.span(probe.op, probe.val)
+			if bestLen < 0 || hi-lo < bestLen {
+				best, bestProbe, bestLo, bestHi, bestLen = ix, probe, lo, hi, hi-lo
+			}
+		}
+	}
+	if best == nil || bestLen >= len(t.Rows) {
+		return nil, false
+	}
+
+	rows := entryRows(best.entries[bestLo:bestHi])
+
+	// IndexRangeBoundary defect: an inclusive range probe excludes its
+	// boundary keys (<= behaves like <, >= like >).
+	if f := fs.RangeBoundary(bestProbe.op.String()); f != nil &&
+		(bestProbe.op == sqlast.OpLe || bestProbe.op == sqlast.OpGe) {
+		faultyOp := sqlast.OpLt
+		if bestProbe.op == sqlast.OpGe {
+			faultyOp = sqlast.OpGt
+		}
+		flo, fhi := best.span(faultyOp, bestProbe.val)
+		if flo != bestLo || fhi != bestHi {
+			rows = entryRows(best.entries[flo:fhi])
+			if s.indexDropObservable(t, bestProbe, rows, conjs) {
+				s.trigger(f)
+			}
+		}
+	}
+
+	if best.stale {
+		if f := fs.StaleIndex(); f != nil {
+			if s.staleProbeDiverges(t, best, bestProbe, rows) {
+				s.trigger(f)
+			}
+		}
+	}
+	return rows, true
+}
+
+// ---------------------------------------------------------------------
+// Ground-truth trigger precision
+// ---------------------------------------------------------------------
+
+// indexDropObservable reports whether a faulty candidate set loses a row
+// the clean full scan would return: some table row satisfies the probe
+// and every WHERE conjunct under clean semantics but is absent from the
+// candidates. Ground-truth accounting only — its work is excluded from
+// the statement cost.
+func (s *DB) indexDropObservable(t *Table, probe indexProbe, candidates [][]Value, conjs []sqlast.Expr) bool {
+	saved := s.cost
+	defer func() { s.cost = saved }()
+	present := make(map[*Value]bool, len(candidates))
+	for _, r := range candidates {
+		if len(r) > 0 {
+			present[&r[0]] = true
+		}
+	}
+	ci := t.ColumnIndex(probe.col)
+	env := &rowEnv{rels: []rowRel{tableRowRel(t, nil)}}
+	ctx := s.newEvalCtx(env)
+	for _, row := range t.Rows {
+		if len(row) > 0 && present[&row[0]] {
+			continue
+		}
+		if ctx.evalCompare(probe.op, row[ci], probe.val) != TriTrue {
+			continue
+		}
+		env.rels[0].vals = row
+		pass := true
+		for _, conj := range conjs {
+			tri, err := ctx.evalTri(conj)
+			if err != nil {
+				// The conjunct references another join relation (or an
+				// outer scope) and cannot be evaluated row-locally; it
+				// cannot refute the row, so assume it passes. Triggering
+				// too eagerly is safe — missing a trigger on an observable
+				// divergence would misreport a found bug as a false
+				// positive.
+				continue
+			}
+			if tri != TriTrue {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return true
+		}
+	}
+	return false
+}
+
+// staleProbeDiverges reports whether a probe on a stale index returns a
+// row multiset different from what a clean scan of the table would:
+// the observable symptom of StaleIndexAfterUpdate. Ground-truth
+// accounting only — its work is excluded from the statement cost.
+func (s *DB) staleProbeDiverges(t *Table, ix *Index, probe indexProbe, candidates [][]Value) bool {
+	saved := s.cost
+	defer func() { s.cost = saved }()
+	counts := make(map[string]int, len(candidates))
+	extra := 0
+	for _, r := range candidates {
+		counts[renderRow(r)]++
+		extra++
+	}
+	ctx := s.newEvalCtx(nil)
+	for _, row := range t.Rows {
+		covered, key := s.indexKeyOf(t, ix, row)
+		if !covered || ctx.evalCompare(probe.op, key, probe.val) != TriTrue {
+			continue
+		}
+		k := renderRow(row)
+		if counts[k] == 0 {
+			return true // the clean scan has a row the probe missed
+		}
+		counts[k]--
+		extra--
+	}
+	return extra != 0 // the probe returned detached rows
+}

@@ -42,6 +42,11 @@ type DB struct {
 
 	faultsEnabled bool
 	crashed       bool
+	// noIndexScan disables the access-path planner (plan.go): every scan
+	// is a full scan. Tests and the full-scan/index-path differential
+	// harness use it; index *maintenance* stays on so the toggle can flip
+	// per-query.
+	noIndexScan bool
 
 	// triggered holds the fault IDs fired by the last statement
 	// (ground truth for the evaluation harness only).
@@ -63,6 +68,14 @@ func WithCoverage(rec *coverage.Recorder) Option {
 // and the engine's own differential validation).
 func WithoutFaults() Option {
 	return func(s *DB) { s.faultsEnabled = false }
+}
+
+// WithoutIndexPaths disables index-backed access paths: every scan is a
+// full scan, as in the pre-planner engine. Used by the differential
+// tests (index path vs. full scan must agree on a clean engine) and the
+// benchmark baseline.
+func WithoutIndexPaths() Option {
+	return func(s *DB) { s.noIndexScan = true }
 }
 
 // Open creates an empty database for the dialect.

@@ -164,10 +164,16 @@ func (s *DB) validateCreateIndex(st *sqlast.CreateIndex) error {
 	if t == nil {
 		return errf(ErrSemantic, "no such table %q", st.Table)
 	}
+	seen := map[string]bool{}
 	for _, c := range st.Columns {
 		if t.ColumnIndex(c) < 0 {
 			return errf(ErrSemantic, "no such column %q in table %q", c, st.Table)
 		}
+		lc := strings.ToLower(c)
+		if seen[lc] {
+			return errf(ErrSemantic, "duplicate column %q in index %q", c, st.Name)
+		}
+		seen[lc] = true
 	}
 	if st.Where != nil {
 		sc := &scope{rels: []scopeRel{{alias: t.Name, cols: t.Columns}}}

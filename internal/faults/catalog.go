@@ -31,6 +31,7 @@ var catalog = map[string][]spec{
 	"mariadb": {
 		{Logic, CmpNullEqTrue, "<=", "NULL<=NULL evaluates TRUE in the range optimizer"},
 		{Logic, FuncWrongVal, "UPPER", "UPPER value perturbed when folded into an index probe"},
+		{Error, UniqueIndexFalseConflict, "", "multi-column unique index checks only the leading key column, raising spurious duplicate-key errors"},
 	},
 	"percona": {
 		{Logic, NotElim, ">=", "NOT(a>=b) rewritten to a<=b, double-counting equal keys"},
@@ -40,6 +41,7 @@ var catalog = map[string][]spec{
 		{Logic, CmpMixedText, "<", "INT<TEXT compared textually after constant propagation"},
 		{Logic, NotElim, "<=", "NOT(a<=b) rewritten to a>=b, double-counting equal keys"},
 		{Crash, CrashOnFeature, "~", "bitwise inversion crashes the executor (cf. paper §6 TiDB '~' bug)"},
+		{Logic, IndexRangeBoundary, ">=", "index range scan treats >= as an exclusive lower bound, dropping boundary keys"},
 	},
 	"dolt": {
 		{Logic, CmpNullTrue, "=", "= with NULL operand keeps the row in the optimized filter"},
@@ -105,6 +107,7 @@ var catalog = map[string][]spec{
 		{Error, InternalErrorOnFeature, "HAVING", "HAVING raises an internal error"},
 		{Error, InternalErrorOnFeature, "HEX", "HEX raises an internal error"},
 		{Perf, PerfOnFeature, "DISTINCT", "DISTINCT falls off the hash-aggregation fast path"},
+		{Logic, IndexRangeBoundary, "<=", "index range scan treats <= as an exclusive upper bound, dropping boundary keys"},
 	},
 	"monetdb": {
 		{Logic, CmpNullTrue, "<=", "<= with NULL operand keeps the row"},
@@ -126,6 +129,7 @@ var catalog = map[string][]spec{
 		{Error, InternalErrorOnFeature, "CREATE VIEW", "view creation intermittently raises an internal error"},
 		{Error, InternalErrorOnFeature, "<<", "left shift raises an internal error"},
 		{Perf, PerfOnFeature, "IN", "IN list probes fall back to nested scans"},
+		{Logic, StaleIndexAfterUpdate, "", "UPDATE skips secondary-index maintenance, leaving stale index entries behind"},
 	},
 	"firebird": {
 		{Logic, CmpNullEqTrue, "=", "NULL=NULL evaluates TRUE"},

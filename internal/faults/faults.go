@@ -98,6 +98,18 @@ const (
 	// *partial* index uses the index without re-checking rows outside the
 	// index predicate, silently dropping them.
 	PartialIndexScan
+	// StaleIndexAfterUpdate: UPDATE skips secondary-index maintenance, so
+	// later index probes return the pre-update rows (or miss the updated
+	// ones) — the classic stale-entry corruption.
+	StaleIndexAfterUpdate
+	// IndexRangeBoundary: an index range scan with the inclusive operator
+	// Param ("<=" or ">=") excludes the boundary keys, losing the rows
+	// equal to the bound (an off-by-one in the span computation).
+	IndexRangeBoundary
+	// UniqueIndexFalseConflict: the uniqueness check of a multi-column
+	// unique index compares only the leading key column, raising spurious
+	// duplicate-key errors for rows that differ in a later column.
+	UniqueIndexFalseConflict
 	// UnionAllDedup: UNION ALL incorrectly removes duplicate rows, as if
 	// it were UNION (a classic set-operation defect).
 	UnionAllDedup
@@ -144,6 +156,9 @@ type Set struct {
 	caseNull     *Fault
 	distinctFrom *Fault
 	partialIndex *Fault
+	staleIndex   *Fault
+	rangeBound   map[string]*Fault // by inclusive comparison operator
+	uniqueFalse  *Fault
 	unionDedup   *Fault
 	crashFeature map[string]*Fault
 	crashDeep    *Fault
@@ -162,6 +177,7 @@ func NewSet(list []Fault) *Set {
 		funcWrong:    map[string]*Fault{},
 		notElim:      map[string]*Fault{},
 		joinFlatten:  map[string]*Fault{},
+		rangeBound:   map[string]*Fault{},
 		crashFeature: map[string]*Fault{},
 		errFeature:   map[string]*Fault{},
 		perfFeature:  map[string]*Fault{},
@@ -195,6 +211,12 @@ func NewSet(list []Fault) *Set {
 			s.distinctFrom = f
 		case PartialIndexScan:
 			s.partialIndex = f
+		case StaleIndexAfterUpdate:
+			s.staleIndex = f
+		case IndexRangeBoundary:
+			s.rangeBound[f.Param] = f
+		case UniqueIndexFalseConflict:
+			s.uniqueFalse = f
 		case UnionAllDedup:
 			s.unionDedup = f
 		case CrashOnFeature:
@@ -328,6 +350,31 @@ func (s *Set) PartialIndex() *Fault {
 		return nil
 	}
 	return s.partialIndex
+}
+
+// StaleIndex returns the stale-index-after-UPDATE fault, if any.
+func (s *Set) StaleIndex() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.staleIndex
+}
+
+// RangeBoundary returns the index range off-by-one fault for an
+// inclusive comparison operator ("<=" or ">=").
+func (s *Set) RangeBoundary(op string) *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.rangeBound[op]
+}
+
+// UniqueConflict returns the unique-index false-conflict fault, if any.
+func (s *Set) UniqueConflict() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.uniqueFalse
 }
 
 // UnionDedup returns the UNION ALL dedup fault, if any.

@@ -21,8 +21,11 @@ func TestSetIndexing(t *testing.T) {
 		{ID: "o", Kind: CrashOnDeepExpr},
 		{ID: "p", Kind: InternalErrorOnFeature, Param: "HEX"},
 		{ID: "q", Kind: PerfOnFeature, Param: "IN"},
+		{ID: "r", Kind: StaleIndexAfterUpdate},
+		{ID: "s", Kind: IndexRangeBoundary, Param: "<="},
+		{ID: "t", Kind: UniqueIndexFalseConflict},
 	})
-	if s.Len() != 17 {
+	if s.Len() != 20 {
 		t.Fatalf("Len = %d", s.Len())
 	}
 	if f := s.CmpNullTrue("="); f == nil || f.ID != "a" {
@@ -56,6 +59,8 @@ func TestSetIndexing(t *testing.T) {
 		"CaseNull":     s.CaseNull(),
 		"DistinctFrom": s.DistinctFrom(),
 		"PartialIndex": s.PartialIndex(),
+		"StaleIndex":   s.StaleIndex(),
+		"UniqueFalse":  s.UniqueConflict(),
 		"CrashDeep":    s.CrashDeep(),
 	} {
 		if f == nil {
@@ -70,6 +75,12 @@ func TestSetIndexing(t *testing.T) {
 	}
 	if f := s.PerfFeature("IN"); f == nil || f.ID != "q" {
 		t.Error("PerfFeature lookup failed")
+	}
+	if f := s.RangeBoundary("<="); f == nil || f.ID != "s" {
+		t.Error("RangeBoundary lookup failed")
+	}
+	if s.RangeBoundary(">=") != nil {
+		t.Error("RangeBoundary must be keyed by operator")
 	}
 }
 
@@ -104,8 +115,8 @@ func TestForDialectIDsUnique(t *testing.T) {
 
 func TestCountByClass(t *testing.T) {
 	counts := CountByClass(ForDialect("umbra"))
-	if counts[Logic] != 16 {
-		t.Errorf("umbra logic faults = %d, want 16", counts[Logic])
+	if counts[Logic] != 17 {
+		t.Errorf("umbra logic faults = %d, want 17", counts[Logic])
 	}
 	if counts[Crash]+counts[Error]+counts[Perf] != 8 {
 		t.Errorf("umbra other faults = %d, want 8",
