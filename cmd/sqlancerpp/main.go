@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	sqlancerpp -dbms cratedb [-cases 20000] [-oracle both|tlp|norec]
+//	sqlancerpp -dbms cratedb [-cases 20000] [-oracle all|tlp-family|<names>]
 //	           [-seed 1] [-no-feedback] [-baseline] [-reduce]
-//	           [-state feedback.json] [-workers 8] [-list]
+//	           [-state feedback.json] [-workers 8] [-list] [-list-oracles]
 package main
 
 import (
@@ -20,7 +20,8 @@ import (
 func main() {
 	dbms := flag.String("dbms", "", "dialect under test (see -list)")
 	cases := flag.Int("cases", 10000, "number of oracle test cases")
-	oracleName := flag.String("oracle", "both", "test oracle: tlp, norec, or both")
+	oracleName := flag.String("oracle", "all",
+		"test oracles: all, tlp-family, or a comma-separated list of registered names (see -list-oracles)")
 	seed := flag.Int64("seed", 1, "random seed")
 	noFeedback := flag.Bool("no-feedback", false, "disable validity feedback (SQLancer++ Rand)")
 	baselineMode := flag.Bool("baseline", false, "use the per-DBMS baseline generator (SQLancer)")
@@ -28,12 +29,19 @@ func main() {
 	statePath := flag.String("state", "", "load/persist learned feature probabilities (JSON)")
 	workers := flag.Int("workers", 0, "run the campaign as deterministic parallel shards over N workers (0 = serial)")
 	list := flag.Bool("list", false, "list registered dialects and exit")
+	listOracles := flag.Bool("list-oracles", false, "list registered oracles and exit")
 	maxPrint := flag.Int("max-print", 5, "bug reports to print in full")
 	flag.Parse()
 
 	if *list {
 		for _, d := range sqlancerpp.Dialects() {
 			fmt.Println(d)
+		}
+		return
+	}
+	if *listOracles {
+		for _, o := range sqlancerpp.Oracles() {
+			fmt.Println(o)
 		}
 		return
 	}
@@ -44,7 +52,7 @@ func main() {
 
 	opts := sqlancerpp.Options{
 		DBMS:       *dbms,
-		Oracle:     orEmpty(*oracleName),
+		Oracle:     *oracleName,
 		TestCases:  *cases,
 		Seed:       *seed,
 		NoFeedback: *noFeedback,
@@ -97,11 +105,4 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sqlancerpp: persisting state: %v\n", err)
 		}
 	}
-}
-
-func orEmpty(s string) string {
-	if s == "both" {
-		return ""
-	}
-	return s
 }

@@ -74,7 +74,16 @@ type Config struct {
 	SmokeEvery int
 
 	Seed int64
-	// UseTLP / UseNoREC select the oracles (both by default).
+	// Oracles selects oracles by registry name; empty derives from the
+	// legacy UseTLP/UseNoREC flags, and with those unset too, every
+	// registered oracle runs (TLP, TLPComposed, TLPAggregate, NoREC,
+	// PlanDiff). Dispatch rotates deterministically over the selection,
+	// weighted by each oracle's registered rotation weight.
+	Oracles []oracle.Name
+	// UseTLP / UseNoREC are the legacy oracle toggles: UseTLP selects the
+	// TLP family, UseNoREC selects NoREC, both selects both (never
+	// PlanDiff — legacy callers get exactly what they configured).
+	// Ignored when Oracles is set.
 	UseTLP   bool
 	UseNoREC bool
 
@@ -119,9 +128,13 @@ const (
 
 // BugCase is one bug-inducing test case.
 type BugCase struct {
-	ID       int
-	Class    BugClass
-	Oracle   oracle.Name
+	ID     int
+	Class  BugClass
+	Oracle oracle.Name
+	// Seq is the originating test case's campaign ordinal (logic bugs
+	// only): oracles that derive internal choices from the ordinal
+	// (TLPAggregate) are replayed with it during reduction.
+	Seq      int
 	Setup    []string // DDL/DML statements that built the database state
 	Queries  []string // the oracle's queries (or the failing statement)
 	Features []string
@@ -193,6 +206,9 @@ type Runner struct {
 	g       *gen.Generator
 	pri     *prioritize.Prioritizer
 	report  *Report
+	// sched is one cycle of the deterministic weighted oracle rotation;
+	// test case n dispatches to sched[(n-1) % len(sched)].
+	sched []oracle.Oracle
 
 	db    *engine.DB
 	setup []*gen.Statement // successfully executed setup statements
@@ -218,9 +234,17 @@ func (cfg Config) withDefaults() Config {
 	if cfg.SmokeEvery == 0 {
 		cfg.SmokeEvery = 5
 	}
-	if !cfg.UseTLP && !cfg.UseNoREC {
-		cfg.UseTLP = true
-		cfg.UseNoREC = true
+	if len(cfg.Oracles) == 0 {
+		switch {
+		case cfg.UseTLP && cfg.UseNoREC:
+			cfg.Oracles = append(oracle.TLPFamily(), oracle.NoRECName)
+		case cfg.UseTLP:
+			cfg.Oracles = oracle.TLPFamily()
+		case cfg.UseNoREC:
+			cfg.Oracles = []oracle.Name{oracle.NoRECName}
+		default:
+			cfg.Oracles = oracle.DefaultNames()
+		}
 	}
 	if cfg.Threshold == 0 {
 		// The paper's p = 1% needs ~300 zero-success observations per
@@ -278,6 +302,11 @@ func New(cfg Config) (*Runner, error) {
 		}
 	}
 
+	selected, err := oracle.Select(cfg.Oracles)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+
 	g := gen.New(gen.Config{
 		Seed:           cfg.Seed,
 		Policy:         policy,
@@ -290,6 +319,7 @@ func New(cfg Config) (*Runner, error) {
 	})
 
 	return &Runner{
+		sched:   oracle.Schedule(selected),
 		cfg:     cfg,
 		tracker: tracker,
 		g:       g,
@@ -396,32 +426,17 @@ func (r *Runner) runSmokeQuery() {
 	r.handleExecError(st, err)
 }
 
-// runOracleCase runs one oracle check (Figure 2 steps 2–5).
+// runOracleCase runs one oracle check (Figure 2 steps 2–5), dispatching
+// through the deterministic weighted rotation over the selected oracle
+// registrations.
 func (r *Runner) runOracleCase() {
 	oc := r.g.GenOracleCase()
 	r.report.TestCases++
 	if oc == nil {
 		return
 	}
-	var res oracle.Result
-	useTLP := r.cfg.UseTLP
-	if useTLP && r.cfg.UseNoREC {
-		useTLP = r.report.TestCases%2 == 0
-	}
-	if useTLP {
-		// Rotate through the TLP variants: classic WHERE partitioning,
-		// the server-side UNION ALL composition, and the aggregate form.
-		switch r.report.TestCases % 10 {
-		case 0, 2:
-			res = oracle.TLPComposed(r.db, oc.Base, oc.Pred)
-		case 4:
-			res = oracle.TLPAggregate(r.db, oc.Base, oc.Pred, r.report.TestCases/10)
-		default:
-			res = oracle.TLP(r.db, oc.Base, oc.Pred)
-		}
-	} else {
-		res = oracle.NoREC(r.db, oc.Base, oc.Pred)
-	}
+	c := &oracle.Case{Base: oc.Base, Pred: oc.Pred, Seq: r.report.TestCases}
+	res := r.pickOracle(c).Check(r.db, c)
 
 	switch res.Outcome {
 	case oracle.OK:
@@ -453,12 +468,27 @@ func (r *Runner) runOracleCase() {
 		r.recordBug(&BugCase{
 			Class:     ClassLogic,
 			Oracle:    res.Oracle,
+			Seq:       c.Seq,
 			Queries:   res.Queries,
 			Features:  oc.Features,
 			Triggered: res.Triggered,
 			Detail:    res.Detail,
 		}, oc)
 	}
+}
+
+// pickOracle returns the test case's oracle: the rotation slot, or —
+// when that oracle is inapplicable here (e.g. PlanDiff with index paths
+// suppressed) — the next applicable one in rotation order.
+func (r *Runner) pickOracle(c *oracle.Case) oracle.Oracle {
+	n := len(r.sched)
+	start := (r.report.TestCases - 1) % n
+	for i := 0; i < n; i++ {
+		if o := r.sched[(start+i)%n]; o.Applicable(r.db, c) {
+			return o
+		}
+	}
+	return r.sched[start]
 }
 
 // handleExecError turns crashes and internal errors of non-oracle
@@ -532,16 +562,20 @@ func (r *Runner) recordBug(bug *BugCase, oc *gen.OracleCase) {
 	r.report.Bugs = append(r.report.Bugs, bug)
 }
 
-// reduceLogicBug shrinks the setup+query sequence while the oracle keeps
+// reduceLogicBug shrinks the setup+query sequence while the *same*
+// oracle — looked up by the bug's attributed registry name — keeps
 // failing, replaying on fresh pristine instances.
 func (r *Runner) reduceLogicBug(bug *BugCase, oc *gen.OracleCase) []string {
+	orc, ok := oracle.Get(bug.Oracle)
+	if !ok {
+		return nil
+	}
 	var stmts []sqlast.Stmt
 	for _, s := range r.setup {
 		stmts = append(stmts, sqlast.CloneStmt(s.Stmt))
 	}
 	base := sqlast.CloneSelect(oc.Base)
 	pred := sqlast.CloneExpr(oc.Pred)
-	useTLP := bug.Oracle == oracle.TLPName
 
 	// The query under reduction is carried as a SELECT statement holding
 	// the predicate in WHERE; the property re-splits it.
@@ -562,12 +596,7 @@ func (r *Runner) reduceLogicBug(bug *BugCase, oc *gen.OracleCase) []string {
 		cb := sqlast.CloneSelect(carrier)
 		cp := cb.Where
 		cb.Where = nil
-		var res oracle.Result
-		if useTLP {
-			res = oracle.TLP(db, cb, cp)
-		} else {
-			res = oracle.NoREC(db, cb, cp)
-		}
+		res := orc.Check(db, &oracle.Case{Base: cb, Pred: cp, Seq: bug.Seq})
 		return res.Outcome == oracle.Bug
 	}
 	if !prop(stmts) {

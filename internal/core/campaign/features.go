@@ -66,6 +66,8 @@ func buildSetupFeatureSet() map[string]bool {
 	}
 	m[feature.StmtDropTable] = true
 	m[feature.StmtDropView] = true
+	m[feature.StmtDropIndex] = true
+	m[feature.StmtReindex] = true
 	m[feature.UniqueIndex] = true
 	m[feature.PartialIndex] = true
 	m[feature.PrimaryKey] = true

@@ -44,6 +44,12 @@ func (g *Generator) GenSetup() *Statement {
 		if len(views) < g.cfg.MaxViews {
 			alts = append(alts, feature.StmtCreateView)
 		}
+		if len(g.model.Indexes()) > 0 {
+			// DROP INDEX tears the ordered store down; REINDEX rebuilds it
+			// from the visible rows (the natural repair for the
+			// stale-index fault path).
+			alts = append(alts, feature.StmtDropIndex, feature.StmtReindex)
+		}
 	}
 	if len(alts) == 0 {
 		alts = []string{feature.StmtCreateTable}
@@ -65,6 +71,10 @@ func (g *Generator) GenSetup() *Statement {
 		return g.genAnalyze()
 	case feature.StmtAlterTable:
 		return g.genAlter()
+	case feature.StmtDropIndex:
+		return g.genDropIndex()
+	case feature.StmtReindex:
+		return g.genReindex()
 	default:
 		return g.genCreateTable()
 	}
@@ -297,6 +307,27 @@ func (g *Generator) genAlter() *Statement {
 	return g.finish(at, fs, false, func() { g.model.Apply(at) })
 }
 
+func (g *Generator) genDropIndex() *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtDropIndex)
+	ixs := g.model.Indexes()
+	ix := ixs[g.intn(len(ixs))]
+	di := &sqlast.DropIndex{Name: ix.Name}
+	return g.finish(di, fs, false, func() { g.model.Apply(di) })
+}
+
+func (g *Generator) genReindex() *Statement {
+	fs := featSet{}
+	fs.add(feature.StmtReindex)
+	ixs := g.model.Indexes()
+	ri := &sqlast.Reindex{}
+	// Mostly target one index; occasionally rebuild everything.
+	if !g.prob(0.15) {
+		ri.Name = ixs[g.intn(len(ixs))].Name
+	}
+	return g.finish(ri, fs, false, nil)
+}
+
 // GenRefresh produces the REFRESH TABLE statement dialect adapters issue
 // after inserts (paper §6, CrateDB).
 func (g *Generator) GenRefresh(table string) *Statement {
@@ -360,7 +391,25 @@ func (g *Generator) queryScope(fs featSet, forOracle bool) ([]sqlast.FromItem, *
 				for _, c := range r.Columns {
 					onScope.cols = append(onScope.cols, scopeCol{Table: alias, Column: c.Name, Type: typOf(c.Type)})
 				}
-				item.On = g.genBool(onScope, 1, fs)
+				// Half the time, lead the ON condition with a plain,
+				// type-aligned equality between an earlier relation's
+				// column and one of the new relation's — the probe-eligible
+				// shape the engine's index-nested-loop join planner
+				// accelerates (and the only shape its fault sites fire on).
+				eq := sqlast.Expr(nil)
+				if g.prob(0.5) && g.supported("=") {
+					eq = g.genJoinEq(sc, r, alias, fs)
+				}
+				switch {
+				case eq == nil:
+					item.On = g.genBool(onScope, 1, fs)
+				case g.prob(0.45) && g.supported("AND"):
+					fs.add("AND")
+					item.On = &sqlast.Binary{Op: sqlast.OpAnd, L: eq,
+						R: g.genBool(onScope, 1, fs)}
+				default:
+					item.On = eq
+				}
 			}
 		}
 		from = append(from, item)
@@ -369,6 +418,32 @@ func (g *Generator) queryScope(fs featSet, forOracle bool) ([]sqlast.FromItem, *
 		}
 	}
 	return from, sc
+}
+
+// genJoinEq builds a probe-eligible ON equality: a column already in
+// scope compared to a same-typed column of the relation being joined
+// (type alignment keeps the conjunct valid on statically typed
+// dialects). Returns nil when no type-aligned pair exists.
+func (g *Generator) genJoinEq(sc *exprScope, r *schema.Relation, alias string, fs featSet) sqlast.Expr {
+	if len(sc.cols) == 0 || len(r.Columns) == 0 {
+		return nil
+	}
+	lc := sc.cols[g.intn(len(sc.cols))]
+	var rcs []schema.Column
+	for _, c := range r.Columns {
+		if typOf(c.Type) == lc.Type {
+			rcs = append(rcs, c)
+		}
+	}
+	if len(rcs) == 0 {
+		return nil
+	}
+	rc := rcs[g.intn(len(rcs))]
+	fs.add("=", feature.ExprColumn)
+	return &sqlast.Binary{Op: sqlast.OpEq,
+		L: &sqlast.ColumnRef{Table: lc.Table, Column: lc.Column},
+		R: &sqlast.ColumnRef{Table: alias, Column: rc.Name},
+	}
 }
 
 func joinTypeOf(f string) sqlast.JoinType {

@@ -1,8 +1,16 @@
 // Package oracle implements the DBMS-agnostic test oracles SQLancer++
 // applies (paper §3, "Result validator"): Ternary Logic Partitioning
-// (TLP) and Non-optimizing Reference Engine Construction (NoREC). Both
-// detect logic bugs by executing two (or more) semantically equivalent
-// queries and comparing their results.
+// (TLP, with its UNION-ALL-composed and aggregate variants),
+// Non-optimizing Reference Engine Construction (NoREC), and a DQP-style
+// plan-diffing oracle (PlanDiff). All detect logic bugs by executing two
+// (or more) semantically equivalent queries — or the same query under
+// two plans — and comparing their results.
+//
+// Oracles are first-class: each implements the Oracle interface and is
+// registered, with a rotation weight, in the package registry
+// (registry.go). Campaigns dispatch through a deterministic weighted
+// rotation over the selected registrations and attribute every bug
+// report to the oracle's registered name.
 package oracle
 
 import (
@@ -30,10 +38,14 @@ const (
 // Name identifies an oracle.
 type Name string
 
-// Oracle names.
+// Oracle names. These are the registry keys: Config/flag oracle
+// selection and bug-report attribution use them.
 const (
-	TLPName   Name = "TLP"
-	NoRECName Name = "NoREC"
+	TLPName          Name = "TLP"
+	TLPComposedName  Name = "TLPComposed"
+	TLPAggregateName Name = "TLPAggregate"
+	NoRECName        Name = "NoREC"
+	PlanDiffName     Name = "PlanDiff"
 )
 
 // Result is the outcome of applying an oracle to one test case.
@@ -49,8 +61,11 @@ type Result struct {
 	// Triggered is the union of ground-truth fault IDs fired by the
 	// executed queries (evaluation only).
 	Triggered []string
-	// MaxCost is the highest executor cost among the queries (the
-	// campaign's performance watchdog reads it).
+	// MaxCost is the executor cost the campaign's performance watchdog
+	// judges: the highest cost among the queries — except for PlanDiff,
+	// which reports the cost of its *indexed* execution only (its full
+	// scan is deliberate, not a performance symptom; both costs appear
+	// in Detail).
 	MaxCost int64
 }
 
@@ -88,10 +103,12 @@ func diffMultisets(a, b map[string]int) string {
 	return ""
 }
 
-// runner tracks executed queries and triggered faults.
+// runner tracks executed queries, their individual costs, and triggered
+// faults.
 type runner struct {
 	db        *engine.DB
 	queries   []string
+	costs     []int64 // per-query executor cost, parallel to queries
 	triggered map[string]bool
 	maxCost   int64
 }
@@ -107,7 +124,9 @@ func (r *runner) query(sel *sqlast.Select) (*engine.Result, error) {
 	for _, id := range r.db.TriggeredFaults() {
 		r.triggered[id] = true
 	}
-	if c := r.db.LastCost(); c > r.maxCost {
+	c := r.db.LastCost()
+	r.costs = append(r.costs, c)
+	if c > r.maxCost {
 		r.maxCost = c
 	}
 	return res, err

@@ -1,0 +1,59 @@
+package oracle
+
+// PlanDiff is a DQP/QPG-style plan-diffing oracle (cf. "Testing Database
+// Engines via Query Plan Guidance", ICSE 2023): it executes the *same*
+// query twice on the same instance — once with the engine's index-backed
+// access paths (base-table probes and index-nested-loop joins) enabled,
+// once with them suppressed via the per-query plan toggle — and reports
+// any multiset divergence. Because the two executions share the
+// statement text, the database state, and the reference evaluation
+// semantics, any divergence is a plan-dependent defect: the
+// index-path fault family (StaleIndexAfterUpdate, IndexRangeBoundary,
+// PartialIndexScan, JoinIndexResidual) is exactly the set of injected
+// bugs that perturb one plan's row flow but not the other's — several of
+// which no partition-based oracle can see, since every query of a TLP or
+// NoREC case runs under the same plan.
+
+import (
+	"fmt"
+
+	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/sqlast"
+)
+
+// PlanDiff runs base WHERE pred under the indexed and the suppressed
+// plan on db and compares the row multisets. The instance's plan toggle
+// is restored before returning. Result.MaxCost carries the indexed
+// execution's cost only — the full scan is deliberate, not a
+// performance symptom — and a Bug's Detail reports both costs.
+func PlanDiff(db *engine.DB, base *sqlast.Select, pred sqlast.Expr) Result {
+	r := newRunner(db)
+
+	q := sqlast.CloneSelect(base)
+	q.Where = sqlast.CloneExpr(pred)
+
+	idxRes, err := r.query(q)
+	if err != nil {
+		return r.result(PlanDiffName, Invalid, err, "")
+	}
+
+	prev := db.IndexPathsEnabled()
+	db.SetIndexPaths(false)
+	fullRes, err := r.query(q)
+	db.SetIndexPaths(prev)
+	if err != nil {
+		return r.result(PlanDiffName, Invalid, err, "")
+	}
+
+	idxCost, fullCost := r.costs[0], r.costs[1]
+	if d := diffMultisets(multiset(idxRes), multiset(fullRes)); d != "" {
+		res := r.result(PlanDiffName, Bug, nil, fmt.Sprintf(
+			"PlanDiff divergence (index paths vs full scan): %s [cost indexed=%d fullscan=%d]",
+			d, idxCost, fullCost))
+		res.MaxCost = idxCost
+		return res
+	}
+	res := r.result(PlanDiffName, OK, nil, "")
+	res.MaxCost = idxCost
+	return res
+}

@@ -1,0 +1,110 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/faults"
+	"sqlancerpp/internal/sqlast"
+)
+
+func mustExec(t *testing.T, db *engine.DB, stmts ...string) {
+	t.Helper()
+	for _, s := range stmts {
+		if err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}
+
+func staleDialect(name string) *dialect.Dialect {
+	d := dialect.MustGet("sqlite").Clone()
+	d.Name = name
+	d.Faults = faults.NewSet([]faults.Fault{{
+		ID: name + "-stale", Dialect: name, Class: faults.Logic,
+		Kind: faults.StaleIndexAfterUpdate,
+	}})
+	return d
+}
+
+// TestPlanDiffDetectsStaleIndex: with the StaleIndexAfterUpdate fault
+// active, the indexed execution returns detached pre-update rows while
+// the suppressed (full-scan) execution sees the fresh ones — PlanDiff
+// must report the divergence, attribute the ground-truth fault, judge
+// the perf watchdog on the indexed cost, and leave the plan toggle on.
+func TestPlanDiffDetectsStaleIndex(t *testing.T) {
+	db := engine.Open(staleDialect("pd-stale-1"))
+	mustExec(t, db,
+		"CREATE TABLE t (c0 INTEGER, c1 TEXT)",
+		"CREATE INDEX i0 ON t (c0)",
+	)
+	for i := 0; i < 64; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 'r%d')", i%16, i))
+	}
+	// The fault makes UPDATE skip index maintenance: key 5's entries go
+	// stale (the rows now carry c0 = 105).
+	mustExec(t, db, "UPDATE t SET c0 = 105 WHERE c0 = 5")
+
+	base := parseSelect(t, "SELECT * FROM t")
+	pred := &sqlast.Binary{Op: sqlast.OpEq,
+		L: &sqlast.ColumnRef{Column: "c0"}, R: sqlast.IntLit(5)}
+
+	res := PlanDiff(db, base, pred)
+	if res.Outcome != Bug {
+		t.Fatalf("outcome = %v, want Bug (detail %q)", res.Outcome, res.Detail)
+	}
+	if res.Oracle != PlanDiffName {
+		t.Errorf("oracle = %s, want %s", res.Oracle, PlanDiffName)
+	}
+	found := false
+	for _, id := range res.Triggered {
+		if id == "pd-stale-1-stale" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ground-truth fault not attributed: %v", res.Triggered)
+	}
+	if len(res.Queries) != 2 || res.Queries[0] != res.Queries[1] {
+		t.Errorf("PlanDiff must execute the same query twice: %v", res.Queries)
+	}
+	if !strings.Contains(res.Detail, "cost indexed=") || !strings.Contains(res.Detail, "fullscan=") {
+		t.Errorf("Detail must report both plans' costs: %q", res.Detail)
+	}
+	// MaxCost judges the indexed run: it must be far below the full
+	// scan's cost, which the deliberate second execution paid.
+	if res.MaxCost <= 0 || res.MaxCost >= 64 {
+		t.Errorf("MaxCost = %d, want the indexed probe's cost (< 64 rows)", res.MaxCost)
+	}
+	if !db.IndexPathsEnabled() {
+		t.Error("PlanDiff must restore the instance's plan toggle")
+	}
+}
+
+// TestPlanDiffCleanEngineNeverFires: on a fault-free engine the two
+// plans are observationally identical by construction; PlanDiff must
+// return OK (or Invalid for queries that fail) — never Bug.
+func TestPlanDiffCleanEngineNeverFires(t *testing.T) {
+	d := dialect.MustGet("sqlite")
+	db := engine.Open(d, engine.WithoutFaults())
+	mustExec(t, db,
+		"CREATE TABLE t (c0 INTEGER, c1 TEXT)",
+		"CREATE INDEX i0 ON t (c0)",
+	)
+	for i := 0; i < 48; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 'r%d')", i%8, i))
+	}
+	mustExec(t, db, "UPDATE t SET c0 = 99 WHERE c0 = 3")
+
+	base := parseSelect(t, "SELECT * FROM t")
+	for _, predSQL := range []string{"c0 = 3", "c0 <= 4", "c0 >= 99", "c0 = 99 AND c1 = 'r3'"} {
+		sel := parseSelect(t, "SELECT * FROM t WHERE "+predSQL)
+		res := PlanDiff(db, base, sel.Where)
+		if res.Outcome == Bug {
+			t.Fatalf("clean engine: PlanDiff fired on %q: %s", predSQL, res.Detail)
+		}
+	}
+}

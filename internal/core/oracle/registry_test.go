@@ -1,0 +1,129 @@
+package oracle
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/engine"
+)
+
+// TestScheduleDeterministicAndWeighted: one schedule cycle contains each
+// selected oracle exactly Weight times, interleaved deterministically —
+// two computations over the same selection are identical element-wise.
+func TestScheduleDeterministicAndWeighted(t *testing.T) {
+	sel, err := Select(DefaultNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Schedule(sel), Schedule(sel)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	counts := map[Name]int{}
+	for i := range a {
+		if a[i].Name() != b[i].Name() {
+			t.Fatalf("schedule diverges at %d: %s vs %s", i, a[i].Name(), b[i].Name())
+		}
+		counts[a[i].Name()]++
+	}
+	for _, r := range sel {
+		if counts[r.Oracle.Name()] != r.Weight {
+			t.Errorf("%s appears %d times per cycle, want %d",
+				r.Oracle.Name(), counts[r.Oracle.Name()], r.Weight)
+		}
+	}
+	// Smooth WRR interleaves: the highest-weight oracles must not all be
+	// bunched at the cycle's start. With weights 3,2,1,3,2 the first two
+	// slots must be distinct oracles.
+	if len(a) >= 2 && a[0].Name() == a[1].Name() {
+		t.Errorf("schedule not interleaved: starts %s, %s", a[0].Name(), a[1].Name())
+	}
+}
+
+// TestSelectIsOrderAndDuplicateInsensitive: the rotation is a function
+// of the oracle *set*; spelling order and duplicates must not matter.
+func TestSelectIsOrderAndDuplicateInsensitive(t *testing.T) {
+	a, err := Select([]Name{PlanDiffName, TLPName, NoRECName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select([]Name{NoRECName, TLPName, PlanDiffName, TLPName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("selection sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Oracle.Name() != b[i].Oracle.Name() || a[i].Weight != b[i].Weight {
+			t.Fatalf("selection %d differs: %s/%d vs %s/%d", i,
+				a[i].Oracle.Name(), a[i].Weight, b[i].Oracle.Name(), b[i].Weight)
+		}
+	}
+	if _, err := Select([]Name{"NoSuchOracle"}); err == nil {
+		t.Error("unknown oracle name must be rejected")
+	}
+	if _, err := Select(nil); err == nil {
+		t.Error("empty selection must be rejected")
+	}
+}
+
+func TestParseNames(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []Name
+	}{
+		{"", DefaultNames()},
+		{"both", DefaultNames()},
+		{"all", DefaultNames()},
+		{"tlp-family", TLPFamily()},
+		{"tlp", []Name{TLPName}}, // registered names resolve to themselves
+		{"norec", []Name{NoRECName}},
+		{"plandiff", []Name{PlanDiffName}},
+		{"TLP, PlanDiff", []Name{TLPName, PlanDiffName}},
+	} {
+		got, err := ParseNames(tc.in)
+		if err != nil {
+			t.Errorf("ParseNames(%q): %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseNames(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseNames(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+	if _, err := ParseNames("tlp,bogus"); err == nil {
+		t.Error("ParseNames must reject unknown names")
+	}
+}
+
+// TestRegistryLookupAndApplicability: every registered oracle resolves
+// by name, and PlanDiff declares itself inapplicable on an instance
+// whose index paths are suppressed.
+func TestRegistryLookupAndApplicability(t *testing.T) {
+	for _, n := range DefaultNames() {
+		o, ok := Get(n)
+		if !ok || o.Name() != n {
+			t.Fatalf("registry lookup failed for %s", n)
+		}
+	}
+	if _, ok := Get("NoSuchOracle"); ok {
+		t.Error("unknown name must not resolve")
+	}
+
+	pd, _ := Get(PlanDiffName)
+	db := engine.Open(dialect.MustGet("sqlite"), engine.WithoutFaults())
+	if !pd.Applicable(db, nil) {
+		t.Error("PlanDiff must be applicable with index paths on")
+	}
+	db.SetIndexPaths(false)
+	if pd.Applicable(db, nil) {
+		t.Error("PlanDiff must be inapplicable with index paths suppressed")
+	}
+}

@@ -23,13 +23,15 @@ func tlpPartitions(pred sqlast.Expr) []sqlast.Expr {
 // dialects that support UNION ALL.
 func TLPComposed(db *engine.DB, base *sqlast.Select, pred sqlast.Expr) Result {
 	if !db.Dialect().SupportsClause(feature.UnionAll) {
-		return TLP(db, base, pred)
+		res := TLP(db, base, pred)
+		res.Oracle = TLPComposedName // attribution follows the registered name
+		return res
 	}
 	r := newRunner(db)
 
 	baseRes, err := r.query(base)
 	if err != nil {
-		return r.result(TLPName, Invalid, err, "")
+		return r.result(TLPComposedName, Invalid, err, "")
 	}
 
 	parts := tlpPartitions(pred)
@@ -43,13 +45,13 @@ func TLPComposed(db *engine.DB, base *sqlast.Select, pred sqlast.Expr) Result {
 	}
 	unionRes, err := r.query(first)
 	if err != nil {
-		return r.result(TLPName, Invalid, err, "")
+		return r.result(TLPComposedName, Invalid, err, "")
 	}
 	if d := diffMultisets(multiset(baseRes), multiset(unionRes)); d != "" {
-		return r.result(TLPName, Bug, nil,
+		return r.result(TLPComposedName, Bug, nil,
 			"TLP (UNION ALL composed) partition mismatch: "+d)
 	}
-	return r.result(TLPName, OK, nil, "")
+	return r.result(TLPComposedName, OK, nil, "")
 }
 
 // aggFuncs are the aggregate variants of TLP (Rigger & Su, OOPSLA 2020
@@ -89,14 +91,14 @@ func TLPAggregate(db *engine.DB, base *sqlast.Select, pred sqlast.Expr, aggIdx i
 
 	baseRes, err := r.query(mkAgg(nil))
 	if err != nil {
-		return r.result(TLPName, Invalid, err, "")
+		return r.result(TLPAggregateName, Invalid, err, "")
 	}
 	// The system under test is deliberately faulty: a malformed result
 	// shape must degrade to Invalid (like NoREC's COUNT shape guard),
 	// never panic and kill the campaign.
 	baseVal, ok := scalarValue(baseRes)
 	if !ok {
-		return r.result(TLPName, Invalid,
+		return r.result(TLPAggregateName, Invalid,
 			fmt.Errorf("TLP aggregate: unexpected %s result shape", agg), "")
 	}
 
@@ -104,11 +106,11 @@ func TLPAggregate(db *engine.DB, base *sqlast.Select, pred sqlast.Expr, aggIdx i
 	for _, p := range tlpPartitions(pred) {
 		res, err := r.query(mkAgg(p))
 		if err != nil {
-			return r.result(TLPName, Invalid, err, "")
+			return r.result(TLPAggregateName, Invalid, err, "")
 		}
 		v, ok := scalarValue(res)
 		if !ok {
-			return r.result(TLPName, Invalid,
+			return r.result(TLPAggregateName, Invalid,
 				fmt.Errorf("TLP aggregate: unexpected %s partition result shape", agg), "")
 		}
 		partVals = append(partVals, v)
@@ -116,15 +118,15 @@ func TLPAggregate(db *engine.DB, base *sqlast.Select, pred sqlast.Expr, aggIdx i
 
 	combined, ok := combineAggregates(agg, partVals)
 	if !ok {
-		return r.result(TLPName, Invalid,
+		return r.result(TLPAggregateName, Invalid,
 			fmt.Errorf("TLP aggregate: non-numeric %s partition value", agg), "")
 	}
 	if !engine.Equal(baseVal, combined) {
-		return r.result(TLPName, Bug, nil, fmt.Sprintf(
+		return r.result(TLPAggregateName, Bug, nil, fmt.Sprintf(
 			"TLP aggregate (%s) mismatch: base %s vs recombined %s",
 			agg, baseVal.Render(), combined.Render()))
 	}
-	return r.result(TLPName, OK, nil, "")
+	return r.result(TLPAggregateName, OK, nil, "")
 }
 
 // scalarValue extracts the single value of a 1×1 result, reporting

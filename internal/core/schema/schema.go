@@ -216,6 +216,13 @@ func (m *Model) Apply(stmt sqlast.Stmt) {
 		m.indexes = kept
 	case *sqlast.DropView:
 		m.drop(st.Name)
+	case *sqlast.DropIndex:
+		for i, ix := range m.indexes {
+			if strings.EqualFold(ix.Name, st.Name) {
+				m.indexes = append(m.indexes[:i], m.indexes[i+1:]...)
+				return
+			}
+		}
 	}
 }
 

@@ -212,7 +212,8 @@ func with(m map[string]bool, items ...string) map[string]bool {
 // universalStatements returns the statements every base profile starts
 // from (the paper's six core statements plus the DML/DDL extensions).
 func universalStatements() map[string]bool {
-	return set(feature.Statements, []string{feature.StmtDropTable, feature.StmtDropView})
+	return set(feature.Statements, []string{feature.StmtDropTable,
+		feature.StmtDropView, feature.StmtDropIndex, feature.StmtReindex})
 }
 
 func universalClauses() map[string]bool {

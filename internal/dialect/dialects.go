@@ -56,7 +56,10 @@ func profileMySQL(name, display string) *Dialect {
 		Name:        name,
 		DisplayName: display,
 		TypeSystem:  Dynamic,
-		Statements:  universalStatements(),
+		// MySQL-family systems have no REINDEX (index rebuilds go through
+		// OPTIMIZE/ALTER) — one more intentionally divergent statement for
+		// the adaptive generator to learn.
+		Statements: without(universalStatements(), feature.StmtReindex),
 		Clauses: without(universalClauses(),
 			feature.JoinFull, feature.InsertOrIgnore, feature.PartialIndex,
 			feature.Intersect, feature.Except),
@@ -144,7 +147,8 @@ func init() {
 	crate := profilePG("cratedb", "CrateDB")
 	// CrateDB does not support CREATE INDEX (paper Appendix A.1) and
 	// requires REFRESH TABLE before reads see inserted rows (paper §6).
-	without(crate.Statements, feature.StmtCreateIndex)
+	without(crate.Statements, feature.StmtCreateIndex,
+		feature.StmtDropIndex, feature.StmtReindex)
 	without(crate.Clauses, feature.UniqueIndex, feature.PartialIndex)
 	without(crate.Functions, "GCD", "LCM", "COT", "IIF")
 	with(crate.Functions, "GREATEST", "LEAST", "CONCAT")

@@ -157,6 +157,22 @@ func (db *database) attachIndex(t *Table, ix *Index) {
 	t.indexes[i] = ix
 }
 
+// detachIndex removes an index from the catalog and from its table's
+// name-sorted list, tearing down the ordered store with it.
+func (db *database) detachIndex(ix *Index) {
+	delete(db.indexes, key(ix.Name))
+	t := db.table(ix.Table)
+	if t == nil {
+		return
+	}
+	for i, x := range t.indexes {
+		if x == ix {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			return
+		}
+	}
+}
+
 // dropTable removes a table and its indexes.
 func (db *database) dropTable(name string) {
 	delete(db.tables, key(name))

@@ -17,7 +17,7 @@ func init() {
 		"eval.cast.INTEGER", "eval.cast.TEXT", "eval.cast.BOOLEAN",
 		"filter.eval",
 		"exec.select", "exec.scan.table", "exec.scan.view", "exec.scan.derived",
-		"exec.scan.index",
+		"exec.scan.index", "exec.join.probe",
 		"exec.distinct", "exec.orderby", "exec.limit", "exec.offset",
 		"exec.groupby", "exec.compound",
 		"exec.setop.UNION", "exec.setop.UNION ALL",
@@ -25,7 +25,7 @@ func init() {
 		"exec.createtable", "exec.createindex", "exec.createview",
 		"exec.insert", "exec.insert.ignored", "exec.update", "exec.delete",
 		"exec.alter", "exec.droptable", "exec.dropview", "exec.analyze",
-		"exec.refresh",
+		"exec.refresh", "exec.dropindex", "exec.reindex",
 	}
 	for _, p := range pts {
 		coverage.RegisterPoint(p)

@@ -43,6 +43,31 @@ func (s *DB) execStmt(stmt sqlast.Stmt) (*Result, error) {
 		}
 		delete(s.store.views, key(st.Name))
 		return nil, nil
+	case *sqlast.DropIndex:
+		s.cov.Hit("exec.dropindex")
+		ix := s.store.index(st.Name)
+		if ix == nil {
+			return nil, errf(ErrSemantic, "no such index %q", st.Name)
+		}
+		s.store.detachIndex(ix)
+		return nil, nil
+	case *sqlast.Reindex:
+		s.cov.Hit("exec.reindex")
+		if st.Name == "" {
+			for _, name := range s.store.tableNames() {
+				s.rebuildIndexes(s.store.table(name))
+			}
+			return nil, nil
+		}
+		ix := s.store.index(st.Name)
+		if ix == nil {
+			return nil, errf(ErrSemantic, "no such index %q", st.Name)
+		}
+		// buildIndex re-derives every entry from the table's visible rows
+		// and resets staleness: REINDEX is the repair for the stale-index
+		// fault path.
+		s.buildIndex(s.store.table(ix.Table), ix)
+		return nil, nil
 	case *sqlast.Analyze:
 		s.cov.Hit("exec.analyze")
 		if st.Table != "" {

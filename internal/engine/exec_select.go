@@ -308,6 +308,9 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 	var out []jrow
 	switch item.Join {
 	case sqlast.JoinComma, sqlast.JoinCross, sqlast.JoinInner, sqlast.JoinNatural:
+		if probe := s.planJoinProbe(sel, rels, right, onConjs); probe != nil {
+			return s.joinProbeStep(probe, left, jf, env, ctx, onConjs, &arena)
+		}
 		for _, lrow := range left {
 			for _, rrow := range right.rows {
 				ok, err := match(lrow, rrow)
@@ -380,6 +383,59 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 		}
 	default:
 		return nil, errf(ErrSemantic, "unhandled join type")
+	}
+	return out, nil
+}
+
+// joinProbeStep runs one inner-like join step as an index-nested-loop:
+// per left row, the probe key is evaluated once and binary-searched in
+// the index's ordered store; only the candidate span is re-checked
+// against the full ON condition (fault hooks included), so with faults
+// disabled the output multiset is identical to the quadratic loop while
+// the cost charges only the rows actually probed.
+//
+// The JoinIndexResidual defect skips the re-check: it treats the probe
+// conjunct as covering the entire ON condition, emitting every span
+// candidate — extra join rows appear whenever a residual conjunct would
+// have rejected a probed pair. Because the plan (and thus the defect) is
+// a function of FROM/ON alone, every query of a TLP or NoREC case sees
+// the same extra rows; only a plan-diffing oracle can observe them.
+func (s *DB) joinProbeStep(probe *joinProbe, left []jrow, jf string,
+	env *rowEnv, ctx *evalCtx, onConjs []sqlast.Expr, arena *jrowArena) ([]jrow, *Error) {
+	s.cov.Hit("exec.join.probe")
+	residual := s.faultSet().JoinResidual()
+	if residual != nil && len(onConjs) < 2 {
+		residual = nil // the probe conjunct is the entire ON: no defect
+	}
+	var out []jrow
+	rslot := len(env.rels) - 1
+	for _, lrow := range left {
+		env.bindRow(lrow)
+		key, err := ctx.eval(probe.leftExpr)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := probe.ix.span(sqlast.OpEq, key)
+		for _, entry := range probe.ix.entries[lo:hi] {
+			env.rels[rslot].vals = entry.row
+			if residual != nil {
+				if s.joinResidualRejects(ctx, onConjs, probe.conjIdx) {
+					s.trigger(residual)
+				}
+				out = append(out, arena.row(lrow, entry.row))
+				s.cost++
+				continue
+			}
+			ok, err := s.evalFilterConjs(onConjs, ctx)
+			s.cov.HitBranch("join.match."+jf, ok)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, arena.row(lrow, entry.row))
+			}
+			s.cost++
+		}
 	}
 	return out, nil
 }

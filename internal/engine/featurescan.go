@@ -88,6 +88,10 @@ func scanStmtFeatures(stmt sqlast.Stmt, set map[string]bool) {
 		set[feature.StmtDropTable] = true
 	case *sqlast.DropView:
 		set[feature.StmtDropView] = true
+	case *sqlast.DropIndex:
+		set[feature.StmtDropIndex] = true
+	case *sqlast.Reindex:
+		set[feature.StmtReindex] = true
 	case *sqlast.Analyze:
 		set[feature.StmtAnalyze] = true
 	case *sqlast.Refresh:

@@ -1,0 +1,164 @@
+package engine_test
+
+// Differential tests for the index-nested-loop join path: with faults
+// disabled, a join step that probes the right relation's ordered store
+// must produce the same row multiset as the quadratic candidate loop,
+// over randomized database states and ON shapes — and it must do so
+// while touching a fraction of the rows (the cost model's LastCost).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/faults"
+)
+
+// buildJoinState populates twin instances (INL-enabled and
+// planner-suppressed) with two indexed tables whose key columns overlap.
+func buildJoinState(t *testing.T, rnd *rand.Rand, dbs ...*engine.DB) {
+	t.Helper()
+	exec := func(sql string) {
+		for _, db := range dbs {
+			if err := db.Exec(sql); err != nil {
+				t.Fatalf("%s: %v", sql, err)
+			}
+		}
+	}
+	exec("CREATE TABLE l (c0 INTEGER, c1 TEXT, c2 INTEGER)")
+	exec("CREATE TABLE r (k0 INTEGER, k1 TEXT, k2 INTEGER)")
+	for i := 0; i < 40; i++ {
+		if rnd.Intn(10) == 0 {
+			exec(fmt.Sprintf("INSERT INTO l VALUES (NULL, 'l%d', %d)", i, rnd.Intn(8)))
+		} else {
+			exec(fmt.Sprintf("INSERT INTO l VALUES (%d, 'l%d', %d)", rnd.Intn(12), i, rnd.Intn(8)))
+		}
+	}
+	for i := 0; i < 160; i++ {
+		if rnd.Intn(12) == 0 {
+			exec(fmt.Sprintf("INSERT INTO r VALUES (NULL, 'r%d', %d)", i, rnd.Intn(8)))
+		} else {
+			exec(fmt.Sprintf("INSERT INTO r VALUES (%d, 'r%d', %d)", rnd.Intn(12), i, rnd.Intn(8)))
+		}
+	}
+	exec("CREATE INDEX ik ON r (k0)")
+	// Post-index churn exercises the store maintenance the probes rely on.
+	exec("UPDATE r SET k0 = 3 WHERE k2 = 5")
+	exec("DELETE FROM r WHERE k2 = 7")
+}
+
+// TestIndexJoinMatchesQuadratic is the differential acceptance check:
+// probe path vs quadratic loop over randomized states, across ON shapes
+// with and without residual conjuncts, on clean engines.
+func TestIndexJoinMatchesQuadratic(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM l INNER JOIN r ON l.c0 = r.k0",
+		"SELECT * FROM l INNER JOIN r ON r.k0 = l.c0",
+		"SELECT * FROM l INNER JOIN r ON l.c0 = r.k0 AND l.c2 < r.k2",
+		"SELECT * FROM l INNER JOIN r ON l.c0 = r.k0 AND r.k1 != 'r3'",
+		"SELECT l.c1, r.k1 FROM l INNER JOIN r ON l.c0 + 1 = r.k0",
+		"SELECT * FROM l INNER JOIN r ON l.c0 = r.k0 WHERE l.c2 >= 2",
+		"SELECT * FROM l NATURAL JOIN l AS l2, r WHERE l.c0 = 3",
+		"SELECT COUNT(*) FROM l INNER JOIN r ON l.c0 = r.k0 AND l.c2 = r.k2",
+		"SELECT * FROM l INNER JOIN r ON l.c0 = r.k0 ORDER BY r.k1",
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		d := dialect.MustGet("sqlite")
+		idx := engine.Open(d, engine.WithoutFaults())
+		full := engine.Open(d, engine.WithoutFaults(), engine.WithoutIndexPaths())
+		buildJoinState(t, rand.New(rand.NewSource(seed)), idx, full)
+
+		for _, q := range queries {
+			rA, errA := idx.Query(q)
+			costA := idx.LastCost()
+			rB, errB := full.Query(q)
+			costB := full.LastCost()
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("seed %d: status diverged for %q: %v vs %v", seed, q, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if !sameMultiset(rowMultiset(rA), rowMultiset(rB)) {
+				t.Fatalf("seed %d: INL join diverged from quadratic for %q:\nINL:  %v\nquad: %v",
+					seed, q, rA.RenderRows(), rB.RenderRows())
+			}
+			if costA > costB {
+				t.Errorf("seed %d: INL cost %d exceeds quadratic cost %d for %q",
+					seed, costA, costB, q)
+			}
+		}
+	}
+}
+
+// TestIndexJoinResidualFaultObservable: with the JoinIndexResidual
+// fault, a probe-eligible join with a residual ON conjunct emits extra
+// rows, triggers ground truth, and diverges from the suppressed plan —
+// while a clean residual-free join stays silent.
+func TestIndexJoinResidualFaultObservable(t *testing.T) {
+	d := dialect.MustGet("sqlite").Clone()
+	d.Name = "inl-residual-1"
+	d.Faults = faults.NewSet([]faults.Fault{{
+		ID: "inl-residual-1-skip", Dialect: d.Name, Class: faults.Logic,
+		Kind: faults.JoinIndexResidual,
+	}})
+	umbra := engine.Open(d)
+	exec := func(sql string) {
+		if err := umbra.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	exec("CREATE TABLE l (c0 INTEGER, c2 INTEGER)")
+	exec("CREATE TABLE r (k0 INTEGER, k2 INTEGER)")
+	for i := 0; i < 12; i++ {
+		exec(fmt.Sprintf("INSERT INTO l VALUES (%d, %d)", i%4, i%3))
+		exec(fmt.Sprintf("INSERT INTO r VALUES (%d, %d)", i%4, i%5))
+	}
+	exec("CREATE INDEX ik ON r (k0)")
+
+	const q = "SELECT * FROM l INNER JOIN r ON l.c0 = r.k0 AND l.c2 < r.k2"
+	faulty, err := umbra.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triggered := umbra.TriggeredFaults()
+	umbra.SetIndexPaths(false)
+	clean, err := umbra.Query(q)
+	umbra.SetIndexPaths(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameMultiset(rowMultiset(faulty), rowMultiset(clean)) {
+		t.Fatal("residual-skip fault produced no observable divergence")
+	}
+	if len(faulty.Rows) <= len(clean.Rows) {
+		t.Errorf("residual skip must add rows: %d vs %d", len(faulty.Rows), len(clean.Rows))
+	}
+	found := false
+	for _, id := range triggered {
+		if id == "inl-residual-1-skip" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fault not triggered: %v", triggered)
+	}
+
+	// Residual-free probe: the fault has nothing to skip — no divergence.
+	const q2 = "SELECT * FROM l INNER JOIN r ON l.c0 = r.k0"
+	a, err := umbra.Query(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	umbra.SetIndexPaths(false)
+	b, err := umbra.Query(q2)
+	umbra.SetIndexPaths(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(rowMultiset(a), rowMultiset(b)) {
+		t.Fatal("residual-free probe must match the full scan")
+	}
+}

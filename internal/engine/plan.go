@@ -429,6 +429,100 @@ func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) ([][]V
 }
 
 // ---------------------------------------------------------------------
+// Index-nested-loop join planning
+// ---------------------------------------------------------------------
+
+// joinProbe is an index-nested-loop access path for one inner-like join
+// step: for every accumulated left row, leftExpr is evaluated once and
+// the resulting key is binary-searched in ix's ordered store, replacing
+// the quadratic candidate loop over the right relation. conjIdx is the
+// position of the probe conjunct among the split ON conjuncts.
+type joinProbe struct {
+	ix       *Index
+	leftExpr sqlast.Expr
+	conjIdx  int
+}
+
+// planJoinProbe chooses an index-nested-loop path for a join step, or
+// nil for the quadratic candidate loop. The probe conjunct must be a
+// plain equality between a column of the (base-table) right relation
+// whose leading-column index is fresh and non-partial, and an
+// expression over the already-joined relations only. Candidates come
+// out in key order rather than right-table order, so the statement must
+// be order-safe (the same gate the base-table planner uses); the WHERE
+// and residual-ON evaluation over the candidates is unchanged, so with
+// faults disabled the probe path is observationally identical to the
+// quadratic loop.
+func (s *DB) planJoinProbe(sel *sqlast.Select, rels []matRel, right matRel, conjs []sqlast.Expr) *joinProbe {
+	if s.noIndexScan || right.table == nil || len(right.table.indexes) == 0 || len(conjs) == 0 {
+		return nil
+	}
+	if !indexOrderSafe(sel) {
+		return nil
+	}
+	for ci, conj := range conjs {
+		b, ok := conj.(*sqlast.Binary)
+		if !ok || b.Op != sqlast.OpEq {
+			continue
+		}
+		for _, side := range [2][2]sqlast.Expr{{b.L, b.R}, {b.R, b.L}} {
+			col, ok := side[0].(*sqlast.ColumnRef)
+			if !ok || col.Table == "" || !strings.EqualFold(col.Table, right.alias) {
+				continue
+			}
+			if right.table.ColumnIndex(col.Column) < 0 {
+				continue
+			}
+			if !leftOnlyExpr(side[1], rels) {
+				continue
+			}
+			for _, ix := range right.table.indexes {
+				// A stale store (StaleIndexAfterUpdate) falls back to the
+				// quadratic loop: probing it per left row would need a
+				// per-key divergence check to keep ground truth precise,
+				// and the quadratic loop is clean semantics anyway.
+				if ix.Where != nil || ix.stale || !strings.EqualFold(ix.Columns[0], col.Column) {
+					continue
+				}
+				return &joinProbe{ix: ix, leftExpr: side[1], conjIdx: ci}
+			}
+		}
+	}
+	return nil
+}
+
+// leftOnlyExpr reports whether an expression can be evaluated over the
+// already-joined relations alone: every column reference is qualified
+// with an earlier relation's alias, and no subquery appears (a subquery
+// could correlate into the probe side).
+func leftOnlyExpr(e sqlast.Expr, rels []matRel) bool {
+	ok := true
+	sqlast.WalkExpr(e, func(x sqlast.Expr) bool {
+		switch n := x.(type) {
+		case *sqlast.Subquery, *sqlast.Exists:
+			ok = false
+		case *sqlast.ColumnRef:
+			if n.Table == "" {
+				ok = false
+				return false
+			}
+			found := false
+			for i := range rels {
+				if strings.EqualFold(rels[i].alias, n.Table) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// ---------------------------------------------------------------------
 // Ground-truth trigger precision
 // ---------------------------------------------------------------------
 
@@ -508,4 +602,26 @@ func (s *DB) staleProbeDiverges(t *Table, ix *Index, probe indexProbe, candidate
 		extra--
 	}
 	return extra != 0 // the probe returned detached rows
+}
+
+// joinResidualRejects reports whether any residual ON conjunct (every
+// conjunct except the probe's) rejects the currently bound join pair
+// under clean semantics: the observable symptom of JoinIndexResidual,
+// which keeps the pair anyway. An evaluation error also counts — the
+// clean plan would have surfaced it, the faulty plan never evaluates.
+// Ground-truth accounting only — its work is excluded from the
+// statement cost.
+func (s *DB) joinResidualRejects(ctx *evalCtx, conjs []sqlast.Expr, probeIdx int) bool {
+	saved := s.cost
+	defer func() { s.cost = saved }()
+	for i, conj := range conjs {
+		if i == probeIdx {
+			continue
+		}
+		tri, err := ctx.evalTri(conj)
+		if err != nil || tri != TriTrue {
+			return true
+		}
+	}
+	return false
 }

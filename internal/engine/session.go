@@ -43,9 +43,12 @@ type DB struct {
 	faultsEnabled bool
 	crashed       bool
 	// noIndexScan disables the access-path planner (plan.go): every scan
-	// is a full scan. Tests and the full-scan/index-path differential
-	// harness use it; index *maintenance* stays on so the toggle can flip
-	// per-query.
+	// — base-table and join probe alike — is a full scan. Index
+	// *maintenance* stays on either way, so the toggle can flip per
+	// query: SetIndexPaths is how the PlanDiff oracle executes the same
+	// query under two plans on one instance, and WithoutIndexPaths is
+	// the open-time spelling the differential tests and benchmark
+	// baselines use.
 	noIndexScan bool
 
 	// triggered holds the fault IDs fired by the last statement
@@ -73,9 +76,9 @@ func WithoutFaults() Option {
 // WithoutIndexPaths disables index-backed access paths: every scan is a
 // full scan, as in the pre-planner engine. Used by the differential
 // tests (index path vs. full scan must agree on a clean engine) and the
-// benchmark baseline.
+// benchmark baseline. Equivalent to SetIndexPaths(false) at open time.
 func WithoutIndexPaths() Option {
-	return func(s *DB) { s.noIndexScan = true }
+	return func(s *DB) { s.SetIndexPaths(false) }
 }
 
 // Open creates an empty database for the dialect.
@@ -123,6 +126,17 @@ func (s *DB) TriggeredFaults() []string {
 
 // LastCost returns the executor work units of the last statement.
 func (s *DB) LastCost() int64 { return s.cost }
+
+// SetIndexPaths toggles the access-path planner per query: with index
+// paths off, every scan — base-table and join probe alike — runs as a
+// full scan while index maintenance continues. The PlanDiff oracle uses
+// it to execute the same query under two plans on one instance. This is
+// an oracle/test control surface, not SQL: the black-box contract (SQL
+// text in, status and rows out) is unchanged.
+func (s *DB) SetIndexPaths(on bool) { s.noIndexScan = !on }
+
+// IndexPathsEnabled reports whether the access-path planner is active.
+func (s *DB) IndexPathsEnabled() bool { return !s.noIndexScan }
 
 // Crashed reports whether the simulated server is down.
 func (s *DB) Crashed() bool { return s.crashed }

@@ -105,6 +105,16 @@ func (s *DB) validateStmt(stmt sqlast.Stmt) error {
 			return unsupported(feature.StmtDropView)
 		}
 		return nil
+	case *sqlast.DropIndex:
+		if !s.dialect.SupportsStatement(feature.StmtDropIndex) {
+			return unsupported(feature.StmtDropIndex)
+		}
+		return nil
+	case *sqlast.Reindex:
+		if !s.dialect.SupportsStatement(feature.StmtReindex) {
+			return unsupported(feature.StmtReindex)
+		}
+		return nil
 	case *sqlast.Analyze:
 		if !s.dialect.SupportsStatement(feature.StmtAnalyze) {
 			return unsupported(feature.StmtAnalyze)

@@ -58,6 +58,7 @@ var catalog = map[string][]spec{
 		{Error, InternalErrorOnFeature, "COALESCE", "COALESCE raises an internal error during folding"},
 		{Error, InternalErrorOnFeature, "OFFSET", "OFFSET raises an internal iterator error"},
 		{Perf, PerfOnFeature, "LIKE", "LIKE falls back to a quadratic scan"},
+		{Logic, JoinIndexResidual, "", "lookup-join executor drops the non-key ON filters for index-probed rows"},
 	},
 	"vitess": {
 		{Logic, CmpNullTrue, ">=", ">= with NULL operand keeps the row after query routing"},
@@ -108,6 +109,7 @@ var catalog = map[string][]spec{
 		{Error, InternalErrorOnFeature, "HEX", "HEX raises an internal error"},
 		{Perf, PerfOnFeature, "DISTINCT", "DISTINCT falls off the hash-aggregation fast path"},
 		{Logic, IndexRangeBoundary, "<=", "index range scan treats <= as an exclusive upper bound, dropping boundary keys"},
+		{Logic, JoinIndexResidual, "", "index-nested-loop join treats the probe equality as the whole ON condition, skipping residual conjuncts"},
 	},
 	"monetdb": {
 		{Logic, CmpNullTrue, "<=", "<= with NULL operand keeps the row"},

@@ -110,6 +110,14 @@ const (
 	// unique index compares only the leading key column, raising spurious
 	// duplicate-key errors for rows that differ in a later column.
 	UniqueIndexFalseConflict
+	// JoinIndexResidual: the index-nested-loop join executor treats the
+	// equality probe conjunct as covering the entire ON condition,
+	// skipping the residual ON conjuncts for probed rows — extra join
+	// rows appear whenever a residual conjunct would have rejected a
+	// probed pair. Because the join plan is a function of FROM/ON alone,
+	// every query of a TLP or NoREC case sees the same extra rows; the
+	// defect is observable only to a plan-diffing oracle.
+	JoinIndexResidual
 	// UnionAllDedup: UNION ALL incorrectly removes duplicate rows, as if
 	// it were UNION (a classic set-operation defect).
 	UnionAllDedup
@@ -159,6 +167,7 @@ type Set struct {
 	staleIndex   *Fault
 	rangeBound   map[string]*Fault // by inclusive comparison operator
 	uniqueFalse  *Fault
+	joinResidual *Fault
 	unionDedup   *Fault
 	crashFeature map[string]*Fault
 	crashDeep    *Fault
@@ -217,6 +226,8 @@ func NewSet(list []Fault) *Set {
 			s.rangeBound[f.Param] = f
 		case UniqueIndexFalseConflict:
 			s.uniqueFalse = f
+		case JoinIndexResidual:
+			s.joinResidual = f
 		case UnionAllDedup:
 			s.unionDedup = f
 		case CrashOnFeature:
@@ -375,6 +386,15 @@ func (s *Set) UniqueConflict() *Fault {
 		return nil
 	}
 	return s.uniqueFalse
+}
+
+// JoinResidual returns the index-nested-loop residual-skip fault, if
+// any.
+func (s *Set) JoinResidual() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.joinResidual
 }
 
 // UnionDedup returns the UNION ALL dedup fault, if any.

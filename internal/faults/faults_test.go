@@ -115,8 +115,8 @@ func TestForDialectIDsUnique(t *testing.T) {
 
 func TestCountByClass(t *testing.T) {
 	counts := CountByClass(ForDialect("umbra"))
-	if counts[Logic] != 17 {
-		t.Errorf("umbra logic faults = %d, want 17", counts[Logic])
+	if counts[Logic] != 18 {
+		t.Errorf("umbra logic faults = %d, want 18", counts[Logic])
 	}
 	if counts[Crash]+counts[Error]+counts[Perf] != 8 {
 		t.Errorf("umbra other faults = %d, want 8",

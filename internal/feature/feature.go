@@ -24,6 +24,8 @@ const (
 	StmtAlterTable  = "ALTER TABLE"
 	StmtDropTable   = "DROP TABLE"
 	StmtDropView    = "DROP VIEW"
+	StmtDropIndex   = "DROP INDEX"
+	StmtReindex     = "REINDEX"
 	StmtRefresh     = "REFRESH TABLE"
 )
 

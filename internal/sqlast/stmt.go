@@ -258,6 +258,33 @@ func (d *DropView) stmtNode() {}
 // SQL renders the DROP VIEW statement.
 func (d *DropView) SQL() string { return "DROP VIEW " + d.Name }
 
+// DropIndex is DROP INDEX name: tears down the index's ordered store.
+type DropIndex struct {
+	Name string
+}
+
+func (d *DropIndex) stmtNode() {}
+
+// SQL renders the DROP INDEX statement.
+func (d *DropIndex) SQL() string { return "DROP INDEX " + d.Name }
+
+// Reindex is REINDEX [name]: rebuilds one index (or, with no name, every
+// index) from its table's visible rows — the natural repair for stale
+// index entries.
+type Reindex struct {
+	Name string // optional; empty rebuilds all indexes
+}
+
+func (r *Reindex) stmtNode() {}
+
+// SQL renders the REINDEX statement.
+func (r *Reindex) SQL() string {
+	if r.Name == "" {
+		return "REINDEX"
+	}
+	return "REINDEX " + r.Name
+}
+
 // Analyze is ANALYZE [table]: collects planner statistics.
 type Analyze struct {
 	Table string // optional

@@ -240,6 +240,12 @@ func CloneStmt(st Stmt) Stmt {
 	case *DropView:
 		c := *x
 		return &c
+	case *DropIndex:
+		c := *x
+		return &c
+	case *Reindex:
+		c := *x
+		return &c
 	case *Analyze:
 		c := *x
 		return &c

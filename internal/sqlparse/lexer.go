@@ -43,7 +43,7 @@ var keywords = map[string]bool{
 	"KEY": true, "INSERT": true, "INTO": true, "VALUES": true,
 	"UPDATE": true, "SET": true, "DELETE": true, "ALTER": true,
 	"ADD": true, "DROP": true, "COLUMN": true, "ANALYZE": true,
-	"REFRESH": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"REFRESH": true, "REINDEX": true, "JOIN": true, "INNER": true, "LEFT": true,
 	"RIGHT": true, "FULL": true, "CROSS": true, "NATURAL": true,
 	"OUTER": true, "DESC": true, "ASC": true, "INTEGER": true, "INT": true,
 	"TEXT": true, "VARCHAR": true, "BOOLEAN": true, "BOOL": true,

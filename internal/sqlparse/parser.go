@@ -159,6 +159,14 @@ func (p *Parser) parseStmt() (sqlast.Stmt, error) {
 			return nil, err
 		}
 		return &sqlast.Refresh{Table: name}, nil
+	case p.isKw("REINDEX"):
+		p.advance()
+		r := &sqlast.Reindex{}
+		if p.tok.Kind == TokIdent {
+			r.Name = p.tok.Text
+			p.advance()
+		}
+		return r, nil
 	default:
 		return nil, p.errf("unexpected statement start %q", p.tok.Text)
 	}
@@ -543,8 +551,14 @@ func (p *Parser) parseDrop() (sqlast.Stmt, error) {
 			return nil, err
 		}
 		return &sqlast.DropView{Name: name}, nil
+	case p.acceptKw("INDEX"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.DropIndex{Name: name}, nil
 	default:
-		return nil, p.errf("expected TABLE or VIEW after DROP")
+		return nil, p.errf("expected TABLE, VIEW, or INDEX after DROP")
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"sqlancerpp/internal/baseline"
 	"sqlancerpp/internal/core/campaign"
+	"sqlancerpp/internal/core/oracle"
 	"sqlancerpp/internal/dialect"
 	"sqlancerpp/internal/engine"
 	"sqlancerpp/internal/faults"
@@ -35,7 +36,12 @@ import (
 type Options struct {
 	// DBMS names the dialect under test (see Dialects).
 	DBMS string
-	// Oracle selects the test oracle: "tlp", "norec", or "" for both.
+	// Oracle selects the test oracles: "" (or "both"/"all") for every
+	// registered oracle — TLP, TLPComposed, TLPAggregate, NoREC, and
+	// PlanDiff — "tlp-family" for the TLP variants, or a comma-separated
+	// list of registry names (e.g. "tlp,plandiff"); registered names
+	// resolve to themselves, so "tlp" is classic TLP alone and "norec"
+	// is NoREC.
 	Oracle string
 	// TestCases is the number of oracle checks (default 1000).
 	TestCases int
@@ -116,22 +122,18 @@ func Run(o Options) (*Report, error) {
 		d = d.Clone()
 		d.Faults = nil
 	}
+	names, err := oracle.ParseNames(o.Oracle)
+	if err != nil {
+		return nil, fmt.Errorf("sqlancerpp: %w", err)
+	}
 	cfg := campaign.Config{
 		Dialect:       d,
+		Oracles:       names,
 		TestCases:     o.TestCases,
 		Seed:          o.Seed,
 		Threshold:     o.Threshold,
 		ReduceBugs:    o.Reduce,
 		FeedbackState: o.FeedbackState,
-	}
-	switch o.Oracle {
-	case "tlp":
-		cfg.UseTLP = true
-	case "norec":
-		cfg.UseNoREC = true
-	case "", "both":
-	default:
-		return nil, fmt.Errorf("sqlancerpp: unknown oracle %q (want tlp, norec, or both)", o.Oracle)
 	}
 	switch {
 	case o.Baseline:
@@ -188,6 +190,17 @@ func Run(o Options) (*Report, error) {
 
 // Dialects returns the registered dialect names.
 func Dialects() []string { return dialect.Names() }
+
+// Oracles returns the registered oracle names in rotation-registry
+// order (valid values for Options.Oracle, comma-separable).
+func Oracles() []string {
+	names := oracle.DefaultNames()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = string(n)
+	}
+	return out
+}
 
 // PaperDBMSs returns the 18 systems of the paper's Table 2.
 func PaperDBMSs() []string {
@@ -296,5 +309,6 @@ func isStatementFeature(f string) bool {
 			return true
 		}
 	}
-	return f == feature.StmtDropTable || f == feature.StmtDropView
+	return f == feature.StmtDropTable || f == feature.StmtDropView ||
+		f == feature.StmtDropIndex || f == feature.StmtReindex
 }
