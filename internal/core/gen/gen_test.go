@@ -214,3 +214,76 @@ func TestGenRefresh(t *testing.T) {
 		t.Fatalf("GenRefresh features = %v", st.Features)
 	}
 }
+
+// TestCompositeIndexRespectsPolicy: with the COMPOSITE INDEX clause
+// suppressed, every generated CREATE INDEX is single-column; with the
+// width-3 feature suppressed, no index exceeds two columns — and with
+// nothing suppressed, composite indexes actually appear (no starvation
+// in either direction).
+func TestCompositeIndexRespectsPolicy(t *testing.T) {
+	widths := func(policy Policy, seed int64) map[int]int {
+		g := New(Config{Seed: seed, Policy: policy, StartDepth: 2, MaxDepth: 3})
+		out := map[int]int{}
+		for i := 0; i < 600; i++ {
+			st := g.GenSetup()
+			if ci, ok := st.Stmt.(*sqlast.CreateIndex); ok {
+				out[len(ci.Columns)]++
+				st.OnSuccess()
+			} else if st.OnSuccess != nil {
+				st.OnSuccess()
+			}
+		}
+		return out
+	}
+
+	all := widths(AllowAll{}, 5)
+	if all[1] == 0 || all[2] == 0 {
+		t.Fatalf("width mix starved: %v", all)
+	}
+	noComposite := widths(blockPolicy{feature.CompositeIndex: true}, 5)
+	for w, n := range noComposite {
+		if w > 1 && n > 0 {
+			t.Fatalf("suppressed COMPOSITE INDEX still yields width %d (%v)", w, noComposite)
+		}
+	}
+	noWide := widths(blockPolicy{feature.IndexWidth(3): true}, 5)
+	if noWide[3] > 0 {
+		t.Fatalf("suppressed CREATE INDEX#3 still yields width 3 (%v)", noWide)
+	}
+	if noWide[2] == 0 {
+		t.Fatalf("width-2 indexes must survive the width-3 suppression (%v)", noWide)
+	}
+}
+
+// TestSargablePredShape: the sargable predicate generator emits
+// conjunctions of column-vs-constant comparisons over a modeled index's
+// columns — the composite-span shape — and returns nil without indexes.
+func TestSargablePredShape(t *testing.T) {
+	g := New(Config{Seed: 11, StartDepth: 2, MaxDepth: 3})
+	ct := &sqlast.CreateTable{Name: "t", Columns: []sqlast.ColumnDef{
+		{Name: "a", Type: sqlast.TypeInt}, {Name: "b", Type: sqlast.TypeInt}}}
+	g.Model().Apply(ct)
+	sc := g.tableScope(g.Model().Tables()[0])
+
+	if p := g.genSargablePred(sc, featSet{}); p != nil {
+		t.Fatalf("no indexes modeled, want nil, got %s", p.SQL())
+	}
+	g.Model().Apply(&sqlast.CreateIndex{Name: "i", Table: "t", Columns: []string{"a", "b"}})
+	found := false
+	for i := 0; i < 50; i++ {
+		p := g.genSargablePred(sc, featSet{})
+		if p == nil {
+			t.Fatal("indexed model must yield a sargable predicate")
+		}
+		conjs := 1
+		for b, ok := p.(*sqlast.Binary); ok && b.Op == sqlast.OpAnd; b, ok = b.L.(*sqlast.Binary) {
+			conjs++
+		}
+		if conjs > 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sargable predicates never span multiple conjuncts")
+	}
+}

@@ -2,6 +2,7 @@ package gen
 
 import (
 	"fmt"
+	"strings"
 
 	"sqlancerpp/internal/core/schema"
 	"sqlancerpp/internal/feature"
@@ -143,10 +144,24 @@ func (g *Generator) genCreateIndex() *Statement {
 	fs.add(feature.StmtCreateIndex)
 	t := g.randTable()
 	ci := &sqlast.CreateIndex{Name: g.model.FreeIndexName(), Table: t.Name}
-	n := 1 + g.intn(2)
+	// Composite width: roughly half the indexes stay single-column (the
+	// planner's bread and butter must not starve); the rest span two or
+	// three columns, gated on the learned COMPOSITE INDEX clause feature
+	// and the per-width CREATE INDEX#n feature, through which dialect
+	// column-count limits feed back.
+	n := 1
+	if len(t.Columns) > 1 && g.supported(feature.CompositeIndex) && g.prob(0.5) {
+		n = 2
+		if len(t.Columns) > 2 && g.prob(0.35) && g.supported(feature.IndexWidth(3)) {
+			n = 3
+		}
+	}
 	perm := g.rnd.Perm(len(t.Columns))
 	for i := 0; i < n && i < len(perm); i++ {
 		ci.Columns = append(ci.Columns, t.Columns[perm[i]].Name)
+	}
+	if len(ci.Columns) > 1 {
+		fs.add(feature.CompositeIndex, feature.IndexWidth(len(ci.Columns)))
 	}
 	if g.prob(0.3) && g.supported(feature.UniqueIndex) {
 		ci.Unique = true
@@ -263,6 +278,15 @@ func (g *Generator) genUpdate() *Statement {
 	}
 	if g.prob(0.7) {
 		up.Where = g.genBool(sc, depth-1, fs)
+		// An index-shaped head exercises the index-assisted UPDATE path
+		// (the mutation set collected through a composite span); the
+		// random tail stays, feeding the validity feedback.
+		if g.prob(0.4) && g.supported("AND") {
+			if sp := g.genSargablePred(sc, fs); sp != nil {
+				fs.add("AND")
+				up.Where = &sqlast.Binary{Op: sqlast.OpAnd, L: sp, R: up.Where}
+			}
+		}
 		fs.add(feature.ClauseWhere)
 	}
 	return g.finish(up, fs, false, nil)
@@ -274,7 +298,16 @@ func (g *Generator) genDelete() *Statement {
 	t := g.randTable()
 	del := &sqlast.Delete{Table: t.Name}
 	if g.prob(0.85) {
-		del.Where = g.genBool(g.tableScope(t), g.depth()-1, fs)
+		sc := g.tableScope(t)
+		del.Where = g.genBool(sc, g.depth()-1, fs)
+		// An index-shaped head exercises the index-assisted DELETE path;
+		// the random tail stays, feeding the validity feedback.
+		if g.prob(0.4) && g.supported("AND") {
+			if sp := g.genSargablePred(sc, fs); sp != nil {
+				fs.add("AND")
+				del.Where = &sqlast.Binary{Op: sqlast.OpAnd, L: sp, R: del.Where}
+			}
+		}
 		fs.add(feature.ClauseWhere)
 	}
 	stmt := del
@@ -326,6 +359,76 @@ func (g *Generator) genReindex() *Statement {
 		ri.Name = ixs[g.intn(len(ixs))].Name
 	}
 	return g.finish(ri, fs, false, nil)
+}
+
+// rangeOps are the trailing-range operator spellings of a sargable
+// conjunction.
+var rangeOps = []string{"<", "<=", ">", ">="}
+
+// genSargablePred builds an index-shaped predicate over a modeled index
+// whose table is in scope under its own name: an equality run over the
+// index's leading columns plus (usually) a range on the next — the
+// multi-conjunct WHERE shape planIndexAccess compiles into one composite
+// span, and the only shape the composite fault sites fire on. Returns
+// nil when no index matches the scope (or the dialect lacks "=").
+func (g *Generator) genSargablePred(sc *exprScope, fs featSet) sqlast.Expr {
+	if !g.supported("=") {
+		return nil
+	}
+	var cands []*schema.Index
+	for _, ix := range g.model.Indexes() {
+		for _, c := range sc.cols {
+			if strings.EqualFold(c.Table, ix.Table) {
+				cands = append(cands, ix)
+				break
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	ix := cands[g.intn(len(cands))]
+	rel := g.model.Relation(ix.Table)
+	if rel == nil {
+		return nil
+	}
+	var pred sqlast.Expr
+	and := func(e sqlast.Expr) {
+		if pred == nil {
+			pred = e
+		} else {
+			fs.add("AND")
+			pred = &sqlast.Binary{Op: sqlast.OpAnd, L: pred, R: e}
+		}
+	}
+	conj := func(op string, c *schema.Column) {
+		fs.add(op, feature.ExprColumn, feature.ExprConstant)
+		and(&sqlast.Binary{Op: cmpOpOf(op),
+			L: &sqlast.ColumnRef{Table: ix.Table, Column: c.Name},
+			R: g.genConst(typOf(c.Type), fs)})
+	}
+	eqn := 1 + g.intn(len(ix.Columns))
+	for i := 0; i < eqn; i++ {
+		c := rel.Column(ix.Columns[i])
+		if c == nil {
+			return pred
+		}
+		conj("=", c)
+	}
+	if eqn < len(ix.Columns) && g.prob(0.75) {
+		if c := rel.Column(ix.Columns[eqn]); c != nil {
+			var ops []string
+			for _, op := range rangeOps {
+				if g.supported(op) {
+					ops = append(ops, op)
+				}
+			}
+			if len(ops) > 0 {
+				conj(ops[g.intn(len(ops))], c)
+			}
+		}
+	}
+	return pred
 }
 
 // GenRefresh produces the REFRESH TABLE statement dialect adapters issue
@@ -399,6 +502,15 @@ func (g *Generator) queryScope(fs featSet, forOracle bool) ([]sqlast.FromItem, *
 				eq := sqlast.Expr(nil)
 				if g.prob(0.5) && g.supported("=") {
 					eq = g.genJoinEq(sc, r, alias, fs)
+					// A second equality key makes the ON multi-conjunct —
+					// the shape the composite join probe binds as a
+					// two-column equality prefix.
+					if eq != nil && g.prob(0.35) && g.supported("AND") {
+						if eq2 := g.genJoinEq(sc, r, alias, fs); eq2 != nil {
+							fs.add("AND")
+							eq = &sqlast.Binary{Op: sqlast.OpAnd, L: eq, R: eq2}
+						}
+					}
 				}
 				switch {
 				case eq == nil:
@@ -614,6 +726,24 @@ func (g *Generator) GenOracleCase() *OracleCase {
 		}
 	}
 	pred := g.genBool(sc, depth, fs)
+	// A third of the predicates lead with an index-shaped sargable
+	// conjunction, so composite spans (and their fault sites) see steady
+	// oracle traffic. The free-form predicate usually rides along as the
+	// tail — replacing it every time would starve the validity feedback
+	// of the failure signals (unsupported operators inside random
+	// predicates) the Bayesian tracker learns from — but about a third
+	// of the sargable cases drop it, giving the span fault sites
+	// unmasked, fully index-shaped filters.
+	if g.prob(0.33) {
+		if sp := g.genSargablePred(sc, fs); sp != nil {
+			if g.prob(0.65) && g.supported("AND") {
+				fs.add("AND")
+				pred = &sqlast.Binary{Op: sqlast.OpAnd, L: sp, R: pred}
+			} else {
+				pred = sp
+			}
+		}
+	}
 	g.generated++
 	return &OracleCase{Base: sel, Pred: pred, Features: fs.list()}
 }

@@ -58,6 +58,10 @@ type Dialect struct {
 	Functions  map[string]bool
 	Types      map[string]bool
 
+	// MaxIndexColumns caps the number of columns per index (0 means
+	// unlimited). Statements exceeding it fail validation, which is how
+	// the adaptive generator learns a dialect's composite-index limits.
+	MaxIndexColumns int
 	// RequiresRefresh: inserted rows are invisible to queries until a
 	// REFRESH TABLE statement runs (CrateDB-style; paper §6).
 	RequiresRefresh bool

@@ -71,8 +71,9 @@ type View struct {
 
 // Index is a stored (optionally unique, optionally partial) index. It is
 // a real access path, not just metadata: entries is an ordered key→row
-// store over the leading column, maintained incrementally by the DML
-// executors and probed by the access-path planner (plan.go).
+// store over the full composite key (every indexed column, compared
+// lexicographically), maintained incrementally by the DML executors and
+// probed by the access-path planner (plan.go).
 type Index struct {
 	Name    string
 	Table   string
@@ -80,24 +81,46 @@ type Index struct {
 	Unique  bool
 	Where   sqlast.Expr // partial index predicate, nil if absent
 
-	// lead is the leading column's position in the table; recomputed when
-	// ALTER TABLE rebuilds the index.
-	lead int
-	// entries holds one entry per covered visible row, sorted by key
-	// (compareForSort order: NULLs first), ties in insertion order.
-	entries []indexEntry
+	// leads holds each indexed column's position in the table, in index
+	// column order; recomputed when ALTER TABLE rebuilds the index.
+	leads []int
+	// entries holds one row reference per covered visible row, sorted
+	// lexicographically by the composite key (compareForSort order per
+	// column: NULLs first), ties in insertion order. The key is not
+	// stored: rows are immutable for their lifetime in the store (DML
+	// replaces row slices, never mutates them), so entry i's key is
+	// entries[i][leads[0]], entries[i][leads[1]], … — and a key span is
+	// just a subslice of entries, with no per-query materialization. The
+	// row slice is also the identity: the pointer of its first element
+	// identifies a live row.
+	entries [][]Value
 	// stale marks an index whose maintenance was skipped by the
 	// StaleIndexAfterUpdate fault; probes on a stale index may return
 	// detached pre-update rows.
 	stale bool
 }
 
-// indexEntry maps one leading-column key to its row. The row slice is the
-// identity: DML replaces row slices, never mutates them, so the pointer
-// of the first element identifies a live row.
-type indexEntry struct {
-	key Value
-	row []Value
+// keyCompare lexicographically compares an entry row's composite key
+// against the key values in want (len(want) <= len(ix.leads) — a prefix
+// comparison when shorter).
+func (ix *Index) keyCompare(row []Value, want []Value) int {
+	for i := range want {
+		if c := compareForSort(row[ix.leads[i]], want[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// entryCompare lexicographically compares two entry rows over the full
+// composite key.
+func (ix *Index) entryCompare(a, b []Value) int {
+	for _, l := range ix.leads {
+		if c := compareForSort(a[l], b[l]); c != 0 {
+			return c
+		}
+	}
+	return 0
 }
 
 // database is the catalog plus storage for one DB instance.

@@ -332,8 +332,8 @@ func (s *DB) checkRowConstraints(t *Table, row []Value, pending [][]Value, skipR
 				return errf(ErrConstraint, "UNIQUE index constraint failed: %s", ix.Name)
 			}
 			if falseConflict != nil && len(ix.Columns) > 1 &&
-				!row[ix.lead].IsNull() && !r[ix.lead].IsNull() &&
-				nullSafeEqual(row[ix.lead], r[ix.lead]) {
+				!row[ix.leads[0]].IsNull() && !r[ix.leads[0]].IsNull() &&
+				nullSafeEqual(row[ix.leads[0]], r[ix.leads[0]]) {
 				s.trigger(falseConflict)
 				return errf(ErrInternal,
 					"internal error: duplicate key in unique index %s (truncated key comparison)", ix.Name)
@@ -355,10 +355,22 @@ func (s *DB) execUpdate(st *sqlast.Update) error {
 	if st.Where != nil {
 		conjs = splitAnd(st.Where, nil)
 	}
+	// Index-assisted mutation set: the clean composite span over the WHERE
+	// conjuncts, snapshotted as a row-identity set before any mutation
+	// rewrites the ordered store. Rows outside it cannot satisfy the probe
+	// conjunct, so the WHERE loop — and the cost it charges — covers only
+	// the rows actually probed.
+	cand, planned := s.planDMLAccess(t, conjs)
+	s.cov.HitBranch("dml.index", planned)
 	for ri, row := range t.Rows {
+		if planned && (len(row) == 0 || !cand[&row[0]]) {
+			newRows[ri] = row
+			continue
+		}
 		env.rels[0].vals = row
 		if st.Where != nil {
 			pass, err := s.evalFilterConjs(conjs, ctx)
+			s.cost++
 			if err != nil {
 				return err
 			}
@@ -424,9 +436,19 @@ func (s *DB) execDelete(st *sqlast.Delete) error {
 	env := &rowEnv{rels: []rowRel{tableRowRel(t, nil)}}
 	ctx := s.newEvalCtx(env)
 	conjs := splitAnd(st.Where, nil)
+	// Index-assisted mutation set, snapshotted before the store mutates
+	// (see execUpdate): rows outside the clean span cannot match the WHERE
+	// and are kept without touching them.
+	cand, planned := s.planDMLAccess(t, conjs)
+	s.cov.HitBranch("dml.index", planned)
 	for _, row := range t.Rows {
+		if planned && (len(row) == 0 || !cand[&row[0]]) {
+			kept = append(kept, row)
+			continue
+		}
 		env.rels[0].vals = row
 		pass, err := s.evalFilterConjs(conjs, ctx)
+		s.cost++
 		if err != nil {
 			return err
 		}

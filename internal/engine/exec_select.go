@@ -126,14 +126,18 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 		conjs = splitAnd(sel.Where, nil)
 	}
 
+	// skipConj is the WHERE-conjunct position consumed by a faulty index
+	// probe (CompositeProbePrefixSkip); -1 keeps every conjunct.
+	skipConj := -1
 	if len(sel.From) > 0 {
 		first, err := s.materializeRef(sel.From[0].Ref, outer)
 		if err != nil {
 			return nil, err
 		}
 		if len(conjs) > 0 && first.table != nil && indexPlannable(sel.From) && indexOrderSafe(sel) {
-			if idxRows, ok := s.planIndexAccess(first.table, first.alias, conjs); ok {
+			if idxRows, skip, ok := s.planIndexAccess(first.table, first.alias, conjs); ok {
 				first.rows = idxRows
+				skipConj = skip
 				s.cov.Hit("exec.scan.index")
 			}
 		}
@@ -168,11 +172,17 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 	// WHERE: the optimized filter path. When the planner chose an index
 	// probe, rows already holds only the candidate span, so the loop —
 	// and the cost it charges — covers just the rows actually touched.
+	// With the CompositeProbePrefixSkip defect active, the conjunct the
+	// probe claims to have consumed is excised from the loop.
 	if sel.Where != nil {
+		filterConjs := conjs
+		if skipConj >= 0 {
+			filterConjs = append(conjs[:skipConj:skipConj], conjs[skipConj+1:]...)
+		}
 		kept := rows[:0:0]
 		for _, row := range rows {
 			env.bindRow(row)
-			pass, err := s.evalFilterConjs(conjs, ctx)
+			pass, err := s.evalFilterConjs(filterConjs, ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -388,14 +398,14 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 }
 
 // joinProbeStep runs one inner-like join step as an index-nested-loop:
-// per left row, the probe key is evaluated once and binary-searched in
-// the index's ordered store; only the candidate span is re-checked
-// against the full ON condition (fault hooks included), so with faults
-// disabled the output multiset is identical to the quadratic loop while
-// the cost charges only the rows actually probed.
+// per left row, the composite probe key is evaluated once and
+// binary-searched in the index's ordered store; only the candidate span
+// is re-checked against the full ON condition (fault hooks included), so
+// with faults disabled the output multiset is identical to the quadratic
+// loop while the cost charges only the rows actually probed.
 //
-// The JoinIndexResidual defect skips the re-check: it treats the probe
-// conjunct as covering the entire ON condition, emitting every span
+// The JoinIndexResidual defect skips the re-check: it treats the probe's
+// equality key as covering the entire ON condition, emitting every span
 // candidate — extra join rows appear whenever a residual conjunct would
 // have rejected a probed pair. Because the plan (and thus the defect) is
 // a function of FROM/ON alone, every query of a TLP or NoREC case sees
@@ -404,25 +414,30 @@ func (s *DB) joinProbeStep(probe *joinProbe, left []jrow, jf string,
 	env *rowEnv, ctx *evalCtx, onConjs []sqlast.Expr, arena *jrowArena) ([]jrow, *Error) {
 	s.cov.Hit("exec.join.probe")
 	residual := s.faultSet().JoinResidual()
-	if residual != nil && len(onConjs) < 2 {
-		residual = nil // the probe conjunct is the entire ON: no defect
+	if residual != nil && len(onConjs) <= len(probe.conjIdx) {
+		residual = nil // the probe key is the entire ON: no defect
 	}
 	var out []jrow
 	rslot := len(env.rels) - 1
+	// One key buffer serves every left row.
+	key := make([]Value, len(probe.leftExprs))
 	for _, lrow := range left {
 		env.bindRow(lrow)
-		key, err := ctx.eval(probe.leftExpr)
-		if err != nil {
-			return nil, err
+		for i, le := range probe.leftExprs {
+			v, err := ctx.eval(le)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
 		}
-		lo, hi := probe.ix.span(sqlast.OpEq, key)
-		for _, entry := range probe.ix.entries[lo:hi] {
-			env.rels[rslot].vals = entry.row
+		lo, hi := probe.ix.eqSpan(key)
+		for _, rrow := range probe.ix.entries[lo:hi] {
+			env.rels[rslot].vals = rrow
 			if residual != nil {
-				if s.joinResidualRejects(ctx, onConjs, probe.conjIdx) {
+				if s.joinResidualRejects(ctx, onConjs, probe) {
 					s.trigger(residual)
 				}
-				out = append(out, arena.row(lrow, entry.row))
+				out = append(out, arena.row(lrow, rrow))
 				s.cost++
 				continue
 			}
@@ -432,7 +447,7 @@ func (s *DB) joinProbeStep(probe *joinProbe, left []jrow, jf string,
 				return nil, err
 			}
 			if ok {
-				out = append(out, arena.row(lrow, entry.row))
+				out = append(out, arena.row(lrow, rrow))
 			}
 			s.cost++
 		}

@@ -313,11 +313,11 @@ func TestFaultCatalogueShape(t *testing.T) {
 			}
 		}
 	}
-	if total != 120 {
-		t.Errorf("catalogue total = %d, want 120", total)
+	if total != 124 {
+		t.Errorf("catalogue total = %d, want 124", total)
 	}
-	if logic != 88 {
-		t.Errorf("logic faults = %d, want 88", logic)
+	if logic != 92 {
+		t.Errorf("logic faults = %d, want 92", logic)
 	}
 	// Shape: Umbra > MonetDB > Dolt ≈ CrateDB > the rest (paper Table 2).
 	if !(perDialect["umbra"] > perDialect["monetdb"] &&

@@ -50,6 +50,19 @@ func sameMultiset(a, b map[string]int) bool {
 	return true
 }
 
+// sargableLit returns a literal of the column's type usable as a probe
+// bound (matchProbe requires column-vs-literal comparisons).
+func sargableLit(t sqlast.Type) string {
+	switch t {
+	case sqlast.TypeText:
+		return "'a'"
+	case sqlast.TypeBool:
+		return "FALSE"
+	default:
+		return "1"
+	}
+}
+
 // buildIndexedState drives the adaptive generator on twin instances and
 // then forces the index shapes the satellite requires: a plain, a
 // unique, and a partial index per table, followed by UPDATE and DELETE
@@ -70,6 +83,25 @@ func buildIndexedState(t *testing.T, idx, full *engine.DB, g *gen.Generator) {
 		execTwin(t, idx, full, fmt.Sprintf("CREATE INDEX zzp%d ON %s (%s)", ti, tbl.Name, c0))
 		execTwin(t, idx, full, fmt.Sprintf("CREATE UNIQUE INDEX zzu%d ON %s (%s, %s)", ti, tbl.Name, c0, cLast))
 		execTwin(t, idx, full, fmt.Sprintf("CREATE INDEX zzw%d ON %s (%s) WHERE %s IS NOT NULL", ti, tbl.Name, c0, cLast))
+		if len(tbl.Columns) > 1 {
+			// Composite store over the first two columns, probed by the
+			// sargable oracle predicates and the index-assisted DML below.
+			c1 := tbl.Columns[1].Name
+			execTwin(t, idx, full, fmt.Sprintf("CREATE INDEX zzc%d ON %s (%s, %s)", ti, tbl.Name, c0, c1))
+			// Genuinely sargable DML (literal comparisons, which matchProbe
+			// accepts) drives the index-assisted mutation path; on integer
+			// key columns the SET shifts keys into the span the statement
+			// probed, exercising snapshot-before-mutate.
+			lit0 := sargableLit(tbl.Columns[0].Type)
+			set := c0
+			if tbl.Columns[0].Type == sqlast.TypeInt {
+				set = c0 + " + 1"
+			}
+			execTwin(t, idx, full, fmt.Sprintf("UPDATE %s SET %s = %s WHERE %s >= %s AND %s IS NOT NULL",
+				tbl.Name, c0, set, c0, lit0, c1))
+			execTwin(t, idx, full, fmt.Sprintf("DELETE FROM %s WHERE %s = %s AND %s < %s",
+				tbl.Name, c0, lit0, c1, sargableLit(tbl.Columns[1].Type)))
+		}
 		// Post-index churn: identity UPDATE (swaps row identities through
 		// the store) and a NULL-key DELETE.
 		execTwin(t, idx, full, fmt.Sprintf("UPDATE %s SET %s = %s", tbl.Name, c0, c0))

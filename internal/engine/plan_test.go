@@ -14,8 +14,9 @@ func openPlanDB(t *testing.T, opts ...Option) *DB {
 }
 
 // checkIndexConsistent verifies the ordered-store invariant after DML:
-// exactly one entry per covered visible row, keys in order, every entry
-// referencing a live row with the row's current leading-column value.
+// exactly one entry per covered visible row, composite keys in
+// lexicographic order, every entry referencing a live row, and the lead
+// positions matching the index's declared columns.
 func checkIndexConsistent(t *testing.T, db *DB, name string) {
 	t.Helper()
 	ix := db.store.index(name)
@@ -23,10 +24,19 @@ func checkIndexConsistent(t *testing.T, db *DB, name string) {
 		t.Fatalf("no such index %q", name)
 	}
 	tbl := db.store.table(ix.Table)
+	if len(ix.leads) != len(ix.Columns) {
+		t.Fatalf("index %s: %d lead positions for %d columns", name, len(ix.leads), len(ix.Columns))
+	}
+	for i, c := range ix.Columns {
+		if ix.leads[i] != tbl.ColumnIndex(c) {
+			t.Fatalf("index %s: lead %d = %d, want column %q at %d",
+				name, i, ix.leads[i], c, tbl.ColumnIndex(c))
+		}
+	}
 	live := map[*Value]bool{}
 	want := 0
 	for _, row := range tbl.Rows {
-		if covered, _ := db.indexKeyOf(tbl, ix, row); covered {
+		if db.indexCovers(tbl, ix, row) {
 			live[&row[0]] = true
 			want++
 		}
@@ -36,18 +46,14 @@ func checkIndexConsistent(t *testing.T, db *DB, name string) {
 	}
 	seen := map[*Value]bool{}
 	for i, e := range ix.entries {
-		if !live[&e.row[0]] {
-			t.Fatalf("index %s: entry %d references a detached row %v", name, i, e.row)
+		if !live[&e[0]] {
+			t.Fatalf("index %s: entry %d references a detached row %v", name, i, e)
 		}
-		if seen[&e.row[0]] {
+		if seen[&e[0]] {
 			t.Fatalf("index %s: duplicate entry for one row", name)
 		}
-		seen[&e.row[0]] = true
-		if e.key.Render() != e.row[ix.lead].Render() {
-			t.Fatalf("index %s: entry key %s != row value %s",
-				name, e.key.Render(), e.row[ix.lead].Render())
-		}
-		if i > 0 && compareForSort(ix.entries[i-1].key, e.key) > 0 {
+		seen[&e[0]] = true
+		if i > 0 && ix.entryCompare(ix.entries[i-1], e) > 0 {
 			t.Fatalf("index %s: entries out of key order at %d", name, i)
 		}
 	}
@@ -62,6 +68,7 @@ func TestIndexMaintenanceAcrossDML(t *testing.T) {
 	mustExec(t, db, "CREATE TABLE t (a INTEGER, b INTEGER)")
 	mustExec(t, db, "CREATE INDEX i ON t (a)")
 	mustExec(t, db, "CREATE INDEX p ON t (a) WHERE b > 5")
+	mustExec(t, db, "CREATE INDEX ic ON t (b, a)") // composite store
 	steps := []string{
 		"INSERT INTO t (a, b) VALUES (3, 10), (1, 0), (3, 7), (NULL, 9), (2, NULL)",
 		"UPDATE t SET a = 5 WHERE a = 3",      // key change
@@ -76,10 +83,12 @@ func TestIndexMaintenanceAcrossDML(t *testing.T) {
 		mustExec(t, db, sql)
 		checkIndexConsistent(t, db, "i")
 		checkIndexConsistent(t, db, "p")
+		checkIndexConsistent(t, db, "ic")
 	}
 	mustExec(t, db, "INSERT INTO t (a, b) VALUES (1, 9)")
 	checkIndexConsistent(t, db, "i")
 	checkIndexConsistent(t, db, "p")
+	checkIndexConsistent(t, db, "ic")
 }
 
 // TestIndexMaintenanceOnRefresh covers dialects where inserts become

@@ -57,6 +57,10 @@ type DB struct {
 	// cost accumulates executor work units for the last statement
 	// (the campaign's performance-bug watchdog reads it).
 	cost int64
+	// scratch holds the access-path planner's reusable buffers (plan.go):
+	// sargable-probe lists and the composite-key arena, reset per planned
+	// scan so planning itself allocates nothing on the hot path.
+	scratch planScratch
 }
 
 // Option configures a DB.

@@ -170,6 +170,13 @@ func (s *DB) validateCreateIndex(st *sqlast.CreateIndex) error {
 	if st.Where != nil && !s.dialect.SupportsClause(feature.PartialIndex) {
 		return unsupported(feature.PartialIndex)
 	}
+	if len(st.Columns) > 1 && !s.dialect.SupportsClause(feature.CompositeIndex) {
+		return unsupported(feature.CompositeIndex)
+	}
+	if max := s.dialect.MaxIndexColumns; max > 0 && len(st.Columns) > max {
+		return errf(ErrSemantic, "index %q has %d columns, dialect allows at most %d",
+			st.Name, len(st.Columns), max)
+	}
 	t := s.store.table(st.Table)
 	if t == nil {
 		return errf(ErrSemantic, "no such table %q", st.Table)

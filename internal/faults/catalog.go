@@ -42,6 +42,7 @@ var catalog = map[string][]spec{
 		{Logic, NotElim, "<=", "NOT(a<=b) rewritten to a>=b, double-counting equal keys"},
 		{Crash, CrashOnFeature, "~", "bitwise inversion crashes the executor (cf. paper §6 TiDB '~' bug)"},
 		{Logic, IndexRangeBoundary, ">=", "index range scan treats >= as an exclusive lower bound, dropping boundary keys"},
+		{Logic, CompositeProbePrefixSkip, "", "composite index probe marks the trailing range condition as consumed by the access path without applying it"},
 	},
 	"dolt": {
 		{Logic, CmpNullTrue, "=", "= with NULL operand keeps the row in the optimized filter"},
@@ -59,6 +60,7 @@ var catalog = map[string][]spec{
 		{Error, InternalErrorOnFeature, "OFFSET", "OFFSET raises an internal iterator error"},
 		{Perf, PerfOnFeature, "LIKE", "LIKE falls back to a quadratic scan"},
 		{Logic, JoinIndexResidual, "", "lookup-join executor drops the non-key ON filters for index-probed rows"},
+		{Logic, CompositeProbePrefixSkip, "", "composite index lookup returns the whole equality-prefix span and skips re-checking the trailing range filter"},
 	},
 	"vitess": {
 		{Logic, CmpNullTrue, ">=", ">= with NULL operand keeps the row after query routing"},
@@ -110,6 +112,7 @@ var catalog = map[string][]spec{
 		{Perf, PerfOnFeature, "DISTINCT", "DISTINCT falls off the hash-aggregation fast path"},
 		{Logic, IndexRangeBoundary, "<=", "index range scan treats <= as an exclusive upper bound, dropping boundary keys"},
 		{Logic, JoinIndexResidual, "", "index-nested-loop join treats the probe equality as the whole ON condition, skipping residual conjuncts"},
+		{Logic, CompositeSpanBoundary, "", "composite index span computes its trailing strict range with an off-by-one, dropping the boundary-adjacent key"},
 	},
 	"monetdb": {
 		{Logic, CmpNullTrue, "<=", "<= with NULL operand keeps the row"},
@@ -132,6 +135,7 @@ var catalog = map[string][]spec{
 		{Error, InternalErrorOnFeature, "<<", "left shift raises an internal error"},
 		{Perf, PerfOnFeature, "IN", "IN list probes fall back to nested scans"},
 		{Logic, StaleIndexAfterUpdate, "", "UPDATE skips secondary-index maintenance, leaving stale index entries behind"},
+		{Logic, CompositeSpanBoundary, "", "multi-column index range scan loses the edge key of the trailing strict range (fencepost in the span computation)"},
 	},
 	"firebird": {
 		{Logic, CmpNullEqTrue, "=", "NULL=NULL evaluates TRUE"},

@@ -110,6 +110,19 @@ const (
 	// unique index compares only the leading key column, raising spurious
 	// duplicate-key errors for rows that differ in a later column.
 	UniqueIndexFalseConflict
+	// CompositeSpanBoundary: the trailing strict range (< or >) of a
+	// composite index span — an equality prefix plus a range on the next
+	// key column — is computed with an off-by-one fencepost, dropping the
+	// boundary-adjacent entry (the last entry for <, the first for >).
+	// Disjoint from IndexRangeBoundary, which perturbs the inclusive
+	// operators.
+	CompositeSpanBoundary
+	// CompositeProbePrefixSkip: a composite probe matches on its equality
+	// prefix but treats the trailing range conjunct as already applied —
+	// the whole prefix span comes back and the executor skips re-checking
+	// the conjunct, so prefix-matching rows that fail the range appear in
+	// the result (an extra-row defect, observable to TLP and PlanDiff).
+	CompositeProbePrefixSkip
 	// JoinIndexResidual: the index-nested-loop join executor treats the
 	// equality probe conjunct as covering the entire ON condition,
 	// skipping the residual ON conjuncts for probed rows — extra join
@@ -167,6 +180,8 @@ type Set struct {
 	staleIndex   *Fault
 	rangeBound   map[string]*Fault // by inclusive comparison operator
 	uniqueFalse  *Fault
+	compBound    *Fault
+	compPrefix   *Fault
 	joinResidual *Fault
 	unionDedup   *Fault
 	crashFeature map[string]*Fault
@@ -226,6 +241,10 @@ func NewSet(list []Fault) *Set {
 			s.rangeBound[f.Param] = f
 		case UniqueIndexFalseConflict:
 			s.uniqueFalse = f
+		case CompositeSpanBoundary:
+			s.compBound = f
+		case CompositeProbePrefixSkip:
+			s.compPrefix = f
 		case JoinIndexResidual:
 			s.joinResidual = f
 		case UnionAllDedup:
@@ -386,6 +405,36 @@ func (s *Set) UniqueConflict() *Fault {
 		return nil
 	}
 	return s.uniqueFalse
+}
+
+// HasPlanFaults reports whether the set carries any access-path-planner
+// fault (PartialIndexScan, StaleIndexAfterUpdate, IndexRangeBoundary,
+// CompositeSpanBoundary, CompositeProbePrefixSkip). The engine pins its
+// planner scratch buffers before running their ground-truth checks,
+// whose clean re-evaluation may re-enter the planner.
+func (s *Set) HasPlanFaults() bool {
+	if s == nil {
+		return false
+	}
+	return s.partialIndex != nil || s.staleIndex != nil || s.compBound != nil ||
+		s.compPrefix != nil || len(s.rangeBound) > 0
+}
+
+// CompositeBoundary returns the composite-span off-by-one fault, if any.
+func (s *Set) CompositeBoundary() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.compBound
+}
+
+// CompositePrefixSkip returns the composite-probe trailing-conjunct-skip
+// fault, if any.
+func (s *Set) CompositePrefixSkip() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.compPrefix
 }
 
 // JoinResidual returns the index-nested-loop residual-skip fault, if

@@ -24,8 +24,10 @@ func TestSetIndexing(t *testing.T) {
 		{ID: "r", Kind: StaleIndexAfterUpdate},
 		{ID: "s", Kind: IndexRangeBoundary, Param: "<="},
 		{ID: "t", Kind: UniqueIndexFalseConflict},
+		{ID: "u", Kind: CompositeSpanBoundary},
+		{ID: "v", Kind: CompositeProbePrefixSkip},
 	})
-	if s.Len() != 20 {
+	if s.Len() != 22 {
 		t.Fatalf("Len = %d", s.Len())
 	}
 	if f := s.CmpNullTrue("="); f == nil || f.ID != "a" {
@@ -61,6 +63,8 @@ func TestSetIndexing(t *testing.T) {
 		"PartialIndex": s.PartialIndex(),
 		"StaleIndex":   s.StaleIndex(),
 		"UniqueFalse":  s.UniqueConflict(),
+		"CompBound":    s.CompositeBoundary(),
+		"CompPrefix":   s.CompositePrefixSkip(),
 		"CrashDeep":    s.CrashDeep(),
 	} {
 		if f == nil {
@@ -115,8 +119,8 @@ func TestForDialectIDsUnique(t *testing.T) {
 
 func TestCountByClass(t *testing.T) {
 	counts := CountByClass(ForDialect("umbra"))
-	if counts[Logic] != 18 {
-		t.Errorf("umbra logic faults = %d, want 18", counts[Logic])
+	if counts[Logic] != 19 {
+		t.Errorf("umbra logic faults = %d, want 19", counts[Logic])
 	}
 	if counts[Crash]+counts[Error]+counts[Perf] != 8 {
 		t.Errorf("umbra other faults = %d, want 8",

@@ -49,6 +49,7 @@ const (
 	Offset          = "OFFSET"
 	UniqueIndex     = "UNIQUE INDEX"
 	PartialIndex    = "PARTIAL INDEX"
+	CompositeIndex  = "COMPOSITE INDEX"
 	PrimaryKey      = "PRIMARY KEY"
 	NotNullColumn   = "NOT NULL"
 	UniqueColumn    = "UNIQUE COLUMN"
@@ -102,6 +103,15 @@ func FuncArg(fn string, pos int, typ string) string {
 	return fn + "#" + strconv.Itoa(pos) + "=" + typ
 }
 
+// IndexWidth returns the fine-grained feature for an index's column
+// count, e.g. IndexWidth(3) == "CREATE INDEX#3". Per-dialect
+// column-count limits reject wide indexes at validation, so the
+// adaptive generator learns each dialect's cap through these, without
+// condemning CREATE INDEX or COMPOSITE INDEX as a whole.
+func IndexWidth(n int) string {
+	return StmtCreateIndex + "#" + strconv.Itoa(n)
+}
+
 // Statements lists the statement features of the adaptive grammar in
 // generation order. The first six are the paper's core statements.
 var Statements = []string{
@@ -121,7 +131,8 @@ var Clauses = []string{
 	ClauseWhere, JoinComma, JoinInner, JoinLeft, JoinRight, JoinFull,
 	JoinCross, JoinNatural, Subquery, DerivedTable, Distinct, GroupBy,
 	Having, OrderBy, Limit, Offset, UniqueIndex, PartialIndex,
-	InsertOrIgnore, InsertMultiRow, Union, UnionAll, Intersect, Except,
+	CompositeIndex, InsertOrIgnore, InsertMultiRow, Union, UnionAll,
+	Intersect, Except,
 }
 
 // BinaryOperators lists the universal grammar's binary operator
