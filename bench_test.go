@@ -13,6 +13,8 @@ import (
 	"sqlancerpp/internal/dialect"
 	"sqlancerpp/internal/engine"
 	"sqlancerpp/internal/experiments"
+	"sqlancerpp/internal/sqlast"
+	"sqlancerpp/internal/sqlparse"
 )
 
 func benchScale() experiments.Scale {
@@ -263,7 +265,7 @@ func BenchmarkIndexedSelect(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
 	}
 	b.Run("indexed", func(b *testing.B) { run(b, setup()) })
-	b.Run("fullscan", func(b *testing.B) { run(b, setup(engine.WithoutIndexPaths())) })
+	b.Run("fullscan", func(b *testing.B) { run(b, setup(engine.WithPlanSpec(engine.PlanSpec{DisableIndexPaths: true}))) })
 }
 
 // BenchmarkIndexJoin measures the index-nested-loop join against the
@@ -321,7 +323,7 @@ func BenchmarkIndexJoin(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
 	}
 	b.Run("probe", func(b *testing.B) { run(b, setup()) })
-	b.Run("quadratic", func(b *testing.B) { run(b, setup(engine.WithoutIndexPaths())) })
+	b.Run("quadratic", func(b *testing.B) { run(b, setup(engine.WithPlanSpec(engine.PlanSpec{DisableIndexPaths: true}))) })
 }
 
 // BenchmarkIndexedDML measures index-assisted UPDATE and DELETE against
@@ -367,9 +369,76 @@ func BenchmarkIndexedDML(b *testing.B) {
 	const update = "UPDATE t SET c1 = c1 + 1 WHERE c0 = 137"
 	const del = "DELETE FROM t WHERE c0 = 137 AND c1 < 0"
 	b.Run("update-indexed", func(b *testing.B) { run(b, setup(), update) })
-	b.Run("update-fullscan", func(b *testing.B) { run(b, setup(engine.WithoutIndexPaths()), update) })
+	b.Run("update-fullscan", func(b *testing.B) {
+		run(b, setup(engine.WithPlanSpec(engine.PlanSpec{DisableIndexPaths: true})), update)
+	})
 	b.Run("delete-indexed", func(b *testing.B) { run(b, setup(), del) })
-	b.Run("delete-fullscan", func(b *testing.B) { run(b, setup(engine.WithoutIndexPaths()), del) })
+	b.Run("delete-fullscan", func(b *testing.B) { run(b, setup(engine.WithPlanSpec(engine.PlanSpec{DisableIndexPaths: true})), del) })
+}
+
+// BenchmarkPlanDiffEnumeration measures the PlanDiff oracle's enumerated
+// plan space on a composite-indexed joined state: specs/query is the
+// size of the equivalent-plan set the enumerator yields, and
+// rows-touched/extra-plan is the mean executor cost each additional plan
+// pair adds on top of the baseline execution — the per-plan price the
+// -plans cap trades against plan-space coverage.
+func BenchmarkPlanDiffEnumeration(b *testing.B) {
+	db := engine.Open(dialect.MustGet("sqlite"), engine.WithoutFaults())
+	mustSetup := func(sql string) {
+		if err := db.Exec(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mustSetup("CREATE TABLE t (a INTEGER, b INTEGER, c TEXT)")
+	mustSetup("CREATE TABLE r (y INTEGER, ry TEXT)")
+	for i := 0; i < 1024; i += 16 {
+		sql := "INSERT INTO t VALUES "
+		for j := i; j < i+16; j++ {
+			if j > i {
+				sql += ", "
+			}
+			sql += fmt.Sprintf("(%d, %d, 'r%d')", j%16, (j/16)%16, j)
+		}
+		mustSetup(sql)
+	}
+	for i := 0; i < 128; i++ {
+		mustSetup(fmt.Sprintf("INSERT INTO r VALUES (%d, 'x%d')", i%16, i))
+	}
+	mustSetup("CREATE INDEX ia ON t (a)")
+	mustSetup("CREATE INDEX iab ON t (a, b)")
+	mustSetup("CREATE INDEX iy ON r (y)")
+
+	const q = "SELECT t.c, r.ry FROM t INNER JOIN r ON t.a = r.y WHERE t.a = 7 AND t.b = 3"
+	stmt, err := sqlparse.Shared().Parse(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := stmt.(*sqlast.Select)
+
+	var nSpecs int
+	var extraRows int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.SetPlanSpec(engine.PlanSpec{})
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+		specs := engine.EnumeratePlans(db, sel)
+		nSpecs = len(specs)
+		extraRows = 0
+		for _, spec := range specs {
+			db.SetPlanSpec(spec)
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+			extraRows += db.LastCost()
+		}
+		db.SetPlanSpec(engine.PlanSpec{})
+	}
+	b.ReportMetric(float64(nSpecs), "specs/query")
+	b.ReportMetric(float64(extraRows)/float64(nSpecs), "rows-touched/extra-plan")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
 }
 
 // BenchmarkCompositeProbe measures the composite-key span against the

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	sqlancerpp -dbms cratedb [-cases 20000] [-oracle all|tlp-family|<names>]
-//	           [-seed 1] [-no-feedback] [-baseline] [-reduce]
+//	           [-seed 1] [-no-feedback] [-baseline] [-reduce] [-plans 6]
 //	           [-state feedback.json] [-workers 8] [-list] [-list-oracles]
 package main
 
@@ -26,6 +26,8 @@ func main() {
 	noFeedback := flag.Bool("no-feedback", false, "disable validity feedback (SQLancer++ Rand)")
 	baselineMode := flag.Bool("baseline", false, "use the per-DBMS baseline generator (SQLancer)")
 	reduceBugs := flag.Bool("reduce", true, "reduce prioritized logic bugs")
+	maxPlans := flag.Int("plans", 0,
+		"cap enumerated plans per PlanDiff query (0 = oracle default, negative = unlimited); dropped plans are reported, not silently truncated")
 	statePath := flag.String("state", "", "load/persist learned feature probabilities (JSON)")
 	workers := flag.Int("workers", 0, "run the campaign as deterministic parallel shards over N workers (0 = serial)")
 	list := flag.Bool("list", false, "list registered dialects and exit")
@@ -58,6 +60,7 @@ func main() {
 		NoFeedback: *noFeedback,
 		Baseline:   *baselineMode,
 		Reduce:     *reduceBugs,
+		MaxPlans:   *maxPlans,
 		Workers:    *workers,
 	}
 	if *statePath != "" {
@@ -80,6 +83,10 @@ func main() {
 	if report.FalsePositives > 0 {
 		fmt.Printf("WARNING: %d false positives — engine defect!\n", report.FalsePositives)
 	}
+	if report.PlanSpecsDropped > 0 {
+		fmt.Printf("plan specs beyond the -plans cap: %d (raise -plans to diff every enumerated plan)\n",
+			report.PlanSpecsDropped)
+	}
 	if len(report.UnsupportedFeatures) > 0 {
 		fmt.Printf("learned unsupported features: %s\n",
 			strings.Join(report.UnsupportedFeatures, ", "))
@@ -90,6 +97,9 @@ func main() {
 			break
 		}
 		fmt.Printf("\n-- bug #%d [%s/%s] %s\n", b.ID, b.Class, b.Oracle, b.Detail)
+		if b.PlanSpec != "" {
+			fmt.Printf("   losing plan: %s\n", b.PlanSpec)
+		}
 		fmt.Printf("   ground truth: %s\n", strings.Join(b.GroundTruthFaults, ", "))
 		stmts := b.Reduced
 		if len(stmts) == 0 {

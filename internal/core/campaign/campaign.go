@@ -99,6 +99,12 @@ type Config struct {
 	MaxDepth      int
 	DepthInterval int
 
+	// MaxPlansPerQuery caps the plan specs the PlanDiff oracle diffs per
+	// query (the -plans flag): 0 selects oracle.DefaultMaxPlans, negative
+	// is unlimited. Specs beyond the cap are tallied in
+	// Report.PlanSpecsDropped rather than truncated silently.
+	MaxPlansPerQuery int
+
 	// ReduceBugs runs the reducer on prioritized logic bugs.
 	ReduceBugs bool
 	// PerfCostLimit flags queries whose executor cost exceeds the limit
@@ -139,6 +145,10 @@ type BugCase struct {
 	Queries  []string // the oracle's queries (or the failing statement)
 	Features []string
 	Detail   string
+	// PlanSpec is the serialized losing plan spec of a PlanDiff bug (the
+	// enumerated plan whose result diverged from the baseline); the
+	// reducer replays the case against exactly this plan pair.
+	PlanSpec string
 	// Triggered is ground truth: the injected fault IDs that fired.
 	Triggered []string
 	// Duplicate marks cases the prioritizer deprioritized.
@@ -167,6 +177,11 @@ type Report struct {
 	// FalsePositives counts bug reports with no ground-truth fault — any
 	// non-zero value indicates a defect in this engine, not a found bug.
 	FalsePositives int
+
+	// PlanSpecsDropped counts enumerated plan specs the MaxPlansPerQuery
+	// cap kept PlanDiff from executing across the whole campaign (the
+	// "log dropped, never truncate silently" accounting).
+	PlanSpecsDropped int
 
 	// Validity statistics (paper Table 4): a test case is valid when all
 	// its oracle queries executed.
@@ -435,8 +450,10 @@ func (r *Runner) runOracleCase() {
 	if oc == nil {
 		return
 	}
-	c := &oracle.Case{Base: oc.Base, Pred: oc.Pred, Seq: r.report.TestCases}
+	c := &oracle.Case{Base: oc.Base, Pred: oc.Pred, Seq: r.report.TestCases,
+		MaxPlans: r.cfg.MaxPlansPerQuery}
 	res := r.pickOracle(c).Check(r.db, c)
+	r.report.PlanSpecsDropped += res.PlansDropped
 
 	switch res.Outcome {
 	case oracle.OK:
@@ -473,6 +490,7 @@ func (r *Runner) runOracleCase() {
 			Features:  oc.Features,
 			Triggered: res.Triggered,
 			Detail:    res.Detail,
+			PlanSpec:  res.PlanSpec,
 		}, oc)
 	}
 }
@@ -596,7 +614,12 @@ func (r *Runner) reduceLogicBug(bug *BugCase, oc *gen.OracleCase) []string {
 		cb := sqlast.CloneSelect(carrier)
 		cp := cb.Where
 		cb.Where = nil
-		res := orc.Check(db, &oracle.Case{Base: cb, Pred: cp, Seq: bug.Seq})
+		// The bug's recorded losing plan spec rides along verbatim, so a
+		// PlanDiff replay re-executes the exact plan pair that diverged
+		// instead of re-enumerating a (possibly different) plan space for
+		// the shrunken statement.
+		res := orc.Check(db, &oracle.Case{Base: cb, Pred: cp, Seq: bug.Seq,
+			MaxPlans: r.cfg.MaxPlansPerQuery, PlanSpec: bug.PlanSpec})
 		return res.Outcome == oracle.Bug
 	}
 	if !prop(stmts) {

@@ -124,6 +124,7 @@ func mergeReports(cfg Config, reps []*Report) (*Report, error) {
 		merged.SetupOK += rep.SetupOK
 		merged.Detected += rep.Detected
 		merged.FalsePositives += rep.FalsePositives
+		merged.PlanSpecsDropped += rep.PlanSpecsDropped
 		for c, n := range rep.DetectedByClass {
 			merged.DetectedByClass[c] += n
 		}

@@ -87,12 +87,33 @@ type OracleCase struct {
 	Features []string
 }
 
+// PlanSpaceCounters tallies generated shapes that widen the PlanDiff
+// oracle's enumerable plan space: only probe-eligible shapes give the
+// plan enumerator more than the trivial planner-on/off pair, so these
+// counters are the generator-side coverage signal for the plan-control
+// API (campaign experiments read them to confirm plan-space traffic).
+type PlanSpaceCounters struct {
+	// SargableHeads counts oracle predicates led by an index-shaped
+	// sargable conjunction (per-relation force-scan/force-index plans).
+	SargableHeads int
+	// CompositeHeads counts sargable heads spanning >= 2 index key
+	// columns — the composite-vs-leading PrefixWidth axis.
+	CompositeHeads int
+	// ProbeEligibleJoins counts ON conditions led by a probe-eligible
+	// equality (the per-join probe-on/probe-off axis).
+	ProbeEligibleJoins int
+	// MultiKeyJoins counts ON conditions with a two-conjunct equality
+	// prefix (composite join-probe keys).
+	MultiKeyJoins int
+}
+
 // Generator produces random SQL statements adaptively.
 type Generator struct {
 	rnd       *rand.Rand
 	cfg       Config
 	model     *schema.Model
 	generated int
+	planSpace PlanSpaceCounters
 
 	intFuncs  []string
 	textFuncs []string
@@ -166,6 +187,9 @@ func (g *Generator) indexFunctions() {
 
 // Model exposes the internal schema model.
 func (g *Generator) Model() *schema.Model { return g.model }
+
+// PlanSpace returns the generator's plan-space coverage counters.
+func (g *Generator) PlanSpace() PlanSpaceCounters { return g.planSpace }
 
 // ResetModel clears the schema model (a fresh database state).
 func (g *Generator) ResetModel() { g.model = schema.New() }

@@ -287,3 +287,36 @@ func TestSargablePredShape(t *testing.T) {
 		t.Fatal("sargable predicates never span multiple conjuncts")
 	}
 }
+
+// TestPlanSpaceCountersTrackProbeShapes: the plan-space counters must
+// tally the probe-eligible shapes the generator emits — sargable heads
+// (with composite widths) and probe-eligible join keys — since those are
+// the shapes that give the PlanDiff enumerator a non-trivial plan space.
+func TestPlanSpaceCountersTrackProbeShapes(t *testing.T) {
+	g := New(Config{Seed: 9, StartDepth: 2, MaxDepth: 3})
+	g.Model().Apply(&sqlast.CreateTable{Name: "t0", Columns: []sqlast.ColumnDef{
+		{Name: "a", Type: sqlast.TypeInt}, {Name: "b", Type: sqlast.TypeInt}}})
+	g.Model().Apply(&sqlast.CreateTable{Name: "t1", Columns: []sqlast.ColumnDef{
+		{Name: "x", Type: sqlast.TypeInt}, {Name: "y", Type: sqlast.TypeInt}}})
+	g.Model().Apply(&sqlast.CreateIndex{Name: "i", Table: "t0", Columns: []string{"a", "b"}})
+
+	if g.PlanSpace() != (PlanSpaceCounters{}) {
+		t.Fatalf("counters must start zero: %+v", g.PlanSpace())
+	}
+	for i := 0; i < 2000; i++ {
+		g.GenOracleCase()
+	}
+	ps := g.PlanSpace()
+	if ps.SargableHeads == 0 {
+		t.Error("no sargable heads counted")
+	}
+	if ps.CompositeHeads == 0 || ps.CompositeHeads > ps.SargableHeads {
+		t.Errorf("composite heads out of range: %+v", ps)
+	}
+	if ps.ProbeEligibleJoins == 0 {
+		t.Error("no probe-eligible joins counted")
+	}
+	if ps.MultiKeyJoins == 0 || ps.MultiKeyJoins > ps.ProbeEligibleJoins {
+		t.Errorf("multi-key joins out of range: %+v", ps)
+	}
+}

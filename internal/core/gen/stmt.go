@@ -393,6 +393,7 @@ func (g *Generator) genSargablePred(sc *exprScope, fs featSet) sqlast.Expr {
 		return nil
 	}
 	var pred sqlast.Expr
+	nConj := 0
 	and := func(e sqlast.Expr) {
 		if pred == nil {
 			pred = e
@@ -403,6 +404,7 @@ func (g *Generator) genSargablePred(sc *exprScope, fs featSet) sqlast.Expr {
 	}
 	conj := func(op string, c *schema.Column) {
 		fs.add(op, feature.ExprColumn, feature.ExprConstant)
+		nConj++
 		and(&sqlast.Binary{Op: cmpOpOf(op),
 			L: &sqlast.ColumnRef{Table: ix.Table, Column: c.Name},
 			R: g.genConst(typOf(c.Type), fs)})
@@ -411,7 +413,7 @@ func (g *Generator) genSargablePred(sc *exprScope, fs featSet) sqlast.Expr {
 	for i := 0; i < eqn; i++ {
 		c := rel.Column(ix.Columns[i])
 		if c == nil {
-			return pred
+			return g.noteSargableHead(pred, nConj)
 		}
 		conj("=", c)
 	}
@@ -426,6 +428,18 @@ func (g *Generator) genSargablePred(sc *exprScope, fs featSet) sqlast.Expr {
 			if len(ops) > 0 {
 				conj(ops[g.intn(len(ops))], c)
 			}
+		}
+	}
+	return g.noteSargableHead(pred, nConj)
+}
+
+// noteSargableHead records a generated sargable head in the plan-space
+// counters (nConj key conjuncts; nil predicates count nothing).
+func (g *Generator) noteSargableHead(pred sqlast.Expr, nConj int) sqlast.Expr {
+	if pred != nil {
+		g.planSpace.SargableHeads++
+		if nConj >= 2 {
+			g.planSpace.CompositeHeads++
 		}
 	}
 	return pred
@@ -502,12 +516,16 @@ func (g *Generator) queryScope(fs featSet, forOracle bool) ([]sqlast.FromItem, *
 				eq := sqlast.Expr(nil)
 				if g.prob(0.5) && g.supported("=") {
 					eq = g.genJoinEq(sc, r, alias, fs)
+					if eq != nil {
+						g.planSpace.ProbeEligibleJoins++
+					}
 					// A second equality key makes the ON multi-conjunct —
 					// the shape the composite join probe binds as a
 					// two-column equality prefix.
 					if eq != nil && g.prob(0.35) && g.supported("AND") {
 						if eq2 := g.genJoinEq(sc, r, alias, fs); eq2 != nil {
 							fs.add("AND")
+							g.planSpace.MultiKeyJoins++
 							eq = &sqlast.Binary{Op: sqlast.OpAnd, L: eq, R: eq2}
 						}
 					}

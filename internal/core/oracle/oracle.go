@@ -63,10 +63,19 @@ type Result struct {
 	Triggered []string
 	// MaxCost is the executor cost the campaign's performance watchdog
 	// judges: the highest cost among the queries — except for PlanDiff,
-	// which reports the cost of its *indexed* execution only (its full
-	// scan is deliberate, not a performance symptom; both costs appear
-	// in Detail).
+	// which reports the cost of its *baseline* (auto-plan) execution only
+	// (the enumerated alternative plans are deliberate, not a performance
+	// symptom; both costs of a diverging pair appear in Detail).
 	MaxCost int64
+	// PlanSpec is the serialized losing engine.PlanSpec of a PlanDiff
+	// bug: the enumerated plan whose result diverged from the baseline.
+	// The reducer feeds it back through Case.PlanSpec so the replay
+	// executes the exact plan pair.
+	PlanSpec string
+	// PlansDropped counts enumerated plan specs the MaxPlans cap kept
+	// PlanDiff from executing for this case (surfaced in the campaign
+	// report rather than truncated silently).
+	PlansDropped int
 }
 
 // multiset builds a count map over rendered rows.

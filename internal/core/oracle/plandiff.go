@@ -2,17 +2,19 @@ package oracle
 
 // PlanDiff is a DQP/QPG-style plan-diffing oracle (cf. "Testing Database
 // Engines via Query Plan Guidance", ICSE 2023): it executes the *same*
-// query twice on the same instance — once with the engine's index-backed
-// access paths (base-table probes and index-nested-loop joins) enabled,
-// once with them suppressed via the per-query plan toggle — and reports
-// any multiset divergence. Because the two executions share the
-// statement text, the database state, and the reference evaluation
-// semantics, any divergence is a plan-dependent defect: the
-// index-path fault family (StaleIndexAfterUpdate, IndexRangeBoundary,
-// PartialIndexScan, JoinIndexResidual) is exactly the set of injected
-// bugs that perturb one plan's row flow but not the other's — several of
-// which no partition-based oracle can see, since every query of a TLP or
-// NoREC case runs under the same plan.
+// query on the same instance under every plan of a deterministic
+// equivalent-plan space and reports any multiset divergence from the
+// baseline (auto-planned) execution. The space comes from
+// engine.EnumeratePlans: the legacy planner-off plan, per-relation
+// force-scan and force-index variants (including every narrower
+// composite equality-prefix width — the composite-vs-leading axis),
+// per-join probe suppression, and the swapped join input order. Because
+// all executions share the statement text, the database state, and the
+// reference evaluation semantics, any divergence is a plan-dependent
+// defect; several members of the injected index-path fault family are
+// observable to no other oracle, and some (PrefixSpanTruncate under a
+// width-capped forced plan) are invisible even to the legacy
+// index-on/off pair this oracle used to flip.
 
 import (
 	"fmt"
@@ -21,39 +23,83 @@ import (
 	"sqlancerpp/internal/sqlast"
 )
 
-// PlanDiff runs base WHERE pred under the indexed and the suppressed
-// plan on db and compares the row multisets. The instance's plan toggle
-// is restored before returning. Result.MaxCost carries the indexed
-// execution's cost only — the full scan is deliberate, not a
-// performance symptom — and a Bug's Detail reports both costs.
+// DefaultMaxPlans is the per-query cap on enumerated plan specs when
+// Case.MaxPlans is unset. It covers the typical enumeration of the
+// generator's oracle shapes (one or two matched indexes plus a join
+// axis) while bounding the oracle's per-case execution count, so the
+// default campaign throughput stays within a small factor of the old
+// two-execution oracle.
+const DefaultMaxPlans = 6
+
+// PlanDiff runs base WHERE pred under the baseline plan and diffs it
+// against each enumerated equivalent plan (see PlanDiffCase).
 func PlanDiff(db *engine.DB, base *sqlast.Select, pred sqlast.Expr) Result {
+	return PlanDiffCase(db, &Case{Base: base, Pred: pred})
+}
+
+// PlanDiffCase applies the plan-diffing oracle to one case. The
+// instance's plan spec is restored before returning. With c.PlanSpec
+// set, enumeration is skipped and the baseline is diffed against exactly
+// that plan — the reducer's replay path. Result.MaxCost carries the
+// baseline execution's cost only — the alternative plans are deliberate,
+// not a performance symptom — and a Bug's Detail reports the serialized
+// losing spec with both costs, which Result.PlanSpec repeats verbatim
+// for the bug report.
+func PlanDiffCase(db *engine.DB, c *Case) Result {
 	r := newRunner(db)
 
-	q := sqlast.CloneSelect(base)
-	q.Where = sqlast.CloneExpr(pred)
+	q := sqlast.CloneSelect(c.Base)
+	q.Where = sqlast.CloneExpr(c.Pred)
 
-	idxRes, err := r.query(q)
+	prev := db.PlanSpec()
+	defer db.SetPlanSpec(prev)
+
+	db.SetPlanSpec(engine.PlanSpec{})
+	baseRes, err := r.query(q)
 	if err != nil {
 		return r.result(PlanDiffName, Invalid, err, "")
 	}
+	baseCost := r.costs[0]
+	baseSet := multiset(baseRes)
 
-	prev := db.IndexPathsEnabled()
-	db.SetIndexPaths(false)
-	fullRes, err := r.query(q)
-	db.SetIndexPaths(prev)
-	if err != nil {
-		return r.result(PlanDiffName, Invalid, err, "")
+	var specs []engine.PlanSpec
+	dropped := 0
+	if c.PlanSpec != "" {
+		spec, perr := engine.ParsePlanSpec(c.PlanSpec)
+		if perr != nil {
+			return r.result(PlanDiffName, Invalid, perr, "")
+		}
+		specs = []engine.PlanSpec{spec}
+	} else {
+		specs = engine.EnumeratePlans(db, q)
+		max := c.MaxPlans
+		if max == 0 {
+			max = DefaultMaxPlans
+		}
+		if max > 0 && len(specs) > max {
+			dropped = len(specs) - max
+			specs = specs[:max]
+		}
 	}
 
-	idxCost, fullCost := r.costs[0], r.costs[1]
-	if d := diffMultisets(multiset(idxRes), multiset(fullRes)); d != "" {
-		res := r.result(PlanDiffName, Bug, nil, fmt.Sprintf(
-			"PlanDiff divergence (index paths vs full scan): %s [cost indexed=%d fullscan=%d]",
-			d, idxCost, fullCost))
-		res.MaxCost = idxCost
-		return res
+	for _, spec := range specs {
+		db.SetPlanSpec(spec)
+		altRes, err := r.query(q)
+		if err != nil {
+			return r.result(PlanDiffName, Invalid, err, "")
+		}
+		if d := diffMultisets(baseSet, multiset(altRes)); d != "" {
+			res := r.result(PlanDiffName, Bug, nil, fmt.Sprintf(
+				"PlanDiff divergence (auto plan vs plan [%s]): %s [cost auto=%d alt=%d]",
+				spec.String(), d, baseCost, r.costs[len(r.costs)-1]))
+			res.MaxCost = baseCost
+			res.PlanSpec = spec.String()
+			res.PlansDropped = dropped
+			return res
+		}
 	}
 	res := r.result(PlanDiffName, OK, nil, "")
-	res.MaxCost = idxCost
+	res.MaxCost = baseCost
+	res.PlansDropped = dropped
 	return res
 }

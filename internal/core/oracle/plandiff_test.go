@@ -71,8 +71,14 @@ func TestPlanDiffDetectsStaleIndex(t *testing.T) {
 	if len(res.Queries) != 2 || res.Queries[0] != res.Queries[1] {
 		t.Errorf("PlanDiff must execute the same query twice: %v", res.Queries)
 	}
-	if !strings.Contains(res.Detail, "cost indexed=") || !strings.Contains(res.Detail, "fullscan=") {
+	if !strings.Contains(res.Detail, "cost auto=") || !strings.Contains(res.Detail, "alt=") {
 		t.Errorf("Detail must report both plans' costs: %q", res.Detail)
+	}
+	if res.PlanSpec != "noindex" {
+		t.Errorf("losing spec = %q, want the planner-off plan", res.PlanSpec)
+	}
+	if !strings.Contains(res.Detail, "[noindex]") {
+		t.Errorf("Detail must serialize the losing plan spec: %q", res.Detail)
 	}
 	// MaxCost judges the indexed run: it must be far below the full
 	// scan's cost, which the deliberate second execution paid.
@@ -81,6 +87,82 @@ func TestPlanDiffDetectsStaleIndex(t *testing.T) {
 	}
 	if !db.IndexPathsEnabled() {
 		t.Error("PlanDiff must restore the instance's plan toggle")
+	}
+}
+
+// TestPlanDiffReplaysRecordedSpecVerbatim: with Case.PlanSpec set, the
+// oracle must skip enumeration and diff the baseline against exactly
+// that plan — two executions, same verdict — which is how the reducer
+// replays the precise plan pair a bug was found under.
+func TestPlanDiffReplaysRecordedSpecVerbatim(t *testing.T) {
+	db := engine.Open(staleDialect("pd-stale-2"))
+	mustExec(t, db,
+		"CREATE TABLE t (c0 INTEGER, c1 TEXT)",
+		"CREATE INDEX i0 ON t (c0)",
+	)
+	for i := 0; i < 64; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 'r%d')", i%16, i))
+	}
+	mustExec(t, db, "UPDATE t SET c0 = 105 WHERE c0 = 5")
+
+	base := parseSelect(t, "SELECT * FROM t")
+	pred := &sqlast.Binary{Op: sqlast.OpEq,
+		L: &sqlast.ColumnRef{Column: "c0"}, R: sqlast.IntLit(5)}
+
+	found := PlanDiffCase(db, &Case{Base: base, Pred: pred})
+	if found.Outcome != Bug || found.PlanSpec == "" {
+		t.Fatalf("expected a bug with a recorded spec, got %v / %q", found.Outcome, found.PlanSpec)
+	}
+
+	replay := PlanDiffCase(db, &Case{Base: base, Pred: pred, PlanSpec: found.PlanSpec})
+	if replay.Outcome != Bug {
+		t.Fatalf("replay with the recorded spec must reproduce: %v", replay.Outcome)
+	}
+	if len(replay.Queries) != 2 {
+		t.Fatalf("replay must execute exactly the recorded pair, got %d queries", len(replay.Queries))
+	}
+	if replay.PlanSpec != found.PlanSpec {
+		t.Errorf("replay spec %q != recorded %q", replay.PlanSpec, found.PlanSpec)
+	}
+	if !strings.Contains(replay.Detail, "["+found.PlanSpec+"]") {
+		t.Errorf("replay detail must name the spec verbatim: %q", replay.Detail)
+	}
+
+	// A malformed recorded spec must fail closed (Invalid), not enumerate.
+	bad := PlanDiffCase(db, &Case{Base: base, Pred: pred, PlanSpec: "rel:t"})
+	if bad.Outcome != Invalid {
+		t.Errorf("malformed spec must be Invalid, got %v", bad.Outcome)
+	}
+}
+
+// TestPlanDiffCapReportsDroppedPlans: the MaxPlans cap must bound the
+// executed plan pairs and account for every spec it drops — silent
+// truncation would misrepresent plan-space coverage.
+func TestPlanDiffCapReportsDroppedPlans(t *testing.T) {
+	db := engine.Open(dialect.MustGet("sqlite"), engine.WithoutFaults())
+	mustExec(t, db,
+		"CREATE TABLE t (c0 INTEGER, c1 INTEGER)",
+		"CREATE INDEX ia ON t (c0)",
+		"CREATE INDEX iab ON t (c0, c1)",
+	)
+	for i := 0; i < 32; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i%4, i%8))
+	}
+	base := parseSelect(t, "SELECT * FROM t")
+	sel := parseSelect(t, "SELECT * FROM t WHERE c0 = 1 AND c1 = 2")
+
+	full := PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: -1})
+	if full.Outcome != OK || full.PlansDropped != 0 {
+		t.Fatalf("unlimited run: %v dropped=%d", full.Outcome, full.PlansDropped)
+	}
+	enumerated := len(full.Queries) - 1
+
+	capped := PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: 2})
+	if len(capped.Queries) != 3 {
+		t.Fatalf("cap 2 must execute baseline + 2 plans, got %d queries", len(capped.Queries))
+	}
+	if capped.PlansDropped != enumerated-2 {
+		t.Errorf("dropped = %d, want %d", capped.PlansDropped, enumerated-2)
 	}
 }
 

@@ -28,6 +28,16 @@ type Case struct {
 	// derive it from Seq, so a reducer replaying the case by Seq makes
 	// the same choice.
 	Seq int
+	// MaxPlans caps the plan specs PlanDiff diffs the baseline against
+	// per query (0 selects DefaultMaxPlans; negative is unlimited).
+	// Specs beyond the cap are counted in Result.PlansDropped, never
+	// truncated silently.
+	MaxPlans int
+	// PlanSpec, when non-empty, is a serialized engine.PlanSpec: PlanDiff
+	// skips enumeration and diffs the baseline against exactly this plan.
+	// The reducer sets it from the bug's recorded losing spec, so a
+	// replay re-executes the precise plan pair that diverged.
+	PlanSpec string
 }
 
 // Oracle is a first-class test oracle.
@@ -245,7 +255,7 @@ func (planDiffOracle) Name() Name { return PlanDiffName }
 // planner already suppressed, its two executions are the same plan.
 func (planDiffOracle) Applicable(db *engine.DB, _ *Case) bool { return db.IndexPathsEnabled() }
 
-func (planDiffOracle) Check(db *engine.DB, c *Case) Result { return PlanDiff(db, c.Base, c.Pred) }
+func (planDiffOracle) Check(db *engine.DB, c *Case) Result { return PlanDiffCase(db, c) }
 
 // init registers the built-in oracles. Weights approximate the paper's
 // TLP/NoREC alternation while giving the plan-diffing oracle a steady

@@ -122,7 +122,7 @@ func TestRegistryLookupAndApplicability(t *testing.T) {
 	if !pd.Applicable(db, nil) {
 		t.Error("PlanDiff must be applicable with index paths on")
 	}
-	db.SetIndexPaths(false)
+	db.SetPlanSpec(engine.PlanSpec{DisableIndexPaths: true})
 	if pd.Applicable(db, nil) {
 		t.Error("PlanDiff must be inapplicable with index paths suppressed")
 	}

@@ -50,6 +50,17 @@ func (t *Table) colNames() []string {
 	return t.names
 }
 
+// findIndex returns the table's index with the given case-insensitive
+// name, or nil (PlanSpec forcing resolves index names through it).
+func (t *Table) findIndex(name string) *Index {
+	for _, ix := range t.indexes {
+		if strings.EqualFold(ix.Name, name) {
+			return ix
+		}
+	}
+	return nil
+}
+
 // ColumnIndex returns the position of a column by case-insensitive name,
 // or -1.
 func (t *Table) ColumnIndex(name string) int {

@@ -102,9 +102,9 @@ func (s *DB) execCompound(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) {
 	// position, so the arms' scan order becomes observable: keep every
 	// arm on the order-preserving full scan (see indexOrderSafe).
 	if sel.Limit != nil || sel.Offset != nil {
-		restore := s.noIndexScan
-		s.noIndexScan = true
-		defer func() { s.noIndexScan = restore }()
+		restore := s.planSpec
+		s.planSpec = PlanSpec{DisableIndexPaths: true}
+		defer func() { s.planSpec = restore }()
 	}
 	left, err := s.execSelectEnv(coreOf(sel), outer)
 	if err != nil {

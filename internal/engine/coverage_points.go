@@ -18,6 +18,8 @@ func init() {
 		"filter.eval",
 		"exec.select", "exec.scan.table", "exec.scan.view", "exec.scan.derived",
 		"exec.scan.index", "exec.join.probe",
+		"plan.force.scan", "plan.force.index", "plan.force.fallback",
+		"plan.join.probeoff", "plan.swap",
 		"exec.distinct", "exec.orderby", "exec.limit", "exec.offset",
 		"exec.groupby", "exec.compound",
 		"exec.setop.UNION", "exec.setop.UNION ALL",

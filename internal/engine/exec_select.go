@@ -130,11 +130,19 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 	// probe (CompositeProbePrefixSkip); -1 keeps every conjunct.
 	skipConj := -1
 	if len(sel.From) > 0 {
-		first, err := s.materializeRef(sel.From[0].Ref, outer)
+		// PlanSpec join-input-order forcing: exchange the first two FROM
+		// relations where the swap is semantically safe; an unsafe swap is
+		// ignored (forcing degrades, never errors).
+		from := sel.From
+		if s.planSpec.SwapInputs && swapInputsSafe(sel) {
+			from = swappedFrom(from)
+			s.cov.Hit("plan.swap")
+		}
+		first, err := s.materializeRef(from[0].Ref, outer)
 		if err != nil {
 			return nil, err
 		}
-		if len(conjs) > 0 && first.table != nil && indexPlannable(sel.From) && indexOrderSafe(sel) {
+		if len(conjs) > 0 && first.table != nil && indexPlannable(from) && indexOrderSafe(sel) {
 			if idxRows, skip, ok := s.planIndexAccess(first.table, first.alias, conjs); ok {
 				first.rows = idxRows
 				skipConj = skip
@@ -148,12 +156,12 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 			// whole scan instead of one jrow header per row.
 			rows[i] = first.rows[i : i+1 : i+1]
 		}
-		for _, item := range sel.From[1:] {
+		for step, item := range from[1:] {
 			right, err := s.materializeRef(item.Ref, outer)
 			if err != nil {
 				return nil, err
 			}
-			rows, err = s.joinStep(sel, rels, rows, right, item, outer)
+			rows, err = s.joinStep(sel, rels, rows, right, item, step, outer)
 			if err != nil {
 				return nil, err
 			}
@@ -267,8 +275,10 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 	return &Result{Columns: colNames, Rows: outRows}, nil
 }
 
-// joinStep combines the accumulated rows with one new relation.
-func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matRel, item sqlast.FromItem, outer *rowEnv) ([]jrow, *Error) {
+// joinStep combines the accumulated rows with one new relation. step is
+// the join-step ordinal (0 joins the second FROM item), which the plan
+// spec's per-join forcing keys on.
+func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matRel, item sqlast.FromItem, step int, outer *rowEnv) ([]jrow, *Error) {
 	jf := joinFeature(item.Join)
 	s.cov.Hit("exec.join." + jf)
 
@@ -318,7 +328,7 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 	var out []jrow
 	switch item.Join {
 	case sqlast.JoinComma, sqlast.JoinCross, sqlast.JoinInner, sqlast.JoinNatural:
-		if probe := s.planJoinProbe(sel, rels, right, onConjs); probe != nil {
+		if probe := s.planJoinProbe(sel, rels, right, onConjs, step); probe != nil {
 			return s.joinProbeStep(probe, left, jf, env, ctx, onConjs, &arena)
 		}
 		for _, lrow := range left {

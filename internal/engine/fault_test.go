@@ -313,11 +313,11 @@ func TestFaultCatalogueShape(t *testing.T) {
 			}
 		}
 	}
-	if total != 124 {
-		t.Errorf("catalogue total = %d, want 124", total)
+	if total != 126 {
+		t.Errorf("catalogue total = %d, want 126", total)
 	}
-	if logic != 92 {
-		t.Errorf("logic faults = %d, want 92", logic)
+	if logic != 94 {
+		t.Errorf("logic faults = %d, want 94", logic)
 	}
 	// Shape: Umbra > MonetDB > Dolt ≈ CrateDB > the rest (paper Table 2).
 	if !(perDialect["umbra"] > perDialect["monetdb"] &&

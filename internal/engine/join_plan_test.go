@@ -67,7 +67,7 @@ func TestIndexJoinMatchesQuadratic(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
 		d := dialect.MustGet("sqlite")
 		idx := engine.Open(d, engine.WithoutFaults())
-		full := engine.Open(d, engine.WithoutFaults(), engine.WithoutIndexPaths())
+		full := engine.Open(d, engine.WithoutFaults(), engine.WithPlanSpec(engine.PlanSpec{DisableIndexPaths: true}))
 		buildJoinState(t, rand.New(rand.NewSource(seed)), idx, full)
 
 		for _, q := range queries {
@@ -124,9 +124,9 @@ func TestIndexJoinResidualFaultObservable(t *testing.T) {
 		t.Fatal(err)
 	}
 	triggered := umbra.TriggeredFaults()
-	umbra.SetIndexPaths(false)
+	umbra.SetPlanSpec(engine.PlanSpec{DisableIndexPaths: true})
 	clean, err := umbra.Query(q)
-	umbra.SetIndexPaths(true)
+	umbra.SetPlanSpec(engine.PlanSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,9 +152,9 @@ func TestIndexJoinResidualFaultObservable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	umbra.SetIndexPaths(false)
+	umbra.SetPlanSpec(engine.PlanSpec{DisableIndexPaths: true})
 	b, err := umbra.Query(q2)
-	umbra.SetIndexPaths(true)
+	umbra.SetPlanSpec(engine.PlanSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -442,12 +442,20 @@ func (s *DB) extractProbes(t *Table, alias string, conjs []sqlast.Expr) ([]index
 // from the statement's sargable conjuncts: for each leading column in
 // order, the first equality conjunct on it extends the prefix; the first
 // range conjunct on the column that ends the prefix becomes the trailing
-// range. Returns false when no conjunct touches the leading column.
-func matchComposite(ix *Index, probes []indexProbe, conjIdx []int, arena *[]Value) (compositeProbe, bool) {
+// range. maxEq > 0 caps the equality-prefix width (PlanSpec.PrefixWidth:
+// a capped probe consumes fewer key columns, widening the span — the
+// dropped conjuncts stay in the WHERE loop, so the capped plan is
+// observationally identical on a clean engine). Returns false when no
+// conjunct touches the leading column.
+func matchComposite(ix *Index, probes []indexProbe, conjIdx []int, arena *[]Value, maxEq int) (compositeProbe, bool) {
 	p := compositeProbe{ix: ix, rangeIdx: -1}
 	start := len(*arena)
+	width := len(ix.Columns)
+	if maxEq > 0 && maxEq < width {
+		width = maxEq
+	}
 	eqLen := 0
-	for eqLen < len(ix.Columns) {
+	for eqLen < width {
 		col := ix.Columns[eqLen]
 		extended := false
 		for i := range probes {
@@ -458,9 +466,15 @@ func matchComposite(ix *Index, probes []indexProbe, conjIdx []int, arena *[]Valu
 				break
 			}
 		}
-		if extended {
-			continue
+		if !extended {
+			break
 		}
+	}
+	// A trailing range binds to the key column right after the equality
+	// prefix — whether the prefix ended because no equality conjunct
+	// matched or because the width cap cut it short.
+	if eqLen < len(ix.Columns) {
+		col := ix.Columns[eqLen]
 		for i := range probes {
 			if probes[i].op != sqlast.OpEq && strings.EqualFold(probes[i].col, col) {
 				p.hasRange = true
@@ -470,7 +484,6 @@ func matchComposite(ix *Index, probes []indexProbe, conjIdx []int, arena *[]Valu
 				break
 			}
 		}
-		break
 	}
 	// An append past the arena's capacity may move the backing array;
 	// slicing after the loop keeps the eq prefix pointing at live memory
@@ -490,7 +503,12 @@ func matchComposite(ix *Index, probes []indexProbe, conjIdx []int, arena *[]Valu
 // CompositeProbePrefixSkip defect treats the trailing range conjunct as
 // consumed by the probe while returning the whole equality-prefix span.
 func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows [][]Value, skipConj int, ok bool) {
-	if s.noIndexScan || len(t.indexes) == 0 {
+	if s.planSpec.DisableIndexPaths || len(t.indexes) == 0 {
+		return nil, -1, false
+	}
+	rel := s.planSpec.relSpec(alias)
+	if rel.Force == ForceScan {
+		s.cov.Hit("plan.force.scan")
 		return nil, -1, false
 	}
 	fs := s.faultSet()
@@ -504,8 +522,10 @@ func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows 
 
 	// PartialIndexScan defect: an equality probe on the leading column of
 	// a *partial* index wrongly uses that index — regardless of cost, and
-	// without re-checking the rows its predicate excludes.
-	if f := fs.PartialIndex(); f != nil {
+	// without re-checking the rows its predicate excludes. Auto planning
+	// only: a forced plan names its index explicitly, and this defect
+	// lives in the index *selection*.
+	if f := fs.PartialIndex(); f != nil && rel.Force == ForceAuto {
 		for i := range probes {
 			if probes[i].op != sqlast.OpEq {
 				continue
@@ -525,10 +545,32 @@ func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows 
 		}
 	}
 
-	// Clean planning: the smallest composite span wins.
-	best, bestLo, bestHi, ok := s.bestCompositeSpan(t, probes, conjIdx, false)
-	if !ok || bestHi-bestLo >= len(t.Rows) {
-		return nil, -1, false
+	var best compositeProbe
+	var bestLo, bestHi int
+	if rel.Force == ForceIndex {
+		// Forced index: use it regardless of cost. Inapplicable forcing —
+		// unknown or partial index, or no sargable conjunct the index can
+		// consume — degrades to the full scan, never errors.
+		ix := t.findIndex(rel.Index)
+		if ix == nil || ix.Where != nil {
+			s.cov.Hit("plan.force.fallback")
+			return nil, -1, false
+		}
+		probe, pok := matchComposite(ix, probes, conjIdx, &s.scratch.keys, rel.PrefixWidth)
+		if !pok {
+			s.cov.Hit("plan.force.fallback")
+			return nil, -1, false
+		}
+		best = probe
+		bestLo, bestHi = probe.span()
+		s.cov.Hit("plan.force.index")
+	} else {
+		// Clean planning: the smallest composite span wins (under the
+		// spec's prefix-width cap, if any).
+		best, bestLo, bestHi, ok = s.bestCompositeSpan(t, probes, conjIdx, false, rel.PrefixWidth)
+		if !ok || bestHi-bestLo >= len(t.Rows) {
+			return nil, -1, false
+		}
 	}
 
 	ix := best.ix
@@ -600,6 +642,23 @@ func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows 
 		}
 	}
 
+	// PrefixSpanTruncate defect: a probe that consumes an equality prefix
+	// strictly shorter than the index's composite key — with no trailing
+	// range, i.e. a whole-prefix span — computes its upper fencepost one
+	// short, dropping the span's last entry. The auto planner reaches such
+	// a span only when the query constrains just a leading subset of the
+	// key; a width-capped forced plan (composite-vs-leading forcing)
+	// reaches it for fully constrained queries too — where the auto plan
+	// consumes the full key and the defect is invisible to the legacy
+	// index-on/off plan pair.
+	if f := fs.PrefixTruncate(); f != nil && !best.hasRange && len(best.eq) > 0 &&
+		len(best.eq) < len(ix.Columns) && bestHi > bestLo {
+		rows = ix.entries[bestLo : bestHi-1]
+		if s.indexDropObservable(t, &best, rows, conjs) {
+			s.trigger(f)
+		}
+	}
+
 	if ix.stale {
 		if f := fs.StaleIndex(); f != nil {
 			if s.staleProbeDiverges(t, &best, rows) {
@@ -623,7 +682,11 @@ func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows 
 // runtime error on a skipped row (rowLocalTotal). Returns false when no
 // span beats the full scan.
 func (s *DB) planDMLAccess(t *Table, conjs []sqlast.Expr) (map[*Value]bool, bool) {
-	if s.noIndexScan || len(t.indexes) == 0 || len(conjs) == 0 {
+	if s.planSpec.DisableIndexPaths || len(t.indexes) == 0 || len(conjs) == 0 {
+		return nil, false
+	}
+	rel := s.planSpec.relSpec(t.Name)
+	if rel.Force == ForceScan {
 		return nil, false
 	}
 	// Skipping a row skips the full-scan loop's evaluation of every
@@ -639,9 +702,28 @@ func (s *DB) planDMLAccess(t *Table, conjs []sqlast.Expr) (map[*Value]bool, bool
 	if len(probes) == 0 {
 		return nil, false
 	}
-	best, bestLo, bestHi, ok := s.bestCompositeSpan(t, probes, conjIdx, true)
-	if !ok || bestHi-bestLo >= len(t.Rows) {
-		return nil, false
+	var best compositeProbe
+	var bestLo, bestHi int
+	if rel.Force == ForceIndex {
+		// Forced index, under the same clean-semantics gates as auto DML
+		// planning (non-partial, non-stale); anything inapplicable falls
+		// back to the full scan.
+		ix := t.findIndex(rel.Index)
+		if ix == nil || ix.Where != nil || ix.stale {
+			return nil, false
+		}
+		probe, pok := matchComposite(ix, probes, conjIdx, &s.scratch.keys, rel.PrefixWidth)
+		if !pok {
+			return nil, false
+		}
+		best = probe
+		bestLo, bestHi = probe.span()
+	} else {
+		var ok bool
+		best, bestLo, bestHi, ok = s.bestCompositeSpan(t, probes, conjIdx, true, rel.PrefixWidth)
+		if !ok || bestHi-bestLo >= len(t.Rows) {
+			return nil, false
+		}
 	}
 	cand := make(map[*Value]bool, bestHi-bestLo)
 	for _, row := range best.ix.entries[bestLo:bestHi] {
@@ -655,14 +737,15 @@ func (s *DB) planDMLAccess(t *Table, conjs []sqlast.Expr) (map[*Value]bool, bool
 // bestCompositeSpan picks the smallest composite span over a table's
 // ordinary (non-partial) indexes; ties keep the first index in name
 // order. skipStale additionally rejects stale stores — the DML
-// planner's fallback rule. ok is false when no index matches a probe.
-func (s *DB) bestCompositeSpan(t *Table, probes []indexProbe, conjIdx []int, skipStale bool) (best compositeProbe, lo, hi int, ok bool) {
+// planner's fallback rule. maxEq forwards the spec's prefix-width cap.
+// ok is false when no index matches a probe.
+func (s *DB) bestCompositeSpan(t *Table, probes []indexProbe, conjIdx []int, skipStale bool, maxEq int) (best compositeProbe, lo, hi int, ok bool) {
 	bestLen := -1
 	for _, ix := range t.indexes {
 		if ix.Where != nil || (skipStale && ix.stale) {
 			continue
 		}
-		probe, pok := matchComposite(ix, probes, conjIdx, &s.scratch.keys)
+		probe, pok := matchComposite(ix, probes, conjIdx, &s.scratch.keys, maxEq)
 		if !pok {
 			continue
 		}
@@ -752,19 +835,37 @@ func joinEqConj(conj sqlast.Expr, rels []matRel, right matRel) (string, sqlast.E
 }
 
 // planJoinProbe chooses an index-nested-loop path for a join step, or
-// nil for the quadratic candidate loop. Each probe conjunct must be a
-// plain equality between a column of the (base-table) right relation and
-// an expression over the already-joined relations only; an index whose
-// leading columns are all matched by such conjuncts probes the composite
-// equality span (multi-conjunct ON keys like "l.a = r.x AND l.b = r.y"
-// bind a two-column prefix). The longest matched prefix wins — ties keep
-// the first index in name order. Candidates come out in key order rather
-// than right-table order, so the statement must be order-safe (the same
-// gate the base-table planner uses); the WHERE and residual-ON
-// evaluation over the candidates is unchanged, so with faults disabled
-// the probe path is observationally identical to the quadratic loop.
-func (s *DB) planJoinProbe(sel *sqlast.Select, rels []matRel, right matRel, conjs []sqlast.Expr) *joinProbe {
-	if s.noIndexScan || right.table == nil || len(right.table.indexes) == 0 || len(conjs) == 0 {
+// nil for the quadratic candidate loop. The plan spec gates it first:
+// DisableIndexPaths and the step's ProbeOff forcing suppress the probe,
+// and so does a ForceScan on the right relation's alias (scanning a
+// relation and probing into it are the same access-path choice).
+func (s *DB) planJoinProbe(sel *sqlast.Select, rels []matRel, right matRel, conjs []sqlast.Expr, step int) *joinProbe {
+	if s.planSpec.DisableIndexPaths {
+		return nil
+	}
+	if s.planSpec.joinProbeOff(step) || s.planSpec.relSpec(right.alias).Force == ForceScan {
+		s.cov.Hit("plan.join.probeoff")
+		return nil
+	}
+	return s.matchJoinProbe(sel, rels, right, conjs)
+}
+
+// matchJoinProbe is the spec-independent matching half of planJoinProbe
+// (the plan enumerator calls it to learn whether a step is
+// probe-eligible without consulting the active spec). Each probe
+// conjunct must be a plain equality between a column of the (base-table)
+// right relation and an expression over the already-joined relations
+// only; an index whose leading columns are all matched by such conjuncts
+// probes the composite equality span (multi-conjunct ON keys like
+// "l.a = r.x AND l.b = r.y" bind a two-column prefix). The longest
+// matched prefix wins — ties keep the first index in name order.
+// Candidates come out in key order rather than right-table order, so the
+// statement must be order-safe (the same gate the base-table planner
+// uses); the WHERE and residual-ON evaluation over the candidates is
+// unchanged, so with faults disabled the probe path is observationally
+// identical to the quadratic loop.
+func (s *DB) matchJoinProbe(sel *sqlast.Select, rels []matRel, right matRel, conjs []sqlast.Expr) *joinProbe {
+	if right.table == nil || len(right.table.indexes) == 0 || len(conjs) == 0 {
 		return nil
 	}
 	if !indexOrderSafe(sel) {

@@ -131,7 +131,7 @@ func TestCompositeProbeCostsFewerRows(t *testing.T) {
 // the mutation set fixed while maintenance rewrites the store.
 func TestIndexedDMLMatchesFullScan(t *testing.T) {
 	idx := openPlanDB(t)
-	full := openPlanDB(t, WithoutIndexPaths())
+	full := openPlanDB(t, WithPlanSpec(PlanSpec{DisableIndexPaths: true}))
 	for _, db := range []*DB{idx, full} {
 		mustExec(t, db, "CREATE TABLE t (a INTEGER, b INTEGER, c TEXT)")
 		for i := 0; i < 128; i += 8 {
@@ -208,7 +208,7 @@ func TestIndexedDMLErrorParity(t *testing.T) {
 		return db
 	}
 	idx := open()
-	full := open(WithoutIndexPaths())
+	full := open(WithPlanSpec(PlanSpec{DisableIndexPaths: true}))
 	const stmt = "UPDATE t SET c = 'hit' WHERE a = 5 AND 1 / b = 1"
 	errIdx := idx.Exec(stmt)
 	errFull := full.Exec(stmt)
@@ -284,7 +284,7 @@ func TestCompositeJoinProbe(t *testing.T) {
 	}
 	comp := openPlanDB(t)
 	lead := openPlanDB(t)
-	quad := openPlanDB(t, WithoutIndexPaths())
+	quad := openPlanDB(t, WithPlanSpec(PlanSpec{DisableIndexPaths: true}))
 	build(comp, "CREATE INDEX ir ON r (a, b)")
 	build(lead, "CREATE INDEX ir ON r (a)")
 	build(quad, "")

@@ -116,7 +116,7 @@ func TestIndexPathMatchesFullScanOnRandomStates(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3, 4} {
 		d := dialect.MustGet("sqlite")
 		idx := engine.Open(d, engine.WithoutFaults())
-		full := engine.Open(d, engine.WithoutFaults(), engine.WithoutIndexPaths())
+		full := engine.Open(d, engine.WithoutFaults(), engine.WithPlanSpec(engine.PlanSpec{DisableIndexPaths: true}))
 		g := gen.New(gen.Config{Seed: seed, StartDepth: 2, MaxDepth: 3, DepthInterval: 200})
 		buildIndexedState(t, idx, full, g)
 
@@ -159,7 +159,7 @@ func TestOracleInvariantsOnIndexedStates(t *testing.T) {
 	for _, seed := range []int64{11, 12, 13} {
 		d := dialect.MustGet("sqlite")
 		idx := engine.Open(d, engine.WithoutFaults())
-		full := engine.Open(d, engine.WithoutFaults(), engine.WithoutIndexPaths())
+		full := engine.Open(d, engine.WithoutFaults(), engine.WithPlanSpec(engine.PlanSpec{DisableIndexPaths: true}))
 		g := gen.New(gen.Config{Seed: seed, StartDepth: 2, MaxDepth: 3, DepthInterval: 200})
 		buildIndexedState(t, idx, full, g)
 

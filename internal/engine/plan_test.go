@@ -136,7 +136,7 @@ func populateScanTable(t *testing.T, db *DB, n, groups int) {
 // rows.
 func TestIndexPathCostsFewerRows(t *testing.T) {
 	idx := openPlanDB(t)
-	full := openPlanDB(t, WithoutIndexPaths())
+	full := openPlanDB(t, WithPlanSpec(PlanSpec{DisableIndexPaths: true}))
 	populateScanTable(t, idx, 256, 64)
 	populateScanTable(t, full, 256, 64)
 	mustExec(t, idx, "CREATE INDEX i ON t (a)")
@@ -313,7 +313,7 @@ func TestFaultPartialIndexTriggerPrecision(t *testing.T) {
 // aggregates like NoREC's COUNT(*) keep the index path.
 func TestIndexPathOrderSensitiveShapes(t *testing.T) {
 	idx := openPlanDB(t)
-	full := openPlanDB(t, WithoutIndexPaths())
+	full := openPlanDB(t, WithPlanSpec(PlanSpec{DisableIndexPaths: true}))
 	for _, db := range []*DB{idx, full} {
 		mustExec(t, db, "CREATE TABLE t (c0 INTEGER, c1 TEXT)")
 		mustExec(t, db, "INSERT INTO t (c0, c1) VALUES (5, 'first'), (3, 'second'), (4, 'third')")

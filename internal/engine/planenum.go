@@ -1,0 +1,166 @@
+package engine
+
+// QPG-style plan enumeration. EnumeratePlans yields the deterministic,
+// bounded set of PlanSpecs that are semantically equivalent to the auto
+// plan for one query on one instance — the plan space the PlanDiff
+// oracle diffs the baseline execution against. Widening this set is what
+// raises the oracle's discrimination: a plan-dependent defect is
+// observable exactly when some pair of equivalent plans disagrees, and
+// the legacy index-on/off pair covers only one axis of the space.
+
+import (
+	"sqlancerpp/internal/sqlast"
+)
+
+// EnumeratePlans returns the equivalent-plan specs for a SELECT on db's
+// current catalog, in canonical order: the planner-off spec (the legacy
+// pair) first, then the first relation's force-scan and per-index
+// forcing variants (each matched index, plus every strictly narrower
+// equality-prefix width — the composite-vs-leading axis), then per-join
+// probe suppression, then the swapped join input order. The list is a
+// pure function of (statement, catalog), so equal seeds enumerate equal
+// plan spaces; callers that cap it (Config.MaxPlansPerQuery) truncate
+// the tail, keeping the earlier, coarser plans.
+//
+// Every returned spec is semantically equivalent to the auto plan by
+// construction: forcing only widens candidate sets or reorders rows in
+// ways the unchanged WHERE/ON re-evaluation and multiset comparison
+// cannot observe on a clean engine, and inapplicable forcing degrades to
+// a scan.
+func EnumeratePlans(db *DB, sel *sqlast.Select) []PlanSpec {
+	specs := []PlanSpec{{DisableIndexPaths: true}}
+	if sel == nil || len(sel.Compound) > 0 || len(sel.From) == 0 {
+		return specs
+	}
+	var conjs []sqlast.Expr
+	if sel.Where != nil {
+		conjs = splitAnd(sel.Where, nil)
+	}
+
+	// First-relation access-path variants.
+	if tn, ok := sel.From[0].Ref.(*sqlast.TableName); ok {
+		alias := tn.RefName()
+		t := db.store.table(tn.Name)
+		if t != nil && len(t.indexes) > 0 && len(conjs) > 0 &&
+			indexPlannable(sel.From) && indexOrderSafe(sel) {
+			var probes []indexProbe
+			var conjIdx []int
+			for ci, conj := range conjs {
+				if p, ok := matchProbe(conj, alias, t); ok {
+					probes = append(probes, p)
+					conjIdx = append(conjIdx, ci)
+				}
+			}
+			var idxSpecs []PlanSpec
+			var arena []Value
+			for _, ix := range t.indexes {
+				if len(probes) == 0 {
+					break
+				}
+				if ix.Where != nil {
+					continue
+				}
+				probe, pok := matchComposite(ix, probes, conjIdx, &arena, 0)
+				if !pok {
+					continue
+				}
+				idxSpecs = append(idxSpecs, relPlan(alias, RelSpec{
+					Force: ForceIndex, Index: ix.Name}))
+				for w := 1; w < len(probe.eq); w++ {
+					idxSpecs = append(idxSpecs, relPlan(alias, RelSpec{
+						Force: ForceIndex, Index: ix.Name, PrefixWidth: w}))
+				}
+			}
+			if len(idxSpecs) > 0 {
+				specs = append(specs, relPlan(alias, RelSpec{Force: ForceScan}))
+				specs = append(specs, idxSpecs...)
+			}
+		}
+	}
+
+	// Per-join probe suppression, for steps where a probe would apply.
+	rels := []matRel{staticRel(db, sel.From[0])}
+	for step, item := range sel.From[1:] {
+		right := staticRel(db, item)
+		switch item.Join {
+		case sqlast.JoinComma, sqlast.JoinCross, sqlast.JoinInner, sqlast.JoinNatural:
+			if item.On != nil && right.table != nil {
+				onConjs := splitAnd(item.On, nil)
+				if db.matchJoinProbe(sel, rels, right, onConjs) != nil {
+					specs = append(specs, PlanSpec{
+						Joins: map[int]JoinSpec{step: {ProbeOff: true}}})
+				}
+			}
+		}
+		rels = append(rels, right)
+	}
+
+	// Join input order of the first two relations.
+	if swapInputsSafe(sel) {
+		specs = append(specs, PlanSpec{SwapInputs: true})
+	}
+	return specs
+}
+
+// relPlan builds a single-relation forcing spec.
+func relPlan(alias string, rs RelSpec) PlanSpec {
+	return PlanSpec{Relations: map[string]RelSpec{alias: rs}}
+}
+
+// staticRel resolves a FROM item to a planning-only matRel (alias and
+// table; no rows) — enough for matchJoinProbe's eligibility matching.
+func staticRel(db *DB, item sqlast.FromItem) matRel {
+	switch r := item.Ref.(type) {
+	case *sqlast.TableName:
+		return matRel{alias: r.RefName(), table: db.store.table(r.Name)}
+	case *sqlast.DerivedTable:
+		return matRel{alias: r.Alias}
+	default:
+		return matRel{}
+	}
+}
+
+// swapInputsSafe reports whether exchanging the first two FROM relations
+// preserves the statement's semantics up to row order: the first join
+// must be inner-like with an order-symmetric condition (comma, cross,
+// explicit INNER — outer joins are side-sensitive), the projection must
+// not expand a * (relation order dictates its column order), and the
+// statement must be order-safe (the same gate every candidate-reordering
+// plan uses). An unsafe swap is ignored, not an error.
+func swapInputsSafe(sel *sqlast.Select) bool {
+	if len(sel.Compound) > 0 || len(sel.From) < 2 {
+		return false
+	}
+	switch sel.From[1].Join {
+	case sqlast.JoinComma, sqlast.JoinCross, sqlast.JoinInner:
+	default:
+		return false
+	}
+	// A later NATURAL join synthesizes its ON against the *first* earlier
+	// relation sharing each column name (naturalOn walks rels in order);
+	// swapping the first two relations can rebind those columns, so the
+	// swap is only safe when every later join's condition is explicit.
+	for _, item := range sel.From[2:] {
+		if item.Join == sqlast.JoinNatural {
+			return false
+		}
+	}
+	for i := range sel.Items {
+		if sel.Items[i].Star {
+			return false
+		}
+	}
+	return indexOrderSafe(sel)
+}
+
+// swappedFrom returns a copy of the FROM list with the first two
+// relations exchanged: the second item's ref leads, the first item's ref
+// joins onto it under the original join type and ON condition (symmetric
+// for inner-like joins), and later items are untouched.
+func swappedFrom(from []sqlast.FromItem) []sqlast.FromItem {
+	out := make([]sqlast.FromItem, len(from))
+	copy(out, from)
+	out[0] = sqlast.FromItem{Ref: from[1].Ref}
+	out[1] = sqlast.FromItem{Ref: from[0].Ref, Join: from[1].Join, On: from[1].On}
+	return out
+}

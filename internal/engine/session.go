@@ -42,14 +42,12 @@ type DB struct {
 
 	faultsEnabled bool
 	crashed       bool
-	// noIndexScan disables the access-path planner (plan.go): every scan
-	// — base-table and join probe alike — is a full scan. Index
-	// *maintenance* stays on either way, so the toggle can flip per
-	// query: SetIndexPaths is how the PlanDiff oracle executes the same
-	// query under two plans on one instance, and WithoutIndexPaths is
-	// the open-time spelling the differential tests and benchmark
-	// baselines use.
-	noIndexScan bool
+	// planSpec is the instance's per-query plan-forcing specification
+	// (planspec.go). The zero value plans automatically; the PlanDiff
+	// oracle swaps specs between executions of the same query to run it
+	// under every enumerated plan on one instance. Index *maintenance*
+	// stays on regardless of the spec.
+	planSpec PlanSpec
 
 	// triggered holds the fault IDs fired by the last statement
 	// (ground truth for the evaluation harness only).
@@ -77,12 +75,22 @@ func WithoutFaults() Option {
 	return func(s *DB) { s.faultsEnabled = false }
 }
 
+// WithPlanSpec opens the instance with a plan-forcing specification
+// already applied — the open-time spelling of SetPlanSpec. The
+// differential tests and benchmark baselines use it with
+// PlanSpec{DisableIndexPaths: true} to pin the pre-planner full-scan
+// engine.
+func WithPlanSpec(spec PlanSpec) Option {
+	return func(s *DB) { s.SetPlanSpec(spec) }
+}
+
 // WithoutIndexPaths disables index-backed access paths: every scan is a
-// full scan, as in the pre-planner engine. Used by the differential
-// tests (index path vs. full scan must agree on a clean engine) and the
-// benchmark baseline. Equivalent to SetIndexPaths(false) at open time.
+// full scan, as in the pre-planner engine.
+//
+// Deprecated: thin shim over the PlanSpec API; use
+// WithPlanSpec(PlanSpec{DisableIndexPaths: true}).
 func WithoutIndexPaths() Option {
-	return func(s *DB) { s.SetIndexPaths(false) }
+	return WithPlanSpec(PlanSpec{DisableIndexPaths: true})
 }
 
 // Open creates an empty database for the dialect.
@@ -131,16 +139,30 @@ func (s *DB) TriggeredFaults() []string {
 // LastCost returns the executor work units of the last statement.
 func (s *DB) LastCost() int64 { return s.cost }
 
-// SetIndexPaths toggles the access-path planner per query: with index
-// paths off, every scan — base-table and join probe alike — runs as a
-// full scan while index maintenance continues. The PlanDiff oracle uses
-// it to execute the same query under two plans on one instance. This is
-// an oracle/test control surface, not SQL: the black-box contract (SQL
-// text in, status and rows out) is unchanged.
-func (s *DB) SetIndexPaths(on bool) { s.noIndexScan = !on }
+// SetPlanSpec installs a per-query plan-forcing specification
+// (planspec.go): it stays in effect for every subsequent statement until
+// replaced, like a session-scoped planner pragma. The PlanDiff oracle
+// uses it to execute the same query under each enumerated plan on one
+// instance. This is an oracle/test control surface, not SQL: the
+// black-box contract (SQL text in, status and rows out) is unchanged,
+// and a forced-but-inapplicable choice degrades to a scan, never errors.
+func (s *DB) SetPlanSpec(spec PlanSpec) { s.planSpec = spec }
 
-// IndexPathsEnabled reports whether the access-path planner is active.
-func (s *DB) IndexPathsEnabled() bool { return !s.noIndexScan }
+// PlanSpec returns the active plan-forcing specification.
+func (s *DB) PlanSpec() PlanSpec { return s.planSpec }
+
+// SetIndexPaths toggles the access-path planner per query.
+//
+// Deprecated: thin shim over the PlanSpec API; SetIndexPaths(false) is
+// SetPlanSpec(PlanSpec{DisableIndexPaths: true}) and SetIndexPaths(true)
+// resets to the automatic plan (discarding any other forcing).
+func (s *DB) SetIndexPaths(on bool) {
+	s.SetPlanSpec(PlanSpec{DisableIndexPaths: !on})
+}
+
+// IndexPathsEnabled reports whether the access-path planner is active
+// (i.e. the current spec does not suppress it wholesale).
+func (s *DB) IndexPathsEnabled() bool { return !s.planSpec.DisableIndexPaths }
 
 // Crashed reports whether the simulated server is down.
 func (s *DB) Crashed() bool { return s.crashed }

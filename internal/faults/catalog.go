@@ -43,6 +43,7 @@ var catalog = map[string][]spec{
 		{Crash, CrashOnFeature, "~", "bitwise inversion crashes the executor (cf. paper §6 TiDB '~' bug)"},
 		{Logic, IndexRangeBoundary, ">=", "index range scan treats >= as an exclusive lower bound, dropping boundary keys"},
 		{Logic, CompositeProbePrefixSkip, "", "composite index probe marks the trailing range condition as consumed by the access path without applying it"},
+		{Logic, PrefixSpanTruncate, "", "composite index probed through a partial key prefix loses the last entry of the prefix span (short upper fencepost)"},
 	},
 	"dolt": {
 		{Logic, CmpNullTrue, "=", "= with NULL operand keeps the row in the optimized filter"},
@@ -136,6 +137,7 @@ var catalog = map[string][]spec{
 		{Perf, PerfOnFeature, "IN", "IN list probes fall back to nested scans"},
 		{Logic, StaleIndexAfterUpdate, "", "UPDATE skips secondary-index maintenance, leaving stale index entries behind"},
 		{Logic, CompositeSpanBoundary, "", "multi-column index range scan loses the edge key of the trailing strict range (fencepost in the span computation)"},
+		{Logic, PrefixSpanTruncate, "", "multi-column index scanned under a shorter key prefix than it was chosen for drops the final matching entry"},
 	},
 	"firebird": {
 		{Logic, CmpNullEqTrue, "=", "NULL=NULL evaluates TRUE"},

@@ -123,6 +123,16 @@ const (
 	// the conjunct, so prefix-matching rows that fail the range appear in
 	// the result (an extra-row defect, observable to TLP and PlanDiff).
 	CompositeProbePrefixSkip
+	// PrefixSpanTruncate: a composite index probed through an equality
+	// prefix strictly shorter than its key — a whole-prefix span with no
+	// trailing range — computes its upper fencepost one entry short,
+	// dropping the span's last row. The cost-based planner reaches such a
+	// span only when the query constrains a leading subset of the key;
+	// plan forcing (composite-vs-leading PrefixWidth caps) reaches it for
+	// fully constrained queries too, where the auto plan and the full
+	// scan agree — the defect class the legacy index-on/off plan pair
+	// cannot distinguish and the enumerated PlanDiff plan space can.
+	PrefixSpanTruncate
 	// JoinIndexResidual: the index-nested-loop join executor treats the
 	// equality probe conjunct as covering the entire ON condition,
 	// skipping the residual ON conjuncts for probed rows — extra join
@@ -182,6 +192,7 @@ type Set struct {
 	uniqueFalse  *Fault
 	compBound    *Fault
 	compPrefix   *Fault
+	prefixTrunc  *Fault
 	joinResidual *Fault
 	unionDedup   *Fault
 	crashFeature map[string]*Fault
@@ -245,6 +256,8 @@ func NewSet(list []Fault) *Set {
 			s.compBound = f
 		case CompositeProbePrefixSkip:
 			s.compPrefix = f
+		case PrefixSpanTruncate:
+			s.prefixTrunc = f
 		case JoinIndexResidual:
 			s.joinResidual = f
 		case UnionAllDedup:
@@ -409,15 +422,16 @@ func (s *Set) UniqueConflict() *Fault {
 
 // HasPlanFaults reports whether the set carries any access-path-planner
 // fault (PartialIndexScan, StaleIndexAfterUpdate, IndexRangeBoundary,
-// CompositeSpanBoundary, CompositeProbePrefixSkip). The engine pins its
-// planner scratch buffers before running their ground-truth checks,
-// whose clean re-evaluation may re-enter the planner.
+// CompositeSpanBoundary, CompositeProbePrefixSkip, PrefixSpanTruncate).
+// The engine pins its planner scratch buffers before running their
+// ground-truth checks, whose clean re-evaluation may re-enter the
+// planner.
 func (s *Set) HasPlanFaults() bool {
 	if s == nil {
 		return false
 	}
 	return s.partialIndex != nil || s.staleIndex != nil || s.compBound != nil ||
-		s.compPrefix != nil || len(s.rangeBound) > 0
+		s.compPrefix != nil || s.prefixTrunc != nil || len(s.rangeBound) > 0
 }
 
 // CompositeBoundary returns the composite-span off-by-one fault, if any.
@@ -435,6 +449,14 @@ func (s *Set) CompositePrefixSkip() *Fault {
 		return nil
 	}
 	return s.compPrefix
+}
+
+// PrefixTruncate returns the short-prefix span-truncation fault, if any.
+func (s *Set) PrefixTruncate() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.prefixTrunc
 }
 
 // JoinResidual returns the index-nested-loop residual-skip fault, if

@@ -26,8 +26,9 @@ func TestSetIndexing(t *testing.T) {
 		{ID: "t", Kind: UniqueIndexFalseConflict},
 		{ID: "u", Kind: CompositeSpanBoundary},
 		{ID: "v", Kind: CompositeProbePrefixSkip},
+		{ID: "w", Kind: PrefixSpanTruncate},
 	})
-	if s.Len() != 22 {
+	if s.Len() != 23 {
 		t.Fatalf("Len = %d", s.Len())
 	}
 	if f := s.CmpNullTrue("="); f == nil || f.ID != "a" {
@@ -65,6 +66,7 @@ func TestSetIndexing(t *testing.T) {
 		"UniqueFalse":  s.UniqueConflict(),
 		"CompBound":    s.CompositeBoundary(),
 		"CompPrefix":   s.CompositePrefixSkip(),
+		"PrefixTrunc":  s.PrefixTruncate(),
 		"CrashDeep":    s.CrashDeep(),
 	} {
 		if f == nil {

@@ -55,6 +55,11 @@ type Options struct {
 	Baseline bool
 	// Reduce runs the test-case reducer on prioritized logic bugs.
 	Reduce bool
+	// MaxPlans caps the equivalent plans the PlanDiff oracle diffs per
+	// query (the -plans flag): 0 selects the oracle default, negative is
+	// unlimited. Plans beyond the cap are counted in
+	// Report.PlanSpecsDropped, never truncated silently.
+	MaxPlans int
 	// Threshold is the Bayesian minimum success probability p
 	// (default 0.05 for scaled runs; the paper uses 0.01).
 	Threshold float64
@@ -81,6 +86,9 @@ type Bug struct {
 	Queries []string
 	Reduced []string // reduced statement sequence, when reduction ran
 	Detail  string
+	// PlanSpec is the serialized losing plan of a PlanDiff bug (the
+	// enumerated plan whose result diverged from the baseline plan).
+	PlanSpec string
 	// Features is the SQL feature set the prioritizer used.
 	Features []string
 	// GroundTruthFaults lists the injected fault IDs the case triggered
@@ -110,6 +118,9 @@ type Report struct {
 	// FalsePositives counts bug cases with no ground-truth fault; any
 	// non-zero value indicates a defect in this library.
 	FalsePositives int
+	// PlanSpecsDropped counts enumerated plans the MaxPlans cap kept the
+	// PlanDiff oracle from executing.
+	PlanSpecsDropped int
 }
 
 // Run executes a testing campaign against a registered dialect.
@@ -127,13 +138,14 @@ func Run(o Options) (*Report, error) {
 		return nil, fmt.Errorf("sqlancerpp: %w", err)
 	}
 	cfg := campaign.Config{
-		Dialect:       d,
-		Oracles:       names,
-		TestCases:     o.TestCases,
-		Seed:          o.Seed,
-		Threshold:     o.Threshold,
-		ReduceBugs:    o.Reduce,
-		FeedbackState: o.FeedbackState,
+		Dialect:          d,
+		Oracles:          names,
+		TestCases:        o.TestCases,
+		Seed:             o.Seed,
+		Threshold:        o.Threshold,
+		ReduceBugs:       o.Reduce,
+		MaxPlansPerQuery: o.MaxPlans,
+		FeedbackState:    o.FeedbackState,
 	}
 	switch {
 	case o.Baseline:
@@ -171,6 +183,7 @@ func Run(o Options) (*Report, error) {
 		FeedbackState:       rep.FeedbackState,
 		UnsupportedFeatures: rep.Unsupported,
 		FalsePositives:      rep.FalsePositives,
+		PlanSpecsDropped:    rep.PlanSpecsDropped,
 	}
 	for _, b := range rep.Bugs {
 		out.Bugs = append(out.Bugs, Bug{
@@ -181,6 +194,7 @@ func Run(o Options) (*Report, error) {
 			Queries:           b.Queries,
 			Reduced:           b.Reduced,
 			Detail:            b.Detail,
+			PlanSpec:          b.PlanSpec,
 			Features:          b.Features,
 			GroundTruthFaults: b.Triggered,
 		})
