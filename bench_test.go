@@ -182,6 +182,32 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
 }
 
+// BenchmarkBudgetedCampaign is BenchmarkCampaignThroughput with the
+// deterministic rows-touched budget armed at a ceiling no generated
+// statement reaches: it measures the pure overhead of the per-row budget
+// check on the exec hot paths. The acceptance bar is throughput within
+// 1% of the unbudgeted campaign.
+func BenchmarkBudgetedCampaign(b *testing.B) {
+	d := dialect.MustGet("sqlite")
+	b.ReportAllocs()
+	b.ResetTimer()
+	runner, err := campaign.New(campaign.Config{
+		Dialect: d, Mode: campaign.Adaptive, TestCases: b.N + 1, Seed: 1,
+		RowBudget: 1 << 40,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := runner.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.BudgetExceeded != 0 {
+		b.Fatalf("budget ceiling reached %d times; the overhead measurement is polluted", rep.BudgetExceeded)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
+}
+
 // BenchmarkExecSelect measures the engine's SELECT hot path in isolation:
 // a two-table join with WHERE, ORDER BY, and an aggregate-free projection
 // over a populated database, executed from SQL text exactly as the

@@ -5,14 +5,22 @@
 //
 //	sqlancerpp -dbms cratedb [-cases 20000] [-oracle all|tlp-family|<names>]
 //	           [-seed 1] [-no-feedback] [-baseline] [-reduce] [-plans 6]
-//	           [-state feedback.json] [-workers 8] [-list] [-list-oracles]
+//	           [-state feedback.json] [-workers 8] [-budget 100000]
+//	           [-checkpoint run.ckpt] [-resume] [-list] [-list-oracles]
+//
+// With -checkpoint, SIGINT/SIGTERM stops the campaign at the next shard
+// boundary after saving progress; re-running with -resume continues it
+// and produces a final report byte-identical to an uninterrupted run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sqlancerpp"
 )
@@ -30,6 +38,11 @@ func main() {
 		"cap enumerated plans per PlanDiff query (0 = oracle default, negative = unlimited); dropped plans are reported, not silently truncated")
 	statePath := flag.String("state", "", "load/persist learned feature probabilities (JSON)")
 	workers := flag.Int("workers", 0, "run the campaign as deterministic parallel shards over N workers (0 = serial)")
+	budget := flag.Int64("budget", 0,
+		"deterministic per-statement rows-touched budget (0 = unlimited); exceeded statements are skipped, counted, never reported as bugs")
+	checkpoint := flag.String("checkpoint", "",
+		"persist campaign progress to this file after every completed shard (SIGINT/SIGTERM saves and exits cleanly)")
+	resume := flag.Bool("resume", false, "continue an interrupted campaign from -checkpoint")
 	list := flag.Bool("list", false, "list registered dialects and exit")
 	listOracles := flag.Bool("list-oracles", false, "list registered oracles and exit")
 	maxPrint := flag.Int("max-print", 5, "bug reports to print in full")
@@ -62,14 +75,35 @@ func main() {
 		Reduce:     *reduceBugs,
 		MaxPlans:   *maxPlans,
 		Workers:    *workers,
+		RowBudget:  *budget,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
 	}
 	if *statePath != "" {
 		if data, err := os.ReadFile(*statePath); err == nil {
 			opts.FeedbackState = data
 		}
 	}
+	if *checkpoint != "" {
+		// SIGINT/SIGTERM closes the interrupt channel; the campaign stops
+		// at the next shard boundary with every completed shard already
+		// checkpointed, and the process exits cleanly.
+		interrupt := make(chan struct{})
+		opts.Interrupt = interrupt
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			signal.Stop(sigs)
+			close(interrupt)
+		}()
+	}
 
 	report, err := sqlancerpp.Run(opts)
+	if errors.Is(err, sqlancerpp.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "sqlancerpp: interrupted; progress saved to %s (continue with -resume)\n", *checkpoint)
+		return
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sqlancerpp: %v\n", err)
 		os.Exit(1)
@@ -82,6 +116,14 @@ func main() {
 		report.Detected, report.Prioritized, report.UniqueBugs)
 	if report.FalsePositives > 0 {
 		fmt.Printf("WARNING: %d false positives — engine defect!\n", report.FalsePositives)
+	}
+	if report.HarnessCrashes > 0 {
+		fmt.Printf("harness crashes contained: %d (panics recovered, engine restarted)\n",
+			report.HarnessCrashes)
+	}
+	if report.BudgetExceeded > 0 {
+		fmt.Printf("statements over the -budget row limit: %d (skipped deterministically)\n",
+			report.BudgetExceeded)
 	}
 	if report.PlanSpecsDropped > 0 {
 		fmt.Printf("plan specs beyond the -plans cap: %d (raise -plans to diff every enumerated plan)\n",

@@ -8,7 +8,9 @@ package campaign
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
+	"strings"
 
 	"sqlancerpp/internal/core/feedback"
 	"sqlancerpp/internal/core/gen"
@@ -105,8 +107,15 @@ type Config struct {
 	// Report.PlanSpecsDropped rather than truncated silently.
 	MaxPlansPerQuery int
 
-	// ReduceBugs runs the reducer on prioritized logic bugs.
+	// ReduceBugs runs the reducer on prioritized logic and harness bugs.
 	ReduceBugs bool
+	// RowBudget caps the rows any single statement may touch (scans, join
+	// probes, DML collection) before the engine aborts it with
+	// ErrBudgetExceeded. The budget is counted in rows, not wall-clock
+	// time, so budget-exceeded cases skip identically at any worker count;
+	// they are tallied in Report.BudgetExceeded and never reported as
+	// bugs. 0 disables the budget.
+	RowBudget int64
 	// PerfCostLimit flags queries whose executor cost exceeds the limit
 	// as performance bugs (0 disables).
 	PerfCostLimit int64
@@ -130,6 +139,12 @@ const (
 	ClassCrash BugClass = "crash"
 	ClassError BugClass = "error"
 	ClassPerf  BugClass = "perf"
+	// ClassHarness marks a Go panic recovered at the campaign's
+	// containment boundary: the engine (or an oracle) panicked instead of
+	// returning an error. The report carries the statement trace and a
+	// sanitized stack; the poisoned instance is restarted and the
+	// campaign continues.
+	ClassHarness BugClass = "harness"
 )
 
 // BugCase is one bug-inducing test case.
@@ -182,6 +197,15 @@ type Report struct {
 	// cap kept PlanDiff from executing across the whole campaign (the
 	// "log dropped, never truncate silently" accounting).
 	PlanSpecsDropped int
+
+	// HarnessCrashes counts Go panics recovered at the containment
+	// boundary and converted into ClassHarness bug cases. Summed across
+	// shards like PlanSpecsDropped.
+	HarnessCrashes int
+	// BudgetExceeded counts statements aborted by the deterministic
+	// rows-touched budget (Config.RowBudget). Budget-exceeded cases are
+	// skipped — no validity feedback, never a bug report.
+	BudgetExceeded int
 
 	// Validity statistics (paper Table 4): a test case is valid when all
 	// its oracle queries executed.
@@ -369,14 +393,32 @@ func (r *Runner) Run() (*Report, error) {
 	return r.report, nil
 }
 
-// newDatabase opens a fresh DBMS instance and generates a database state
-// (Figure 2 step 1), keeping the learned feedback across states.
-func (r *Runner) newDatabase() {
-	opts := []engine.Option{}
+// replayOpts assembles the engine options reduction replays run with:
+// the execution budget but not coverage, so reducer replays skip the
+// same statements the campaign skipped without polluting coverage
+// counts.
+func (r *Runner) replayOpts() []engine.Option {
+	var opts []engine.Option
+	if r.cfg.RowBudget > 0 {
+		opts = append(opts, engine.WithRowBudget(r.cfg.RowBudget))
+	}
+	return opts
+}
+
+// engineOpts assembles the engine options for the campaign's main
+// instances: the replay set plus coverage recording.
+func (r *Runner) engineOpts() []engine.Option {
+	opts := r.replayOpts()
 	if r.cfg.Coverage != nil {
 		opts = append(opts, engine.WithCoverage(r.cfg.Coverage))
 	}
-	r.db = engine.Open(r.cfg.Dialect, opts...)
+	return opts
+}
+
+// newDatabase opens a fresh DBMS instance and generates a database state
+// (Figure 2 step 1), keeping the learned feedback across states.
+func (r *Runner) newDatabase() {
+	r.db = engine.Open(r.cfg.Dialect, r.engineOpts()...)
 	r.g.ResetModel()
 	r.setup = nil
 	for i := 0; i < r.cfg.SetupStmts; i++ {
@@ -396,8 +438,18 @@ func (r *Runner) newDatabase() {
 // model on success, and issues the dialect's REFRESH adapter statement
 // after inserts (paper §6, "Manual effort": ~16 LOC per DBMS).
 func (r *Runner) execSetup(st *gen.Statement) {
-	err := r.db.Exec(st.SQL)
+	err, crashed := r.execContained(st)
+	if crashed {
+		return
+	}
 	r.report.SetupTotal++
+	if engine.IsBudgetExceeded(err) {
+		// The statement was aborted by the deterministic execution
+		// budget, not rejected by the dialect: skip it without teaching
+		// the tracker anything.
+		r.report.BudgetExceeded++
+		return
+	}
 	ok := err == nil
 	if ok {
 		r.report.SetupOK++
@@ -420,10 +472,27 @@ func (r *Runner) execSetup(st *gen.Statement) {
 	if ok {
 		if ins, isInsert := st.Stmt.(*sqlast.Insert); isInsert && r.cfg.Dialect.RequiresRefresh {
 			ref := r.g.GenRefresh(ins.Table)
-			if rerr := r.db.Exec(ref.SQL); rerr == nil {
+			if rerr, rcrashed := r.execContained(ref); !rcrashed && rerr == nil {
 				r.setup = append(r.setup, ref)
 			}
 		}
+	}
+}
+
+// execContained runs one generated statement under the harness recovery
+// boundary: a panic in the engine is converted into a ClassHarness bug
+// and the poisoned instance restarted, instead of killing the campaign.
+func (r *Runner) execContained(st *gen.Statement) (err error, crashed bool) {
+	defer r.containStmt(st, &crashed)
+	return r.db.Exec(st.SQL), false
+}
+
+// containStmt is the deferred recovery boundary for a single generated
+// statement.
+func (r *Runner) containStmt(st *gen.Statement, crashed *bool) {
+	if p := recover(); p != nil {
+		*crashed = true
+		r.recordHarnessCrash(p, "", st.Stmt, st.Features)
 	}
 }
 
@@ -436,7 +505,14 @@ func (r *Runner) runSmokeQuery() {
 			st = cq
 		}
 	}
-	_, err := r.db.Query(st.SQL)
+	err, crashed := r.execContained(st)
+	if crashed {
+		return
+	}
+	if engine.IsBudgetExceeded(err) {
+		r.report.BudgetExceeded++
+		return
+	}
 	r.tracker.RecordQuery(st.Features, err == nil)
 	r.handleExecError(st, err)
 }
@@ -452,7 +528,10 @@ func (r *Runner) runOracleCase() {
 	}
 	c := &oracle.Case{Base: oc.Base, Pred: oc.Pred, Seq: r.report.TestCases,
 		MaxPlans: r.cfg.MaxPlansPerQuery}
-	res := r.pickOracle(c).Check(r.db, c)
+	res, crashed := r.checkContained(r.pickOracle(c), c, oc)
+	if crashed {
+		return
+	}
 	r.report.PlanSpecsDropped += res.PlansDropped
 
 	switch res.Outcome {
@@ -470,6 +549,10 @@ func (r *Runner) runOracleCase() {
 			}, nil)
 		}
 	case oracle.Invalid:
+		if engine.IsBudgetExceeded(res.Err) {
+			r.report.BudgetExceeded++
+			return
+		}
 		r.tracker.RecordQuery(oc.Features, false)
 		if res.Err != nil {
 			if engine.IsCrash(res.Err) {
@@ -507,6 +590,46 @@ func (r *Runner) pickOracle(c *oracle.Case) oracle.Oracle {
 		}
 	}
 	return r.sched[start]
+}
+
+// checkContained runs one oracle check under the harness recovery
+// boundary. On panic the recovered crash is attributed to the oracle and
+// the case's carrier query (base plus predicate), mirroring what the
+// oracle was executing when the engine went down.
+func (r *Runner) checkContained(orc oracle.Oracle, c *oracle.Case, oc *gen.OracleCase) (res oracle.Result, crashed bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			crashed = true
+			carrier := sqlast.CloneSelect(oc.Base)
+			carrier.Where = sqlast.CloneExpr(oc.Pred)
+			r.recordHarnessCrash(p, orc.Name(), carrier, oc.Features)
+		}
+	}()
+	return orc.Check(r.db, c), false
+}
+
+// recordHarnessCrash converts a recovered panic into a ClassHarness bug
+// report carrying the triggering statement and a sanitized stack, then
+// restarts the poisoned instance so the campaign continues. Ground truth
+// still attributes: the panic fault sites trigger before panicking, so
+// TriggeredFaults reflects the injected fault even though the statement
+// never completed.
+func (r *Runner) recordHarnessCrash(p any, orc oracle.Name, trigger sqlast.Stmt, features []string) {
+	r.report.HarnessCrashes++
+	bug := &BugCase{
+		Class:     ClassHarness,
+		Oracle:    orc,
+		Seq:       r.report.TestCases,
+		Queries:   []string{trigger.SQL()},
+		Features:  features,
+		Triggered: r.db.TriggeredFaults(),
+		Detail:    fmt.Sprintf("harness panic: %v\n%s", p, sanitizeStack(debug.Stack())),
+	}
+	r.recordBug(bug, nil)
+	if r.cfg.ReduceBugs && !bug.Duplicate {
+		bug.Reduced = r.reduceHarnessBug(trigger)
+	}
+	r.db.Restart()
 }
 
 // handleExecError turns crashes and internal errors of non-oracle
@@ -609,7 +732,7 @@ func (r *Runner) reduceLogicBug(bug *BugCase, oc *gen.OracleCase) []string {
 		if !ok || carrier.Where == nil {
 			return false
 		}
-		db := engine.Open(r.cfg.Dialect)
+		db := engine.Open(r.cfg.Dialect, r.replayOpts()...)
 		replayStmts(db, cand[:len(cand)-1])
 		cb := sqlast.CloneSelect(carrier)
 		cp := cb.Where
@@ -618,9 +741,11 @@ func (r *Runner) reduceLogicBug(bug *BugCase, oc *gen.OracleCase) []string {
 		// PlanDiff replay re-executes the exact plan pair that diverged
 		// instead of re-enumerating a (possibly different) plan space for
 		// the shrunken statement.
-		res := orc.Check(db, &oracle.Case{Base: cb, Pred: cp, Seq: bug.Seq,
+		res, panicked := checkNoPanic(orc, db, &oracle.Case{Base: cb, Pred: cp, Seq: bug.Seq,
 			MaxPlans: r.cfg.MaxPlansPerQuery, PlanSpec: bug.PlanSpec})
-		return res.Outcome == oracle.Bug
+		// A shrunken candidate that panics the engine does not exhibit
+		// the logic bug under reduction.
+		return !panicked && res.Outcome == oracle.Bug
 	}
 	if !prop(stmts) {
 		return nil // not reproducible from a pristine state
@@ -633,17 +758,109 @@ func (r *Runner) reduceLogicBug(bug *BugCase, oc *gen.OracleCase) []string {
 	return out
 }
 
+// checkNoPanic runs an oracle check on a replay instance under a
+// recovery boundary, reporting panics instead of propagating them into
+// the reducer.
+func checkNoPanic(orc oracle.Oracle, db *engine.DB, c *oracle.Case) (res oracle.Result, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return orc.Check(db, c), false
+}
+
+// reduceHarnessBug shrinks the setup-plus-trigger sequence to the
+// smallest one whose replay still panics the engine, replaying on fresh
+// instances with the same dialect faults and execution budget. The
+// property recovers per statement, so each shrink step stays inside the
+// containment boundary.
+func (r *Runner) reduceHarnessBug(trigger sqlast.Stmt) []string {
+	var stmts []sqlast.Stmt
+	for _, s := range r.setup {
+		stmts = append(stmts, sqlast.CloneStmt(s.Stmt))
+	}
+	stmts = append(stmts, sqlast.CloneStmt(trigger))
+	prop := func(cand []sqlast.Stmt) bool {
+		db := engine.Open(r.cfg.Dialect, r.replayOpts()...)
+		for _, st := range cand {
+			if execPanics(db, st) {
+				return true
+			}
+		}
+		return false
+	}
+	if !prop(stmts) {
+		return nil // not reproducible from a pristine state
+	}
+	reduced := reduce.Reduce(stmts, prop)
+	out := make([]string, len(reduced))
+	for i, st := range reduced {
+		out[i] = st.SQL()
+	}
+	return out
+}
+
+// execPanics executes one statement under a recovery boundary,
+// restarting on simulated crashes as the campaign loop does, and reports
+// whether the statement panicked the engine.
+func execPanics(db *engine.DB, st sqlast.Stmt) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	if err := db.Exec(st.SQL()); err != nil && engine.IsCrash(err) {
+		db.Restart()
+	}
+	return false
+}
+
 // replayStmts replays setup statements on a pristine instance. Ordinary
 // failures are fine during replay, but a simulated crash latches the
 // engine's crashed flag and would fail every subsequent statement —
 // poisoning the rest of the sequence and blocking reduction — so the
-// replay restarts the server exactly as the campaign loop does.
+// replay restarts the server exactly as the campaign loop does. A panic
+// during replay is contained the same way: the instance restarts and the
+// replay moves on.
 func replayStmts(db *engine.DB, stmts []sqlast.Stmt) {
 	for _, st := range stmts {
-		if err := db.Exec(st.SQL()); err != nil && engine.IsCrash(err) {
+		if execPanics(db, st) {
 			db.Restart()
 		}
 	}
+}
+
+// sanitizeStack reduces a debug.Stack dump to a deterministic trace: the
+// frames between the panic site and the campaign's recovery boundary,
+// with the goroutine header, argument values, code offsets, and runtime
+// internals stripped. Scheduling-dependent content (goroutine IDs, heap
+// addresses, worker-pool frames below the boundary) never appears, so
+// harness-crash reports stay byte-identical across worker counts.
+func sanitizeStack(stack []byte) string {
+	var out []string
+	seenPanic := false
+	for _, line := range strings.Split(string(stack), "\n") {
+		if line == "" || line[0] == '\t' || strings.HasPrefix(line, "goroutine ") {
+			continue // source locations and the goroutine header
+		}
+		fn := line
+		if j := strings.LastIndexByte(fn, '('); j >= 0 {
+			fn = fn[:j] // drop argument values
+		}
+		if !seenPanic {
+			seenPanic = fn == "panic"
+			continue // recovery machinery above the panic frame
+		}
+		if strings.HasPrefix(fn, "runtime.") {
+			continue
+		}
+		if strings.Contains(fn, "campaign.(*Runner)") {
+			break // everything below the boundary is scheduling-dependent
+		}
+		out = append(out, fn)
+	}
+	return strings.Join(out, "\n")
 }
 
 // finishReport computes the ground-truth uniqueness statistics.

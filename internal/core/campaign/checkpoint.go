@@ -1,0 +1,206 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+
+	"sqlancerpp/internal/par"
+)
+
+// ErrInterrupted reports that RunShardedOpts stopped at a shard boundary
+// because the Interrupt channel closed. Completed shards are already
+// checkpointed (when a checkpoint path is configured); a later Resume
+// run continues exactly where this one stopped and produces a final
+// report byte-identical to an uninterrupted run.
+var ErrInterrupted = errors.New("campaign: interrupted")
+
+// ShardedOptions parameterizes RunShardedOpts.
+type ShardedOptions struct {
+	// Workers bounds concurrent shard execution (minimum 1). The worker
+	// count never affects the merged report, only wall-clock time.
+	Workers int
+	// CheckpointPath, when set, persists campaign progress: after every
+	// completed shard the per-shard reports (each carrying its tracker's
+	// feedback state) and the shard seed table are written atomically
+	// (temp file + rename) to this path. The file is removed once the
+	// campaign completes.
+	CheckpointPath string
+	// Resume loads CheckpointPath before running and skips the shards it
+	// already holds. The checkpoint's configuration fingerprint must
+	// match the resolved configuration; a missing file starts fresh.
+	Resume bool
+	// Interrupt, when closed, stops the run at the next shard boundary
+	// with ErrInterrupted. Shards already in flight finish and are
+	// checkpointed; shards not yet started never start.
+	Interrupt <-chan struct{}
+}
+
+// checkpointVersion is bumped whenever the checkpoint layout or the
+// shard partitioning scheme changes incompatibly.
+const checkpointVersion = 1
+
+// checkpointFile is the serialized campaign progress: which shards have
+// completed and their full reports. Reports round-trip losslessly
+// through JSON (every field is exported; FeedbackState is base64), which
+// is what makes a resumed merge byte-identical to an uninterrupted one.
+type checkpointFile struct {
+	Version int
+	// Fingerprint pins the resolved configuration (including an FNV-1a
+	// hash of the warm-start feedback state) so a checkpoint cannot be
+	// resumed under a different campaign setup.
+	Fingerprint string
+	TotalShards int
+	// Seeds holds each shard's derived seed — the next-seed cursor in
+	// table form, doubling as a guard against partitioning drift.
+	Seeds []int64
+	// Shards is indexed by shard ordinal; nil marks an incomplete shard.
+	Shards []*Report
+}
+
+// fingerprint renders the resolved configuration fields that determine a
+// campaign's behavior. Policy is a function value and cannot be
+// fingerprinted; checkpointed runs must configure via Mode.
+func fingerprint(cfg Config) string {
+	h := fnv.New64a()
+	h.Write(cfg.FeedbackState)
+	return fmt.Sprintf("d=%s m=%d tc=%d ss=%d cpd=%d se=%d seed=%d or=%v tco=%t rp=%g ef=%v th=%g cf=%g ui=%d df=%d sd=%d md=%d di=%d mp=%d rb=%t pcl=%d budget=%d kac=%t fs=%x",
+		cfg.Dialect.Name, cfg.Mode, cfg.TestCases, cfg.SetupStmts,
+		cfg.CasesPerDB, cfg.SmokeEvery, cfg.Seed, cfg.Oracles,
+		cfg.TypeCorrect, cfg.RiskyProb, cfg.ExtraFunctions,
+		cfg.Threshold, cfg.Confidence, cfg.UpdateInterval,
+		cfg.DDLMaxFailures, cfg.StartDepth, cfg.MaxDepth,
+		cfg.DepthInterval, cfg.MaxPlansPerQuery, cfg.ReduceBugs,
+		cfg.PerfCostLimit, cfg.RowBudget, cfg.KeepAllCases, h.Sum64())
+}
+
+// RunShardedOpts is RunSharded with checkpoint/resume and interruption
+// support. Progress is saved at shard granularity: each completed
+// shard's report is written to the checkpoint before the next one is
+// merged in, so an interrupted campaign loses at most the shards that
+// were in flight.
+func RunShardedOpts(cfg Config, opts ShardedOptions) (*Report, error) {
+	if cfg.Dialect == nil {
+		return nil, fmt.Errorf("campaign: no dialect configured")
+	}
+	cfg = cfg.withDefaults()
+	shards := shardConfigs(cfg)
+	nShards := len(shards)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nShards {
+		workers = nShards
+	}
+
+	cp := &checkpointFile{
+		Version:     checkpointVersion,
+		Fingerprint: fingerprint(cfg),
+		TotalShards: nShards,
+		Seeds:       make([]int64, nShards),
+		Shards:      make([]*Report, nShards),
+	}
+	for i, sc := range shards {
+		cp.Seeds[i] = sc.Seed
+	}
+	if opts.Resume && opts.CheckpointPath != "" {
+		if err := loadCheckpoint(opts.CheckpointPath, cp); err != nil {
+			return nil, err
+		}
+	}
+
+	var mu sync.Mutex
+	err := par.ForEach(nShards, workers, func(i int) error {
+		if cp.Shards[i] != nil {
+			return nil // restored from the checkpoint
+		}
+		select {
+		case <-opts.Interrupt:
+			return ErrInterrupted
+		default:
+		}
+		runner, err := New(shards[i])
+		if err != nil {
+			return err
+		}
+		rep, err := runner.Run()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		cp.Shards[i] = rep
+		if opts.CheckpointPath != "" {
+			return saveCheckpoint(opts.CheckpointPath, cp)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged, err := mergeReports(cfg, cp.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if opts.CheckpointPath != "" {
+		os.Remove(opts.CheckpointPath) // campaign complete; nothing to resume
+	}
+	return merged, nil
+}
+
+// loadCheckpoint restores completed shards from path into cp after
+// validating that the checkpoint belongs to this exact campaign. A
+// missing file is not an error: the run simply starts from scratch.
+func loadCheckpoint(path string, cp *checkpointFile) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("campaign: reading checkpoint: %w", err)
+	}
+	var old checkpointFile
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("campaign: parsing checkpoint %s: %w", path, err)
+	}
+	if old.Version != cp.Version {
+		return fmt.Errorf("campaign: checkpoint %s has version %d, want %d",
+			path, old.Version, cp.Version)
+	}
+	if old.Fingerprint != cp.Fingerprint {
+		return fmt.Errorf("campaign: checkpoint %s was recorded for a different configuration", path)
+	}
+	if old.TotalShards != cp.TotalShards ||
+		len(old.Shards) != cp.TotalShards || len(old.Seeds) != cp.TotalShards {
+		return fmt.Errorf("campaign: checkpoint %s shard layout does not match", path)
+	}
+	for i, s := range old.Seeds {
+		if s != cp.Seeds[i] {
+			return fmt.Errorf("campaign: checkpoint %s shard %d seed mismatch", path, i)
+		}
+	}
+	copy(cp.Shards, old.Shards)
+	return nil
+}
+
+// saveCheckpoint writes cp to path atomically: the JSON goes to a temp
+// file first and replaces the checkpoint via rename, so a crash during
+// the write can never leave a torn checkpoint behind.
+func saveCheckpoint(path string, cp *checkpointFile) error {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("campaign: encoding checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("campaign: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("campaign: committing checkpoint: %w", err)
+	}
+	return nil
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"sqlancerpp/internal/core/prioritize"
-	"sqlancerpp/internal/par"
 )
 
 // splitmix64 advances a seed sequence and returns the new state plus the
@@ -51,19 +50,14 @@ func ShardCount(cfg Config) int {
 // FeedbackState still pools every shard's evidence for reuse in later
 // runs (paper Figure 5).
 func RunSharded(cfg Config, workers int) (*Report, error) {
-	if cfg.Dialect == nil {
-		return nil, fmt.Errorf("campaign: no dialect configured")
-	}
-	cfg = cfg.withDefaults()
+	return RunShardedOpts(cfg, ShardedOptions{Workers: workers})
+}
 
+// shardConfigs partitions a resolved configuration into per-shard
+// configurations: one shard per database epoch, each with a seed derived
+// from Config.Seed via splitmix64.
+func shardConfigs(cfg Config) []Config {
 	nShards := ShardCount(cfg)
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > nShards {
-		workers = nShards
-	}
-
 	shards := make([]Config, nShards)
 	seq := uint64(cfg.Seed)
 	for i := range shards {
@@ -75,19 +69,7 @@ func RunSharded(cfg Config, workers int) (*Report, error) {
 		seq, sc.Seed = splitmix64(seq)
 		shards[i] = sc
 	}
-
-	reports := make([]*Report, nShards)
-	if err := par.ForEach(nShards, workers, func(i int) error {
-		runner, err := New(shards[i])
-		if err != nil {
-			return err
-		}
-		reports[i], err = runner.Run()
-		return err
-	}); err != nil {
-		return nil, err
-	}
-	return mergeReports(cfg, reports)
+	return shards
 }
 
 // mergeReports folds per-shard reports, in shard-index order, into one.
@@ -125,6 +107,8 @@ func mergeReports(cfg Config, reps []*Report) (*Report, error) {
 		merged.Detected += rep.Detected
 		merged.FalsePositives += rep.FalsePositives
 		merged.PlanSpecsDropped += rep.PlanSpecsDropped
+		merged.HarnessCrashes += rep.HarnessCrashes
+		merged.BudgetExceeded += rep.BudgetExceeded
 		for c, n := range rep.DetectedByClass {
 			merged.DetectedByClass[c] += n
 		}

@@ -26,6 +26,12 @@ const (
 	ErrCrash
 	// ErrInternal: an injected fault raised an internal error.
 	ErrInternal
+	// ErrBudgetExceeded: the statement touched more rows than the
+	// instance's deterministic execution budget allows (WithRowBudget).
+	// Unlike a wall-clock timeout this is a pure function of the
+	// statement and the database state, so budget-exceeded statements
+	// fail identically on every replay and at every worker count.
+	ErrBudgetExceeded
 )
 
 // String returns a short class label.
@@ -45,6 +51,8 @@ func (c ErrClass) String() string {
 		return "crash"
 	case ErrInternal:
 		return "internal"
+	case ErrBudgetExceeded:
+		return "budget"
 	default:
 		return "?"
 	}
@@ -95,3 +103,16 @@ func IsInternal(err error) bool {
 	ee, ok := err.(*Error)
 	return ok && ee.Class == ErrInternal
 }
+
+// IsBudgetExceeded reports whether err is a rows-touched budget
+// exhaustion. The campaign skips such cases (they are neither valid nor
+// bugs) and tallies them in Report.BudgetExceeded.
+func IsBudgetExceeded(err error) bool {
+	ee, ok := err.(*Error)
+	return ok && ee.Class == ErrBudgetExceeded
+}
+
+// errBudget is the shared budget-exhaustion error: the budget check sits
+// on the per-row hot path, so exceeding it must not allocate.
+var errBudget = &Error{Class: ErrBudgetExceeded,
+	Msg: "execution budget exceeded (rows-touched limit)"}

@@ -54,6 +54,14 @@ func (s *DB) execStmt(stmt sqlast.Stmt) (*Result, error) {
 	case *sqlast.Reindex:
 		s.cov.Hit("exec.reindex")
 		if st.Name == "" {
+			// The composite-rebuild panic fault fires before any rebuild
+			// starts, leaving every index exactly as the statement found
+			// it (consistent, possibly still stale — REINDEX simply never
+			// happened).
+			if f := s.faultSet().PanicRebuild(); f != nil && s.storeHasCompositeIndex() {
+				s.trigger(f)
+				panic("engine: composite index rebuild overran the key arena")
+			}
 			for _, name := range s.store.tableNames() {
 				s.rebuildIndexes(s.store.table(name))
 			}
@@ -62,6 +70,10 @@ func (s *DB) execStmt(stmt sqlast.Stmt) (*Result, error) {
 		ix := s.store.index(st.Name)
 		if ix == nil {
 			return nil, errf(ErrSemantic, "no such index %q", st.Name)
+		}
+		if f := s.faultSet().PanicRebuild(); f != nil && len(ix.Columns) >= 2 {
+			s.trigger(f)
+			panic("engine: composite index rebuild overran the key arena")
 		}
 		// buildIndex re-derives every entry from the table's visible rows
 		// and resets staleness: REINDEX is the repair for the stale-index
@@ -129,6 +141,13 @@ func (s *DB) execCreateIndex(st *sqlast.CreateIndex) error {
 	t := s.store.table(st.Table)
 	if t == nil {
 		return errf(ErrSemantic, "no such table %q", st.Table)
+	}
+	// The composite-rebuild panic fault fires before the index attaches:
+	// a recovered instance must hold either the whole index or none of
+	// it, never an attached-but-empty shell that probes would trust.
+	if f := s.faultSet().PanicRebuild(); f != nil && len(st.Columns) >= 2 {
+		s.trigger(f)
+		panic("engine: composite index rebuild overran the key arena")
 	}
 	ix := &Index{
 		Name:    st.Name,
@@ -370,7 +389,9 @@ func (s *DB) execUpdate(st *sqlast.Update) error {
 		env.rels[0].vals = row
 		if st.Where != nil {
 			pass, err := s.evalFilterConjs(conjs, ctx)
-			s.cost++
+			if s.chargeRow() {
+				return errBudget
+			}
 			if err != nil {
 				return err
 			}
@@ -448,7 +469,9 @@ func (s *DB) execDelete(st *sqlast.Delete) error {
 		}
 		env.rels[0].vals = row
 		pass, err := s.evalFilterConjs(conjs, ctx)
-		s.cost++
+		if s.chargeRow() {
+			return errBudget
+		}
 		if err != nil {
 			return err
 		}
@@ -520,6 +543,19 @@ func (s *DB) execAlter(st *sqlast.AlterTable) error {
 	}
 	s.rebuildIndexes(t)
 	return nil
+}
+
+// storeHasCompositeIndex reports whether any table carries a
+// multi-column index (the bare-REINDEX panic-fault precondition).
+func (s *DB) storeHasCompositeIndex() bool {
+	for _, name := range s.store.tableNames() {
+		for _, ix := range s.store.table(name).indexes {
+			if len(ix.Columns) >= 2 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // rebuildIndexes rebuilds every index on a table after a schema change:

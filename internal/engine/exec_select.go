@@ -197,7 +197,9 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 			if pass {
 				kept = append(kept, row)
 			}
-			s.cost++
+			if s.chargeRow() {
+				return nil, errBudget
+			}
 		}
 		rows = kept
 	}
@@ -340,7 +342,9 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 				if ok {
 					out = append(out, arena.row(lrow, rrow))
 				}
-				s.cost++
+				if s.chargeRow() {
+					return nil, errBudget
+				}
 			}
 		}
 	case sqlast.JoinLeft, sqlast.JoinFull:
@@ -357,7 +361,9 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 					matchedRight[ri] = true
 					out = append(out, arena.row(lrow, rrow))
 				}
-				s.cost++
+				if s.chargeRow() {
+					return nil, errBudget
+				}
 			}
 			if !any {
 				if degraded {
@@ -391,7 +397,9 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 					any = true
 					out = append(out, arena.row(lrow, rrow))
 				}
-				s.cost++
+				if s.chargeRow() {
+					return nil, errBudget
+				}
 			}
 			if !any {
 				if degraded {
@@ -423,6 +431,13 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 func (s *DB) joinProbeStep(probe *joinProbe, left []jrow, jf string,
 	env *rowEnv, ctx *evalCtx, onConjs []sqlast.Expr, arena *jrowArena) ([]jrow, *Error) {
 	s.cov.Hit("exec.join.probe")
+	// The probe-step panic fault kills the process mid-SELECT — a
+	// read-only path, so a recovered instance is consistent. Triggered
+	// first: the recovered ClassHarness report needs the ground truth.
+	if f := s.faultSet().PanicProbe(); f != nil {
+		s.trigger(f)
+		panic("engine: join probe dereferenced a detached index entry")
+	}
 	residual := s.faultSet().JoinResidual()
 	if residual != nil && len(onConjs) <= len(probe.conjIdx) {
 		residual = nil // the probe key is the entire ON: no defect
@@ -448,7 +463,9 @@ func (s *DB) joinProbeStep(probe *joinProbe, left []jrow, jf string,
 					s.trigger(residual)
 				}
 				out = append(out, arena.row(lrow, rrow))
-				s.cost++
+				if s.chargeRow() {
+					return nil, errBudget
+				}
 				continue
 			}
 			ok, err := s.evalFilterConjs(onConjs, ctx)
@@ -459,7 +476,9 @@ func (s *DB) joinProbeStep(probe *joinProbe, left []jrow, jf string,
 			if ok {
 				out = append(out, arena.row(lrow, rrow))
 			}
-			s.cost++
+			if s.chargeRow() {
+				return nil, errBudget
+			}
 		}
 	}
 	return out, nil

@@ -55,6 +55,14 @@ type DB struct {
 	// cost accumulates executor work units for the last statement
 	// (the campaign's performance-bug watchdog reads it).
 	cost int64
+	// rows counts the rows the current statement's exec loops touched;
+	// budget is the per-statement ceiling (maxBudget = unlimited). rows
+	// is separate from cost so the PerfOnFeature cliff — a simulated
+	// *symptom*, not real work — cannot consume the budget, and so the
+	// ground-truth precision helpers' save/restore of cost never skews
+	// budget accounting.
+	rows   int64
+	budget int64
 	// scratch holds the access-path planner's reusable buffers (plan.go):
 	// sargable-probe lists and the composite-key arena, reset per planned
 	// scan so planning itself allocates nothing on the hot path.
@@ -73,6 +81,21 @@ func WithCoverage(rec *coverage.Recorder) Option {
 // and the engine's own differential validation).
 func WithoutFaults() Option {
 	return func(s *DB) { s.faultsEnabled = false }
+}
+
+// WithRowBudget bounds every statement to touching at most n rows in
+// the engine's exec loops (scan filtering, join pairing and probing,
+// DML collection); exceeding it fails the statement with
+// ErrBudgetExceeded. n <= 0 leaves the instance unbounded. The budget is
+// deterministic — a pure function of the statement and the stored data —
+// which is what lets budget-bounded campaigns keep the byte-identical
+// report contract at any worker count.
+func WithRowBudget(n int64) Option {
+	return func(s *DB) {
+		if n > 0 {
+			s.budget = n
+		}
+	}
 }
 
 // WithPlanSpec opens the instance with a plan-forcing specification
@@ -94,12 +117,18 @@ func WithoutIndexPaths() Option {
 }
 
 // Open creates an empty database for the dialect.
+// maxBudget disables budget enforcement: the per-row check compares
+// against it unconditionally, so "no budget" costs one never-taken
+// branch instead of a second flag test.
+const maxBudget = int64(1) << 62
+
 func Open(d *dialect.Dialect, opts ...Option) *DB {
 	s := &DB{
 		dialect:       d,
 		store:         newDatabase(),
 		faultsEnabled: true,
 		triggered:     map[string]bool{},
+		budget:        maxBudget,
 	}
 	for _, o := range opts {
 		o(s)
@@ -138,6 +167,16 @@ func (s *DB) TriggeredFaults() []string {
 
 // LastCost returns the executor work units of the last statement.
 func (s *DB) LastCost() int64 { return s.cost }
+
+// chargeRow charges one row of executor work against the statement's
+// cost and its rows-touched budget, reporting whether the budget is now
+// exhausted. It is the only place budgeted loops account work, so cost
+// and budget can never drift apart.
+func (s *DB) chargeRow() bool {
+	s.cost++
+	s.rows++
+	return s.rows > s.budget
+}
 
 // SetPlanSpec installs a per-query plan-forcing specification
 // (planspec.go): it stays in effect for every subsequent statement until
@@ -187,6 +226,7 @@ func (s *DB) Query(sql string) (*Result, error) {
 func (s *DB) run(sql string) (*Result, error) {
 	s.triggered = map[string]bool{}
 	s.cost = 0
+	s.rows = 0
 	if s.crashed {
 		return nil, errf(ErrCrash, "server is not running (restart required)")
 	}

@@ -182,6 +182,18 @@ var catalog = map[string][]spec{
 		{Crash, CrashOnFeature, ">>", "right shift crashes the stream executor"},
 	},
 	"postgresql": nil, // clean reference system (used for Tables 3–4)
+
+	// panicdb is a synthetic containment-validation profile, not one of
+	// the paper's Table 2 systems (it is deliberately absent from
+	// dialect.PaperDBMSs, keeping the catalogue totals intact). Its
+	// faults panic the harness *process* instead of returning errors:
+	// seeded campaigns over it are the ground truth that proves the
+	// campaign's recovery boundaries contain, attribute, and reduce
+	// panics with zero false positives.
+	"panicdb": {
+		{Crash, PanicOnCompositeRebuild, "", "rebuilding a multi-column index overruns the key arena and panics the process (Go panic, not a simulated crash)"},
+		{Crash, PanicOnProbeStep, "", "the index-nested-loop probe step dereferences a detached ordered-store entry and panics the process"},
+	},
 }
 
 // ForDialect returns the injected faults of a dialect (nil for a clean

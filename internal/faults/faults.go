@@ -157,6 +157,19 @@ const (
 	// performance cliff (cost multiplied; detected by the campaign's cost
 	// watchdog).
 	PerfOnFeature
+	// PanicOnCompositeRebuild: building or rebuilding a multi-column
+	// index through CREATE INDEX or REINDEX panics the *process* — a Go
+	// runtime panic, not a simulated ErrCrash — modeling the
+	// memory-safety class of bug that kills the harness itself and that
+	// only the campaign's recovery boundaries can survive. The engine
+	// triggers the fault (ground truth) immediately before panicking, at
+	// a point where no catalog state has mutated, so a Restart()ed
+	// instance stays consistent.
+	PanicOnCompositeRebuild
+	// PanicOnProbeStep: the index-nested-loop join probe step panics the
+	// process (read-only SELECT path, so recovered state is consistent).
+	// Triggered before the panic, like PanicOnCompositeRebuild.
+	PanicOnProbeStep
 )
 
 // Fault is one injected defect.
@@ -199,6 +212,8 @@ type Set struct {
 	crashDeep    *Fault
 	errFeature   map[string]*Fault
 	perfFeature  map[string]*Fault
+	panicRebuild *Fault
+	panicProbe   *Fault
 }
 
 // NewSet indexes a fault list.
@@ -270,6 +285,10 @@ func NewSet(list []Fault) *Set {
 			s.errFeature[f.Param] = f
 		case PerfOnFeature:
 			s.perfFeature[f.Param] = f
+		case PanicOnCompositeRebuild:
+			s.panicRebuild = f
+		case PanicOnProbeStep:
+			s.panicProbe = f
 		}
 	}
 	return s
@@ -506,4 +525,20 @@ func (s *Set) PerfFeature(feature string) *Fault {
 		return nil
 	}
 	return s.perfFeature[feature]
+}
+
+// PanicRebuild returns the composite-index-rebuild panic fault, if any.
+func (s *Set) PanicRebuild() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.panicRebuild
+}
+
+// PanicProbe returns the join-probe-step panic fault, if any.
+func (s *Set) PanicProbe() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.panicProbe
 }

@@ -3,6 +3,8 @@
 package par
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -14,13 +16,18 @@ import (
 // fails, items that have not started yet are skipped; the lowest-index
 // recorded error is returned. workers <= 1 runs everything inline, in
 // order.
+//
+// A panic inside fn is contained: it is recovered (on worker goroutines
+// too, where it would otherwise kill the whole process with no cleanup)
+// and surfaces as that item's error, stack attached, under the same
+// lowest-index-error semantics.
 func ForEach(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := call(fn, i); err != nil {
 				return err
 			}
 		}
@@ -38,7 +45,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				if failed.Load() {
 					continue
 				}
-				if err := fn(i); err != nil {
+				if err := call(fn, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -56,4 +63,14 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// call invokes fn(i), converting a panic into the item's error.
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("par: panic in item %d: %v\n%s", i, p, debug.Stack())
+		}
+	}()
+	return fn(i)
 }

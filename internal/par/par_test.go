@@ -2,6 +2,7 @@ package par
 
 import (
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -50,5 +51,42 @@ func TestForEachStopsEarly(t *testing.T) {
 	}
 	if n := atomic.LoadInt32(&ran); n > 100 {
 		t.Fatalf("%d items ran after the first failure; early stop is broken", n)
+	}
+}
+
+func TestForEachRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(10, workers, func(i int) error {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was not surfaced as an error", workers)
+		}
+		if !strings.Contains(err.Error(), "panic in item 2") ||
+			!strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("workers=%d: err = %q, want item index and panic value", workers, err)
+		}
+		if !strings.Contains(err.Error(), "par.call") {
+			t.Fatalf("workers=%d: err lacks a stack trace: %q", workers, err)
+		}
+	}
+}
+
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(10, 4, func(i int) error {
+		switch i {
+		case 0:
+			panic("first")
+		case 9:
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panic in item 0") {
+		t.Fatalf("err = %v, want the item-0 panic under lowest-index semantics", err)
 	}
 }

@@ -1,0 +1,73 @@
+package sqlparse_test
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/core/gen"
+	"sqlancerpp/internal/sqlparse"
+)
+
+// FuzzParse asserts the parser's two robustness contracts on arbitrary
+// input: it never panics (the campaign's containment boundary should
+// only ever fire on injected panic faults, not on parser defects), and
+// the statement cache is transparent — a cached parse renders to exactly
+// the same SQL as a fresh parse, and invalid input fails through the
+// cache just as it fails without it.
+//
+// Without -fuzz the seed corpus runs as an ordinary test, so tier-1
+// keeps exercising these properties on every build.
+func FuzzParse(f *testing.F) {
+	// Handwritten seeds cover the syntactic edges the mutator should
+	// start from; generator output covers realistic campaign SQL.
+	for _, s := range []string{
+		"SELECT 1",
+		"CREATE TABLE t0 (c0 INTEGER, c1 TEXT, c2 BOOLEAN)",
+		"SELECT c0 FROM t0 JOIN t1 ON t0.c0 = t1.c0 WHERE (c1 AND NOT c0) OR c0 IS NULL",
+		"INSERT INTO t0 (c0) VALUES (1), (NULL)",
+		"SELECT * FROM t0 WHERE c0 IN (SELECT c1 FROM t1) ORDER BY c0 DESC LIMIT 3",
+		"CREATE INDEX i0 ON t0 (c0, c1)",
+		"UPDATE t0 SET c0 = c0 + 1 WHERE c1 LIKE '%x%'",
+		"SELECT COUNT(*) FROM t0 GROUP BY c1 HAVING COUNT(*) > 1",
+		"SELECT 1 UNION SELECT 2 EXCEPT SELECT 3",
+		"REINDEX",
+		"((((",
+		"SELECT 'unterminated",
+		"SELECT -- comment\n1",
+		"",
+		"\x00\xff",
+	} {
+		f.Add(s)
+	}
+	g := gen.New(gen.Config{Seed: 1, Policy: gen.AllowAll{}})
+	for i := 0; i < 32; i++ {
+		f.Add(g.GenSetup().SQL)
+	}
+	for i := 0; i < 32; i++ {
+		if st := g.GenQuery(); st != nil {
+			f.Add(st.SQL)
+		}
+	}
+
+	cache := sqlparse.NewCache(64)
+	f.Fuzz(func(t *testing.T, src string) {
+		fresh, err := sqlparse.Parse(src)
+		cached, cerr := cache.Parse(src)
+		if (err == nil) != (cerr == nil) {
+			t.Fatalf("fresh parse err = %v but cached parse err = %v", err, cerr)
+		}
+		if err != nil {
+			return
+		}
+		hit, herr := cache.Parse(src) // second lookup is a cache hit
+		if herr != nil {
+			t.Fatalf("cache hit failed: %v", herr)
+		}
+		freshSQL := fresh.SQL()
+		if got := cached.SQL(); got != freshSQL {
+			t.Fatalf("cached parse renders %q, fresh parse %q", got, freshSQL)
+		}
+		if got := hit.SQL(); got != freshSQL {
+			t.Fatalf("cache-hit parse renders %q, fresh parse %q", got, freshSQL)
+		}
+	})
+}

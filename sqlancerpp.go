@@ -75,12 +75,34 @@ type Options struct {
 	// every Workers value, including 1. 0 keeps the serial runner, whose
 	// validity feedback flows across database epochs. See DESIGN.md.
 	Workers int
+	// RowBudget caps the rows any single statement may touch before the
+	// engine aborts it deterministically; budget-exceeded cases are
+	// skipped identically at every worker count and tallied in
+	// Report.BudgetExceeded, never reported as bugs. 0 disables.
+	RowBudget int64
+	// Checkpoint, when set, persists campaign progress to this file after
+	// every completed shard (implies the sharded runner, with at least
+	// one worker) and removes it when the campaign completes.
+	Checkpoint string
+	// Resume continues an interrupted campaign from Checkpoint; the final
+	// report is byte-identical to an uninterrupted run. A missing
+	// checkpoint file starts fresh.
+	Resume bool
+	// Interrupt, when closed, stops a sharded campaign at the next shard
+	// boundary: Run returns ErrInterrupted after checkpointing every
+	// completed shard.
+	Interrupt <-chan struct{}
 }
+
+// ErrInterrupted is returned by Run when the Interrupt channel closes
+// before the campaign finishes. Progress up to the last completed shard
+// is in the checkpoint file.
+var ErrInterrupted = campaign.ErrInterrupted
 
 // Bug is one prioritized bug-inducing test case.
 type Bug struct {
 	ID      int
-	Class   string // "logic", "crash", "error", or "perf"
+	Class   string // "logic", "crash", "error", "perf", or "harness"
 	Oracle  string // "TLP" or "NoREC" (empty for non-oracle bugs)
 	Setup   []string
 	Queries []string
@@ -121,6 +143,12 @@ type Report struct {
 	// PlanSpecsDropped counts enumerated plans the MaxPlans cap kept the
 	// PlanDiff oracle from executing.
 	PlanSpecsDropped int
+	// HarnessCrashes counts Go panics recovered at the campaign's
+	// containment boundary and converted into "harness"-class bug cases.
+	HarnessCrashes int
+	// BudgetExceeded counts statements aborted by the deterministic
+	// Options.RowBudget execution budget.
+	BudgetExceeded int
 }
 
 // Run executes a testing campaign against a registered dialect.
@@ -145,6 +173,7 @@ func Run(o Options) (*Report, error) {
 		Threshold:        o.Threshold,
 		ReduceBugs:       o.Reduce,
 		MaxPlansPerQuery: o.MaxPlans,
+		RowBudget:        o.RowBudget,
 		FeedbackState:    o.FeedbackState,
 	}
 	switch {
@@ -156,8 +185,15 @@ func Run(o Options) (*Report, error) {
 		cfg.Mode = campaign.Adaptive
 	}
 	var rep *campaign.Report
-	if o.Workers > 0 {
-		rep, err = campaign.RunSharded(cfg, o.Workers)
+	if o.Workers > 0 || o.Checkpoint != "" || o.Resume {
+		// Checkpointing works at shard granularity, so it implies the
+		// sharded runner even when Workers was left zero.
+		rep, err = campaign.RunShardedOpts(cfg, campaign.ShardedOptions{
+			Workers:        o.Workers,
+			CheckpointPath: o.Checkpoint,
+			Resume:         o.Resume,
+			Interrupt:      o.Interrupt,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -184,6 +220,8 @@ func Run(o Options) (*Report, error) {
 		UnsupportedFeatures: rep.Unsupported,
 		FalsePositives:      rep.FalsePositives,
 		PlanSpecsDropped:    rep.PlanSpecsDropped,
+		HarnessCrashes:      rep.HarnessCrashes,
+		BudgetExceeded:      rep.BudgetExceeded,
 	}
 	for _, b := range rep.Bugs {
 		out.Bugs = append(out.Bugs, Bug{
