@@ -38,6 +38,8 @@ func main() {
 		"cap enumerated plans per PlanDiff query (0 = oracle default, negative = unlimited); dropped plans are reported, not silently truncated")
 	statePath := flag.String("state", "", "load/persist learned feature probabilities (JSON)")
 	workers := flag.Int("workers", 0, "run the campaign as deterministic parallel shards over N workers (0 = serial)")
+	batch := flag.Int("batch", 0,
+		"columnar batch width for the engine's scan filter (0 = engine default, negative = row-at-a-time)")
 	budget := flag.Int64("budget", 0,
 		"deterministic per-statement rows-touched budget (0 = unlimited); exceeded statements are skipped, counted, never reported as bugs")
 	checkpoint := flag.String("checkpoint", "",
@@ -76,6 +78,7 @@ func main() {
 		MaxPlans:   *maxPlans,
 		Workers:    *workers,
 		RowBudget:  *budget,
+		BatchSize:  *batch,
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
 	}

@@ -116,6 +116,12 @@ type Config struct {
 	// they are tallied in Report.BudgetExceeded and never reported as
 	// bugs. 0 disables the budget.
 	RowBudget int64
+	// BatchSize sets the engine's columnar batch width (the -batch flag):
+	// 0 selects engine.DefaultBatchSize, negative selects the
+	// row-at-a-time reference executor. Execution is observationally
+	// identical at every width, so campaign reports are byte-identical
+	// across batch sizes.
+	BatchSize int
 	// PerfCostLimit flags queries whose executor cost exceeds the limit
 	// as performance bugs (0 disables).
 	PerfCostLimit int64
@@ -285,6 +291,9 @@ func (cfg Config) withDefaults() Config {
 			cfg.Oracles = oracle.DefaultNames()
 		}
 	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = engine.DefaultBatchSize
+	}
 	if cfg.Threshold == 0 {
 		// The paper's p = 1% needs ~300 zero-success observations per
 		// feature — proportionate to its 100K-statement update windows.
@@ -401,6 +410,9 @@ func (r *Runner) replayOpts() []engine.Option {
 	var opts []engine.Option
 	if r.cfg.RowBudget > 0 {
 		opts = append(opts, engine.WithRowBudget(r.cfg.RowBudget))
+	}
+	if r.cfg.BatchSize != 0 {
+		opts = append(opts, engine.WithBatchSize(r.cfg.BatchSize))
 	}
 	return opts
 }

@@ -8,7 +8,9 @@ package oracle
 // engine.EnumeratePlans: the legacy planner-off plan, per-relation
 // force-scan and force-index variants (including every narrower
 // composite equality-prefix width — the composite-vs-leading axis),
-// per-join probe suppression, and the swapped join input order. Because
+// the covering-off plan where an index could serve the statement
+// index-only (the covering-projection axis), per-join probe
+// suppression, and the swapped join input order. Because
 // all executions share the statement text, the database state, and the
 // reference evaluation semantics, any divergence is a plan-dependent
 // defect; several members of the injected index-path fault family are

@@ -1,0 +1,411 @@
+package engine
+
+import (
+	"strings"
+
+	"sqlancerpp/internal/faults"
+	"sqlancerpp/internal/sqlast"
+)
+
+// This file implements batch-at-a-time filter execution: the scan/filter
+// path gathers candidate rows into column vectors and evaluates the
+// vectorizable WHERE conjuncts lane-by-lane into a selection bitmap,
+// falling back to the scalar fault-hooked evaluator (filter.go) for
+// everything else. The contract is strict observational equivalence with
+// row-at-a-time execution: per row, each conjunct charges the same cost,
+// hits the same coverage points, raises the same errors in the same
+// order, and triggers the same faults — at every batch size, which is
+// what keeps campaign reports byte-identical when -batch changes.
+//
+// The equivalence holds because the commit pass (commitFilterRow) stays
+// row-major and walks the conjuncts in their original order: vectorized
+// conjuncts only *account* their evaluation there (reading the verdict
+// precomputed by vectorPass), scalar conjuncts evaluate in place. The
+// vector pass itself is pure computation and charges nothing.
+
+// batchWord is the selection bitmap's lane-word width. The BatchTailDrop
+// defect is defined in terms of this fixed width — not the configured
+// batch size — so the defect's observable behavior does not depend on
+// the -batch harness knob.
+const batchWord = 64
+
+// maxVecConjs bounds how many conjuncts of one predicate vectorize (the
+// per-row flip mask is a uint32); conjuncts past the cap use the scalar
+// fallback, which is always semantically equivalent.
+const maxVecConjs = 32
+
+// Batch is one batch of filter candidates in columnar form: a gather
+// buffer for the current column vector, the selection bitmap the lane
+// kernels AND into, and the per-row record of lanes kept only by the
+// VecCompareNullTrue defect.
+type Batch struct {
+	sel  []uint64 // selection bitmap, bit i = row i still passing
+	flip []uint32 // per-row bitmask of vec-conjunct indices flipped NULL→TRUE
+	col  []Value  // column gather buffer, one vector at a time
+}
+
+func (b *Batch) reset(n int) {
+	w := (n + batchWord - 1) / batchWord
+	if cap(b.sel) < w {
+		b.sel = make([]uint64, w)
+	}
+	b.sel = b.sel[:w]
+	for i := range b.sel {
+		b.sel[i] = ^uint64(0)
+	}
+	if cap(b.flip) < n {
+		b.flip = make([]uint32, n)
+	}
+	b.flip = b.flip[:n]
+	for i := range b.flip {
+		b.flip[i] = 0
+	}
+	if cap(b.col) < n {
+		b.col = make([]Value, n)
+	}
+	b.col = b.col[:n]
+}
+
+func (b *Batch) clear(i int) { b.sel[i>>6] &^= 1 << uint(i&63) }
+func (b *Batch) test(i int) bool {
+	return b.sel[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// vecConj is one vectorizable WHERE conjunct: a bare column compared to
+// a literal with a plain comparison operator, resolved against the
+// statement's relation list at plan-build time.
+type vecConj struct {
+	rel, col  int
+	op        sqlast.BinaryOp
+	lit       Value
+	colOnLeft bool
+	// fault is the dialect's armed VecCompareNullTrue defect for op, if
+	// any: a NULL lane leaves the selection bit set instead of clearing
+	// it.
+	fault *faults.Fault
+}
+
+// laneTri evaluates one lane with the reference comparison semantics.
+func (vc *vecConj) laneTri(v Value) Tri {
+	if vc.colOnLeft {
+		return compareValues(vc.op, v, vc.lit)
+	}
+	return compareValues(vc.op, vc.lit, v)
+}
+
+// filterPlan is one predicate's split between vectorized lanes and
+// scalar fallback conjuncts, built once per statement.
+type filterPlan struct {
+	conjs []sqlast.Expr
+	// vec[i] is the index into vecs of conjunct i's lane kernel, or -1
+	// when the conjunct evaluates through the scalar fallback.
+	vec  []int8
+	vecs []vecConj
+	// clean mirrors the scalar path's cost/coverage split: with no fault
+	// set a comparison root evaluates through evalBinary (three cost
+	// units, binary + null-branch coverage); with faults armed it goes
+	// through evalFaultyComparison (two cost units, no coverage hits).
+	clean bool
+}
+
+// buildFilterPlan classifies the predicate's conjuncts against the
+// statement's relation list. fs gating: an operator carrying a scalar
+// comparison-root fault (CmpNullTrue / CmpNullEqTrue / CmpMixedText)
+// never vectorizes — those defects live in the scalar kernel, and the
+// lane kernel must not bypass them.
+func (s *DB) buildFilterPlan(conjs []sqlast.Expr, rels []matRel) filterPlan {
+	p := filterPlan{conjs: conjs, clean: s.faultSet() == nil}
+	if len(conjs) == 0 {
+		return p
+	}
+	fs := s.faultSet()
+	p.vec = make([]int8, len(conjs))
+	for ci, e := range conjs {
+		p.vec[ci] = -1
+		if len(p.vecs) >= maxVecConjs {
+			continue
+		}
+		if vc, ok := classifyVecConj(e, rels, fs); ok {
+			p.vec[ci] = int8(len(p.vecs))
+			p.vecs = append(p.vecs, vc)
+		}
+	}
+	return p
+}
+
+// vecCmpOp reports whether op is a plain comparison the lane kernel
+// implements (the null-safe forms keep their scalar special cases).
+func vecCmpOp(op sqlast.BinaryOp) bool {
+	switch op {
+	case sqlast.OpEq, sqlast.OpNeq, sqlast.OpNeq2,
+		sqlast.OpLt, sqlast.OpLe, sqlast.OpGt, sqlast.OpGe:
+		return true
+	}
+	return false
+}
+
+// classifyVecConj recognizes column-op-literal conjuncts whose column
+// resolves within the statement's own relations (an outer-scope or
+// unresolvable reference falls back to the scalar path, which knows how
+// to walk enclosing environments). Resolution replicates rowEnv.lookup's
+// first-match order over the current relation list.
+func classifyVecConj(e sqlast.Expr, rels []matRel, fs *faults.Set) (vecConj, bool) {
+	b, ok := e.(*sqlast.Binary)
+	if !ok || !vecCmpOp(b.Op) {
+		return vecConj{}, false
+	}
+	var ref *sqlast.ColumnRef
+	var lit *sqlast.Literal
+	colOnLeft := false
+	if cr, cok := b.L.(*sqlast.ColumnRef); cok {
+		if lv, lok := b.R.(*sqlast.Literal); lok {
+			ref, lit, colOnLeft = cr, lv, true
+		}
+	}
+	if ref == nil {
+		if cr, cok := b.R.(*sqlast.ColumnRef); cok {
+			if lv, lok := b.L.(*sqlast.Literal); lok {
+				ref, lit = cr, lv
+			}
+		}
+	}
+	if ref == nil {
+		return vecConj{}, false
+	}
+	ri, ci, found := resolveRef(ref, rels)
+	if !found {
+		return vecConj{}, false
+	}
+	if fs != nil {
+		op := b.Op.String()
+		if fs.CmpNullTrue(op) != nil || fs.CmpNullEq(op) != nil || fs.CmpMixed(op) != nil {
+			return vecConj{}, false
+		}
+	}
+	return vecConj{
+		rel: ri, col: ci, op: b.Op, lit: litValue(lit),
+		colOnLeft: colOnLeft, fault: fs.VecNull(b.Op.String()),
+	}, true
+}
+
+// resolveRef resolves a column reference against the relation list with
+// rowEnv.lookup's first-match order.
+func resolveRef(ref *sqlast.ColumnRef, rels []matRel) (rel, col int, ok bool) {
+	for ri := range rels {
+		if ref.Table != "" && !strings.EqualFold(rels[ri].alias, ref.Table) {
+			continue
+		}
+		for ci, c := range rels[ri].cols {
+			if strings.EqualFold(c, ref.Column) {
+				return ri, ci, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// vectorPass gathers each vectorized conjunct's column into the batch
+// and runs its lane kernel into the selection bitmap. Pure computation:
+// cost, coverage, and fault accounting happen in the commit pass, in
+// original conjunct order, so execution is observationally identical to
+// row-at-a-time at any batch size.
+func (p *filterPlan) vectorPass(b *Batch, rows []jrow, base, n int) {
+	b.reset(n)
+	for vi := range p.vecs {
+		vc := &p.vecs[vi]
+		col := b.col[:n]
+		for i := 0; i < n; i++ {
+			col[i] = rows[base+i][vc.rel][vc.col]
+		}
+		p.laneKernel(b, vc, uint32(1)<<uint(vi), col)
+	}
+}
+
+// vectorPassRows is vectorPass over a single-relation row list (the DML
+// collection path).
+func (p *filterPlan) vectorPassRows(b *Batch, rows [][]Value, base, n int) {
+	b.reset(n)
+	for vi := range p.vecs {
+		vc := &p.vecs[vi]
+		col := b.col[:n]
+		for i := 0; i < n; i++ {
+			col[i] = rows[base+i][vc.col]
+		}
+		p.laneKernel(b, vc, uint32(1)<<uint(vi), col)
+	}
+}
+
+// laneKernel applies one conjunct's comparison to a gathered column
+// vector. A cleared lane stays cleared (a row already rejected by an
+// earlier conjunct cannot be kept, so flips on it are irrelevant).
+func (p *filterPlan) laneKernel(b *Batch, vc *vecConj, flipBit uint32, col []Value) {
+	for i := range col {
+		if !b.test(i) {
+			continue
+		}
+		switch vc.laneTri(col[i]) {
+		case TriTrue:
+		case TriNull:
+			if vc.fault != nil {
+				b.flip[i] |= flipBit // the defect leaves the bit set
+				continue
+			}
+			b.clear(i)
+		default:
+			b.clear(i)
+		}
+	}
+}
+
+// commitFilterRow finishes the filter for the row currently bound in
+// ctx's environment: it walks the conjuncts in original order, charging
+// each vectorized conjunct exactly what its scalar evaluation would have
+// charged (reading the verdict precomputed in b at lane index bi) and
+// evaluating scalar conjuncts through the fault-hooked path. A nil b
+// evaluates lanes inline — the row-at-a-time reference executor. The
+// VecCompareNullTrue defect triggers only when a flipped lane survives
+// to a kept row: that row is emitted where the clean engine drops it, an
+// observable divergence.
+func (s *DB) commitFilterRow(p *filterPlan, b *Batch, bi int, ctx *evalCtx) (bool, *Error) {
+	s.cov.Hit("filter.eval")
+	vecBit := true
+	var flips uint32
+	scalarTrue := true
+	for ci := range p.conjs {
+		vi := -1
+		if p.vec != nil {
+			vi = int(p.vec[ci])
+		}
+		if vi < 0 {
+			t, err := s.evalFilterRoot(p.conjs[ci], ctx)
+			if err != nil {
+				return false, err
+			}
+			if t != TriTrue {
+				scalarTrue = false
+			}
+			continue
+		}
+		vc := &p.vecs[vi]
+		v := ctx.env.rels[vc.rel].vals[vc.col]
+		if p.clean {
+			// Mirrors evalTri → eval(Binary) on a col-op-lit comparison:
+			// three nodes of cost, the binary hit, the null branch.
+			s.cost += 3
+			k := &binCovKeys[vc.op]
+			s.cov.Hit(k.hit)
+			s.cov.HitBranch(k.null, v.IsNull() || vc.lit.IsNull())
+		} else {
+			// Mirrors evalFaultyComparison: operand evaluation only.
+			s.cost += 2
+		}
+		if b == nil {
+			switch vc.laneTri(v) {
+			case TriTrue:
+			case TriNull:
+				if vc.fault != nil {
+					flips |= uint32(1) << uint(vi)
+					continue
+				}
+				vecBit = false
+			default:
+				vecBit = false
+			}
+		}
+	}
+	if b != nil {
+		vecBit = b.test(bi)
+		flips = b.flip[bi]
+	}
+	keep := vecBit && scalarTrue
+	s.cov.HitBranch("filter.keep", keep)
+	if keep && flips != 0 {
+		for vi := range p.vecs {
+			if flips&(uint32(1)<<uint(vi)) != 0 {
+				s.trigger(p.vecs[vi].fault)
+			}
+		}
+	}
+	return keep, nil
+}
+
+// filterSelectRows runs a SELECT's WHERE over the candidate stream. The
+// batch executor (s.batch > 0) precomputes lane verdicts chunk by chunk;
+// the reference executor evaluates lanes inline per row. Both commit
+// through commitFilterRow, so results, cost, coverage, errors, budget
+// abort points, and fault triggers are identical.
+func (s *DB) filterSelectRows(p *filterPlan, rows []jrow, env *rowEnv, ctx *evalCtx) ([]jrow, *Error) {
+	// BatchTailDrop defect: a candidate stream longer than one bitmap
+	// word whose length is not a word multiple has its final partial
+	// word zeroed before evaluation — the tail rows silently vanish,
+	// uncharged. Fixed word width: the defect must not vary with the
+	// -batch knob.
+	if f := s.faultSet().BatchTail(); f != nil {
+		if n := len(rows); n > batchWord && n%batchWord != 0 {
+			cut := n - n%batchWord
+			dropped := rows[cut:]
+			rows = rows[:cut]
+			if s.batchTailObservable(p.conjs, dropped, env, ctx) {
+				s.trigger(f)
+			}
+		}
+	}
+	kept := rows[:0:0]
+	if s.batch > 0 && len(p.vecs) > 0 {
+		var b Batch
+		for base := 0; base < len(rows); base += s.batch {
+			n := len(rows) - base
+			if n > s.batch {
+				n = s.batch
+			}
+			p.vectorPass(&b, rows, base, n)
+			for i := 0; i < n; i++ {
+				row := rows[base+i]
+				env.bindRow(row)
+				keep, err := s.commitFilterRow(p, &b, i, ctx)
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					kept = append(kept, row)
+				}
+				if s.chargeRow() {
+					return nil, errBudget
+				}
+			}
+		}
+		return kept, nil
+	}
+	for _, row := range rows {
+		env.bindRow(row)
+		keep, err := s.commitFilterRow(p, nil, 0, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			kept = append(kept, row)
+		}
+		if s.chargeRow() {
+			return nil, errBudget
+		}
+	}
+	return kept, nil
+}
+
+// batchTailObservable reports whether dropping the tail rows loses a row
+// the clean filter would have kept: some dropped row passes every
+// conjunct under clean semantics. An unevaluable conjunct cannot refute
+// the row (conjsPassCleanly), so triggering too eagerly is safe.
+// Ground-truth accounting only — its work is excluded from the
+// statement cost.
+func (s *DB) batchTailObservable(conjs []sqlast.Expr, dropped []jrow, env *rowEnv, ctx *evalCtx) bool {
+	saved := s.cost
+	defer func() { s.cost = saved }()
+	for _, row := range dropped {
+		env.bindRow(row)
+		if s.conjsPassCleanly(ctx, conjs, -1) {
+			return true
+		}
+	}
+	return false
+}

@@ -111,6 +111,19 @@ type Index struct {
 	stale bool
 }
 
+// covers reports whether the table column at position col is part of the
+// index key — i.e. whether an index-only (covering) read can serve it
+// without touching the heap row. Index keys are at most a handful of
+// columns, so the linear scan beats any map.
+func (ix *Index) covers(col int) bool {
+	for _, l := range ix.leads {
+		if l == col {
+			return true
+		}
+	}
+	return false
+}
+
 // keyCompare lexicographically compares an entry row's composite key
 // against the key values in want (len(want) <= len(ix.leads) — a prefix
 // comparison when shorter).

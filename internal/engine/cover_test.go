@@ -1,0 +1,256 @@
+package engine_test
+
+// Unit tests for covering-index projection (cover.go): eligibility, the
+// CoveringOff plan axis, its enumeration, the cost advantage of serving
+// results from the ordered store, and the CoveringIndexProjSwap defect.
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/coverage"
+	"sqlancerpp/internal/dialect"
+	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/faults"
+	"sqlancerpp/internal/sqlast"
+	"sqlancerpp/internal/sqlparse"
+)
+
+func mustParseSelect(t *testing.T, sql string) *sqlast.Select {
+	t.Helper()
+	stmt, err := sqlparse.Shared().Parse(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	sel, ok := stmt.(*sqlast.Select)
+	if !ok {
+		t.Fatalf("not a SELECT: %s", sql)
+	}
+	return sel
+}
+
+// coverDB builds an instance with a three-column table and a composite
+// index over the first two columns.
+func coverDB(t *testing.T, opts ...engine.Option) *engine.DB {
+	t.Helper()
+	db := engine.Open(dialect.MustGet("sqlite"), opts...)
+	mustExec := func(sql string) {
+		if err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE t (a INTEGER, b INTEGER, c INTEGER)")
+	mustExec("CREATE INDEX t_ab ON t (a, b)")
+	for i := 0; i < 12; i++ {
+		mustExec("INSERT INTO t VALUES (" + itoa(i%4) + ", " + itoa(i) + ", " + itoa(100+i) + ")")
+	}
+	return db
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestCoveringProjectionEquivalentAndCheaper: a fully covered query
+// returns the same rows under the covering and heap-projection plans,
+// and the covering plan charges strictly less executor cost (the served
+// projection evaluates nothing).
+func TestCoveringProjectionEquivalentAndCheaper(t *testing.T) {
+	db := coverDB(t, engine.WithoutFaults())
+	const q = "SELECT a, b FROM t WHERE a = 2 ORDER BY b"
+
+	covered, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverCost := db.LastCost()
+
+	db.SetPlanSpec(engine.PlanSpec{CoveringOff: true})
+	heap, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapCost := db.LastCost()
+
+	if got, want := covered.RenderRows(), heap.RenderRows(); len(got) != len(want) {
+		t.Fatalf("row count diverged: covering %v vs heap %v", got, want)
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("row %d diverged: covering %q vs heap %q", i, got[i], want[i])
+			}
+		}
+	}
+	if len(covered.Rows) == 0 {
+		t.Fatal("query returned no rows; the cost comparison is vacuous")
+	}
+	if coverCost >= heapCost {
+		t.Fatalf("covering cost %d not below heap-projection cost %d", coverCost, heapCost)
+	}
+}
+
+// TestCoveringIneligibleQueries: statements that reference an uncovered
+// column, aggregate, or subquery charge the same cost with and without
+// CoveringOff — covering never applied.
+func TestCoveringIneligibleQueries(t *testing.T) {
+	for _, q := range []string{
+		"SELECT a, c FROM t WHERE a = 2",                              // uncovered projection column
+		"SELECT a, b FROM t WHERE a = 2 AND c > 0",                    // uncovered WHERE column
+		"SELECT MAX(b) FROM t WHERE a = 2",                            // aggregate
+		"SELECT a, b FROM t WHERE a = 2 AND EXISTS (SELECT b FROM t)", // subquery predicate
+		"SELECT a + 1 FROM t WHERE a = 2",                             // computed projection
+		"SELECT a, b FROM t WHERE a = 2 ORDER BY c",                   // uncovered sort key
+	} {
+		db := coverDB(t, engine.WithoutFaults())
+		auto, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		autoCost := db.LastCost()
+		db.SetPlanSpec(engine.PlanSpec{CoveringOff: true})
+		off, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if db.LastCost() != autoCost {
+			t.Errorf("%s: cost changed with CoveringOff (%d vs %d) — covering applied to an ineligible query",
+				q, autoCost, db.LastCost())
+		}
+		if len(auto.RenderRows()) != len(off.RenderRows()) {
+			t.Errorf("%s: row count diverged", q)
+		}
+	}
+}
+
+// TestCoveringStarProjection: SELECT * covers only when every table
+// column is in the index key (a star projection copies row values
+// without evaluation in both serving paths, so the covering hit point —
+// not cost — is the observable).
+func TestCoveringStarProjection(t *testing.T) {
+	servesCovering := func(ddl []string, q string) bool {
+		rec := coverage.NewRecorder()
+		db := engine.Open(dialect.MustGet("sqlite"),
+			engine.WithoutFaults(), engine.WithCoverage(rec))
+		for _, sql := range ddl {
+			if err := db.Exec(sql); err != nil {
+				t.Fatalf("%s: %v", sql, err)
+			}
+		}
+		if _, err := db.Query(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for _, p := range rec.HitPoints() {
+			if p == "exec.proj.covering" {
+				return true
+			}
+		}
+		return false
+	}
+	allCovered := []string{
+		"CREATE TABLE s (x INTEGER, y INTEGER)",
+		"CREATE INDEX s_xy ON s (x, y)",
+		"INSERT INTO s VALUES (1, 10), (1, 11), (2, 20), (2, 21), (3, 30)",
+	}
+	if !servesCovering(allCovered, "SELECT * FROM s WHERE x = 1") {
+		t.Error("star over a fully indexed table should serve covering")
+	}
+	partlyCovered := []string{
+		"CREATE TABLE s (x INTEGER, y INTEGER, z INTEGER)",
+		"CREATE INDEX s_xy ON s (x, y)",
+		"INSERT INTO s VALUES (1, 10, 0), (1, 11, 0), (2, 20, 0), (2, 21, 0), (3, 30, 0)",
+	}
+	if servesCovering(partlyCovered, "SELECT * FROM s WHERE x = 1") {
+		t.Error("star over a partly indexed table must not serve covering")
+	}
+}
+
+// TestEnumeratePlansNocoverAxis: the plan space includes the nocover
+// variant exactly when some probe-matched index could serve the
+// statement index-only.
+func TestEnumeratePlansNocoverAxis(t *testing.T) {
+	db := coverDB(t, engine.WithoutFaults())
+	hasNocover := func(sql string) bool {
+		sel := mustParseSelect(t, sql)
+		for _, spec := range engine.EnumeratePlans(db, sel) {
+			if spec.CoveringOff {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasNocover("SELECT a, b FROM t WHERE a = 2") {
+		t.Error("covered query: nocover plan missing from enumeration")
+	}
+	if hasNocover("SELECT a, c FROM t WHERE a = 2") {
+		t.Error("uncovered query: nocover plan should not be enumerated")
+	}
+}
+
+// TestPlanSpecNocoverRoundTrip: the nocover token serializes and parses.
+func TestPlanSpecNocoverRoundTrip(t *testing.T) {
+	spec := engine.PlanSpec{CoveringOff: true}
+	if got := spec.String(); got != "nocover" {
+		t.Fatalf("String() = %q, want %q", got, "nocover")
+	}
+	parsed, err := engine.ParsePlanSpec("nocover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.CoveringOff {
+		t.Fatal("ParsePlanSpec dropped CoveringOff")
+	}
+}
+
+// TestCoveringSwapFault: with CoveringIndexProjSwap armed, the covering
+// plan serves the first two key columns transposed and records the
+// trigger; the nocover plan of the same query is untouched — exactly the
+// divergence the PlanDiff oracle diffs.
+func TestCoveringSwapFault(t *testing.T) {
+	d := dialect.MustGet("sqlite").Clone()
+	d.Name = "cover-swap-test"
+	d.Faults = faults.NewSet([]faults.Fault{
+		{ID: "cover-swap-test-f", Dialect: d.Name, Class: faults.Logic,
+			Kind: faults.CoveringIndexProjSwap},
+	})
+	db := engine.Open(d)
+	for _, sql := range []string{
+		"CREATE TABLE t (a INTEGER, b INTEGER, c INTEGER)",
+		"CREATE INDEX t_ab ON t (a, b)",
+		"INSERT INTO t VALUES (1, 10, 100), (1, 11, 101), (2, 20, 200)",
+	} {
+		if err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	const q = "SELECT a, b FROM t WHERE a = 1"
+
+	swapped, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := swapped.RenderRows(); got[0] != "10|1" || got[1] != "11|1" {
+		t.Fatalf("swap not served: got %v", got)
+	}
+	if f := db.TriggeredFaults(); len(f) != 1 || f[0] != "cover-swap-test-f" {
+		t.Fatalf("trigger ground truth = %v", f)
+	}
+
+	db.SetPlanSpec(engine.PlanSpec{CoveringOff: true})
+	heap, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := heap.RenderRows(); got[0] != "1|10" || got[1] != "1|11" {
+		t.Fatalf("nocover plan corrupted: got %v", got)
+	}
+	if f := db.TriggeredFaults(); len(f) != 0 {
+		t.Fatalf("nocover plan triggered %v", f)
+	}
+}

@@ -238,7 +238,7 @@ func (ctx *evalCtx) evalBinary(x *sqlast.Binary) (Value, *Error) {
 	if err != nil {
 		return Null(), err
 	}
-	ctx.s.cov.Hit("eval.binary." + op.String())
+	ctx.s.cov.Hit(binCovKeys[op].hit)
 	switch {
 	case op.IsLogical():
 		lt, rt := truthiness(l), truthiness(r)
@@ -251,7 +251,7 @@ func (ctx *evalCtx) evalBinary(x *sqlast.Binary) (Value, *Error) {
 			return lt.Xor(rt).Value(), nil
 		}
 	case op.IsComparison():
-		ctx.s.cov.HitBranch("cmp.null."+op.String(), l.IsNull() || r.IsNull())
+		ctx.s.cov.HitBranch(binCovKeys[op].null, l.IsNull() || r.IsNull())
 		return ctx.evalCompare(op, l, r).Value(), nil
 	case op == sqlast.OpConcat:
 		if l.IsNull() || r.IsNull() {
@@ -263,8 +263,28 @@ func (ctx *evalCtx) evalBinary(x *sqlast.Binary) (Value, *Error) {
 	}
 }
 
+// binCovKeys caches each operator's coverage-key spellings
+// ("eval.binary.<op>", "cmp.null.<op>"). The binary evaluator hits these
+// on every node; building them by concatenation allocated two strings
+// per evaluation — even with no recorder attached — and dominated the
+// SELECT hot path's allocation profile.
+var binCovKeys = func() (keys [sqlast.OpIsNotDistinct + 1]struct{ hit, null string }) {
+	for op := range keys {
+		o := sqlast.BinaryOp(op)
+		keys[op].hit = "eval.binary." + o.String()
+		keys[op].null = "cmp.null." + o.String()
+	}
+	return
+}()
+
 // evalCompare implements the reference comparison semantics.
 func (ctx *evalCtx) evalCompare(op sqlast.BinaryOp, l, r Value) Tri {
+	return compareValues(op, l, r)
+}
+
+// compareValues is the context-free comparison kernel: the scalar
+// evaluator and the batch filter's lane kernels share it.
+func compareValues(op sqlast.BinaryOp, l, r Value) Tri {
 	switch op {
 	case sqlast.OpNullSafeEq: // <=>
 		if l.IsNull() || r.IsNull() {

@@ -41,6 +41,42 @@ func newScratchEnv(rels []matRel, outer *rowEnv) *rowEnv {
 	return env
 }
 
+// scratchExec bundles the per-statement scratch environment, its
+// relation slots, and the evaluation context into one allocation; all
+// three live exactly as long as one statement execution, and the
+// execution hot paths build them in lockstep.
+type scratchExec struct {
+	env  rowEnv
+	ctx  evalCtx
+	rels [4]rowRel
+}
+
+// newScratchExec is newScratchEnv plus newEvalCtx fused into a single
+// allocation (the inline relation array covers every generated query
+// shape; wider joins fall back to a heap slice).
+func (s *DB) newScratchExec(rels []matRel, outer *rowEnv) (*rowEnv, *evalCtx) {
+	sc := &scratchExec{}
+	sc.env.outer = outer
+	if len(rels) <= len(sc.rels) {
+		sc.env.rels = sc.rels[:len(rels)]
+	} else {
+		sc.env.rels = make([]rowRel, len(rels))
+	}
+	for i := range rels {
+		sc.env.rels[i] = rowRel{alias: rels[i].alias, cols: rels[i].cols}
+	}
+	sc.ctx = evalCtx{
+		s:   s,
+		env: &sc.env,
+		dialect: dialectFlags{
+			DivZeroError:    s.dialect.DivZeroError,
+			CastTextError:   s.dialect.CastTextError,
+			MathDomainError: s.dialect.MathDomainError,
+		},
+	}
+	return &sc.env, &sc.ctx
+}
+
 // bindRow points a scratch environment at one combined row.
 func (env *rowEnv) bindRow(row jrow) {
 	for i := range row {
@@ -129,6 +165,9 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 	// skipConj is the WHERE-conjunct position consumed by a faulty index
 	// probe (CompositeProbePrefixSkip); -1 keeps every conjunct.
 	skipConj := -1
+	// cover, when non-nil, serves the projection from the chosen index's
+	// key columns instead of evaluating projection expressions (cover.go).
+	var cover *coverPlan
 	if len(sel.From) > 0 {
 		// PlanSpec join-input-order forcing: exchange the first two FROM
 		// relations where the swap is semantically safe; an unsafe swap is
@@ -143,10 +182,16 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 			return nil, err
 		}
 		if len(conjs) > 0 && first.table != nil && indexPlannable(from) && indexOrderSafe(sel) {
-			if idxRows, skip, ok := s.planIndexAccess(first.table, first.alias, conjs); ok {
+			if idxRows, ix, skip, ok := s.planIndexAccess(first.table, first.alias, conjs); ok {
 				first.rows = idxRows
 				skipConj = skip
 				s.cov.Hit("exec.scan.index")
+				// Covering projection applies only to a single-table probe:
+				// the candidate rows already come from the index's ordered
+				// store, so an index-only statement never reads the heap.
+				if len(from) == 1 {
+					cover = s.coveringPlan(sel, first.alias, first.table, ix)
+				}
 			}
 		}
 		rels = []matRel{first}
@@ -173,35 +218,27 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 
 	// One scratch environment and evaluation context serve every row of
 	// the WHERE and projection loops.
-	env := newScratchEnv(rels, outer)
-	ctx := s.newEvalCtx(env)
+	env, ctx := s.newScratchExec(rels, outer)
 
 	s.cov.HitBranch("where.present", sel.Where != nil)
 	// WHERE: the optimized filter path. When the planner chose an index
-	// probe, rows already holds only the candidate span, so the loop —
+	// probe, rows already holds only the candidate span, so the filter —
 	// and the cost it charges — covers just the rows actually touched.
 	// With the CompositeProbePrefixSkip defect active, the conjunct the
-	// probe claims to have consumed is excised from the loop.
+	// probe claims to have consumed is excised from the predicate. The
+	// filter itself runs batch-at-a-time over column vectors (batch.go),
+	// observationally identical to row-at-a-time at every batch size.
 	if sel.Where != nil {
 		filterConjs := conjs
 		if skipConj >= 0 {
 			filterConjs = append(conjs[:skipConj:skipConj], conjs[skipConj+1:]...)
 		}
-		kept := rows[:0:0]
-		for _, row := range rows {
-			env.bindRow(row)
-			pass, err := s.evalFilterConjs(filterConjs, ctx)
-			if err != nil {
-				return nil, err
-			}
-			if pass {
-				kept = append(kept, row)
-			}
-			if s.chargeRow() {
-				return nil, errBudget
-			}
+		fp := s.buildFilterPlan(filterConjs, rels)
+		var err *Error
+		rows, err = s.filterSelectRows(&fp, rows, env, ctx)
+		if err != nil {
+			return nil, err
 		}
-		rows = kept
 	}
 
 	colNames := s.outputColumns(sel, rels)
@@ -215,13 +252,30 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 		if err != nil {
 			return nil, err
 		}
+	} else if cover != nil {
+		outRows, sortKeys = s.coveringProject(cover, rows)
 	} else {
+		// Heap projection. Output rows and sort keys subslice two
+		// exactly-sized backing arrays: one allocation each per statement
+		// instead of one per row, with every subslice capacity-bounded so
+		// an append could never bleed into its neighbor.
 		width := projWidth(sel, rels)
-		outRows = make([][]Value, 0, len(rows))
-		sortKeys = make([][]Value, 0, len(rows))
-		for _, row := range rows {
+		n := len(rows)
+		klen := len(sel.OrderBy)
+		outRows = make([][]Value, 0, n)
+		sortKeys = make([][]Value, 0, n)
+		flat := make([]Value, n*width)
+		var kflat []Value
+		if klen > 0 {
+			kflat = make([]Value, n*klen)
+		}
+		for i, row := range rows {
 			env.bindRow(row)
-			out, keys, err := s.projectRow(sel, rels, row, ctx, width)
+			var kbuf []Value
+			if klen > 0 {
+				kbuf = kflat[i*klen : (i+1)*klen : (i+1)*klen]
+			}
+			out, keys, err := s.projectRow(sel, rels, row, ctx, flat[i*width:i*width:(i+1)*width], kbuf)
 			if err != nil {
 				return nil, err
 			}
@@ -301,8 +355,7 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 	jrels := make([]matRel, len(rels)+1)
 	copy(jrels, rels)
 	jrels[len(rels)] = right
-	env := newScratchEnv(jrels, outer)
-	ctx := s.newEvalCtx(env)
+	env, ctx := s.newScratchExec(jrels, outer)
 	var onConjs []sqlast.Expr
 	if on != nil {
 		onConjs = splitAnd(on, nil)
@@ -559,9 +612,10 @@ func projWidth(sel *sqlast.Select, rels []matRel) int {
 
 // projectRow evaluates the projections and ORDER BY keys for one row.
 // ctx is the statement's reused evaluation context, already bound to the
-// row; width is the precomputed projection width.
-func (s *DB) projectRow(sel *sqlast.Select, rels []matRel, row jrow, ctx *evalCtx, width int) ([]Value, []Value, *Error) {
-	out := make([]Value, 0, width)
+// row. out is an empty, capacity-bounded projection buffer; keys is a
+// full-length ORDER BY key buffer (nil when the statement has none) —
+// both are caller-provided slices of per-statement backing arrays.
+func (s *DB) projectRow(sel *sqlast.Select, rels []matRel, row jrow, ctx *evalCtx, out, keys []Value) ([]Value, []Value, *Error) {
 	for i := range sel.Items {
 		item := &sel.Items[i]
 		if item.Star {
@@ -576,9 +630,12 @@ func (s *DB) projectRow(sel *sqlast.Select, rels []matRel, row jrow, ctx *evalCt
 		}
 		out = append(out, v)
 	}
-	keys, err := s.orderKeys(sel, ctx)
-	if err != nil {
-		return nil, nil, err
+	for i := range sel.OrderBy {
+		v, err := ctx.eval(sel.OrderBy[i].Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys[i] = v
 	}
 	return out, keys, nil
 }

@@ -313,11 +313,11 @@ func TestFaultCatalogueShape(t *testing.T) {
 			}
 		}
 	}
-	if total != 126 {
-		t.Errorf("catalogue total = %d, want 126", total)
+	if total != 129 {
+		t.Errorf("catalogue total = %d, want 129", total)
 	}
-	if logic != 94 {
-		t.Errorf("logic faults = %d, want 94", logic)
+	if logic != 97 {
+		t.Errorf("logic faults = %d, want 97", logic)
 	}
 	// Shape: Umbra > MonetDB > Dolt ≈ CrateDB > the rest (paper Table 2).
 	if !(perDialect["umbra"] > perDialect["monetdb"] &&

@@ -13,13 +13,26 @@ import (
 // and every sub-expression below a filter root) is always clean — which
 // is precisely why the TLP and NoREC oracles can observe the defects.
 
-// splitAnd flattens a conjunction into its top-level conjuncts.
+// splitAnd flattens a conjunction into its top-level conjuncts. A nil
+// out is pre-sized to the exact conjunct count: the split runs on every
+// execution of every filtered statement, and the append-growth
+// reallocations it would otherwise pay are pure per-execution overhead.
 func splitAnd(e sqlast.Expr, out []sqlast.Expr) []sqlast.Expr {
+	if out == nil {
+		out = make([]sqlast.Expr, 0, countConjs(e))
+	}
 	if b, ok := e.(*sqlast.Binary); ok && b.Op == sqlast.OpAnd {
 		out = splitAnd(b.L, out)
 		return splitAnd(b.R, out)
 	}
 	return append(out, e)
+}
+
+func countConjs(e sqlast.Expr) int {
+	if b, ok := e.(*sqlast.Binary); ok && b.Op == sqlast.OpAnd {
+		return countConjs(b.L) + countConjs(b.R)
+	}
+	return 1
 }
 
 // evalFilterConjs evaluates a predicate as an optimized filter: TRUE

@@ -502,14 +502,14 @@ func matchComposite(ix *Index, probes []indexProbe, conjIdx []int, arena *[]Valu
 // the executor must not re-evaluate (-1 normally): the
 // CompositeProbePrefixSkip defect treats the trailing range conjunct as
 // consumed by the probe while returning the whole equality-prefix span.
-func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows [][]Value, skipConj int, ok bool) {
+func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows [][]Value, chosen *Index, skipConj int, ok bool) {
 	if s.planSpec.DisableIndexPaths || len(t.indexes) == 0 {
-		return nil, -1, false
+		return nil, nil, -1, false
 	}
 	rel := s.planSpec.relSpec(alias)
 	if rel.Force == ForceScan {
 		s.cov.Hit("plan.force.scan")
-		return nil, -1, false
+		return nil, nil, -1, false
 	}
 	fs := s.faultSet()
 
@@ -517,7 +517,7 @@ func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows 
 	// reusable scratch buffers.
 	probes, conjIdx := s.extractProbes(t, alias, conjs)
 	if len(probes) == 0 {
-		return nil, -1, false
+		return nil, nil, -1, false
 	}
 
 	// PartialIndexScan defect: an equality probe on the leading column of
@@ -540,7 +540,7 @@ func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows 
 				if s.indexDropObservable(t, &probe, rows, conjs) {
 					s.trigger(f)
 				}
-				return rows, -1, true
+				return rows, ix, -1, true
 			}
 		}
 	}
@@ -554,12 +554,12 @@ func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows 
 		ix := t.findIndex(rel.Index)
 		if ix == nil || ix.Where != nil {
 			s.cov.Hit("plan.force.fallback")
-			return nil, -1, false
+			return nil, nil, -1, false
 		}
 		probe, pok := matchComposite(ix, probes, conjIdx, &s.scratch.keys, rel.PrefixWidth)
 		if !pok {
 			s.cov.Hit("plan.force.fallback")
-			return nil, -1, false
+			return nil, nil, -1, false
 		}
 		best = probe
 		bestLo, bestHi = probe.span()
@@ -569,7 +569,7 @@ func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows 
 		// spec's prefix-width cap, if any).
 		best, bestLo, bestHi, ok = s.bestCompositeSpan(t, probes, conjIdx, false, rel.PrefixWidth)
 		if !ok || bestHi-bestLo >= len(t.Rows) {
-			return nil, -1, false
+			return nil, nil, -1, false
 		}
 	}
 
@@ -600,7 +600,7 @@ func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows 
 				s.trigger(f)
 			}
 		}
-		return rows, skipConj, true
+		return rows, ix, skipConj, true
 	}
 
 	// IndexRangeBoundary defect: an inclusive range probe excludes its
@@ -666,7 +666,7 @@ func (s *DB) planIndexAccess(t *Table, alias string, conjs []sqlast.Expr) (rows 
 			}
 		}
 	}
-	return rows, skipConj, true
+	return rows, ix, skipConj, true
 }
 
 // planDMLAccess chooses the candidate mutation set for an UPDATE/DELETE

@@ -16,8 +16,10 @@ import (
 // current catalog, in canonical order: the planner-off spec (the legacy
 // pair) first, then the first relation's force-scan and per-index
 // forcing variants (each matched index, plus every strictly narrower
-// equality-prefix width — the composite-vs-leading axis), then per-join
-// probe suppression, then the swapped join input order. The list is a
+// equality-prefix width — the composite-vs-leading axis), then the
+// covering-off plan when some matched index could serve the statement
+// index-only, then per-join probe suppression, then the swapped join
+// input order. The list is a
 // pure function of (statement, catalog), so equal seeds enumerate equal
 // plan spaces; callers that cap it (Config.MaxPlansPerQuery) truncate
 // the tail, keeping the earlier, coarser plans.
@@ -53,6 +55,7 @@ func EnumeratePlans(db *DB, sel *sqlast.Select) []PlanSpec {
 			}
 			var idxSpecs []PlanSpec
 			var arena []Value
+			coverable := false
 			for _, ix := range t.indexes {
 				if len(probes) == 0 {
 					break
@@ -70,10 +73,20 @@ func EnumeratePlans(db *DB, sel *sqlast.Select) []PlanSpec {
 					idxSpecs = append(idxSpecs, relPlan(alias, RelSpec{
 						Force: ForceIndex, Index: ix.Name, PrefixWidth: w}))
 				}
+				// The nocover axis applies when some probe-matched index
+				// could serve the statement index-only: the auto plan may
+				// serve the projection from the index key, and the nocover
+				// plan pins the heap projection against it.
+				if len(sel.From) == 1 && buildCoverPlan(sel, alias, t, ix) != nil {
+					coverable = true
+				}
 			}
 			if len(idxSpecs) > 0 {
 				specs = append(specs, relPlan(alias, RelSpec{Force: ForceScan}))
 				specs = append(specs, idxSpecs...)
+				if coverable {
+					specs = append(specs, PlanSpec{CoveringOff: true})
+				}
 			}
 		}
 	}

@@ -76,6 +76,13 @@ type PlanSpec struct {
 	// semantically safe (inner-like first join, no SELECT *, order-safe
 	// statement); otherwise it is ignored.
 	SwapInputs bool
+	// CoveringOff suppresses covering-index projection: even when every
+	// referenced column is in the chosen index's key, the executor
+	// materializes heap rows and evaluates the projection normally. The
+	// candidate rows, WHERE evaluation, and results are unchanged — only
+	// the serving path (and its cost accounting) differs, which is
+	// exactly the axis PlanDiff wants to diff.
+	CoveringOff bool
 	// Relations maps a relation alias to its access-path forcing.
 	Relations map[string]RelSpec
 	// Joins maps a join-step index to its forcing.
@@ -100,7 +107,7 @@ func (p *PlanSpec) joinProbeOff(step int) bool {
 
 // String renders the spec in its canonical serialized form: "auto" for
 // the zero spec, otherwise space-separated tokens — "noindex", "swap",
-// "rel:<alias>=scan", "rel:<alias>=index(<name>)[/w<k>]",
+// "nocover", "rel:<alias>=scan", "rel:<alias>=index(<name>)[/w<k>]",
 // "rel:<alias>=auto/w<k>", "join:<step>=probeoff" — with relations
 // sorted by alias and joins by step, so equal specs render identically.
 // ParsePlanSpec inverts it; bug reports carry the losing spec in this
@@ -112,6 +119,9 @@ func (p PlanSpec) String() string {
 	}
 	if p.SwapInputs {
 		toks = append(toks, "swap")
+	}
+	if p.CoveringOff {
+		toks = append(toks, "nocover")
 	}
 	aliases := make([]string, 0, len(p.Relations))
 	for a := range p.Relations {
@@ -163,6 +173,8 @@ func ParsePlanSpec(s string) (PlanSpec, error) {
 			p.DisableIndexPaths = true
 		case tok == "swap":
 			p.SwapInputs = true
+		case tok == "nocover":
+			p.CoveringOff = true
 		case strings.HasPrefix(tok, "rel:"):
 			body := tok[len("rel:"):]
 			eq := strings.IndexByte(body, '=')

@@ -63,6 +63,11 @@ type DB struct {
 	// budget accounting.
 	rows   int64
 	budget int64
+	// batch is the scan filter's columnar batch width (rows per selection
+	// bitmap chunk); <= 0 selects the row-at-a-time reference executor.
+	// Execution is observationally identical at every width — the knob
+	// exists for the differential tests and for cache-footprint tuning.
+	batch int
 	// scratch holds the access-path planner's reusable buffers (plan.go):
 	// sargable-probe lists and the composite-key arena, reset per planned
 	// scan so planning itself allocates nothing on the hot path.
@@ -98,6 +103,20 @@ func WithRowBudget(n int64) Option {
 	}
 }
 
+// WithBatchSize sets the scan filter's columnar batch width: how many
+// candidate rows each vectorized filter chunk covers (default
+// DefaultBatchSize). n <= 0 selects the row-at-a-time reference
+// executor — the pre-batch engine the differential tests pin against.
+// Results, cost, coverage, errors, and fault triggers are identical at
+// every width by construction (see batch.go), so campaign reports stay
+// byte-identical when the width changes.
+func WithBatchSize(n int) Option {
+	return func(s *DB) { s.batch = n }
+}
+
+// DefaultBatchSize is the scan filter's default columnar batch width.
+const DefaultBatchSize = 64
+
 // WithPlanSpec opens the instance with a plan-forcing specification
 // already applied — the open-time spelling of SetPlanSpec. The
 // differential tests and benchmark baselines use it with
@@ -129,6 +148,7 @@ func Open(d *dialect.Dialect, opts ...Option) *DB {
 		faultsEnabled: true,
 		triggered:     map[string]bool{},
 		budget:        maxBudget,
+		batch:         DefaultBatchSize,
 	}
 	for _, o := range opts {
 		o(s)

@@ -138,6 +138,7 @@ var catalog = map[string][]spec{
 		{Logic, StaleIndexAfterUpdate, "", "UPDATE skips secondary-index maintenance, leaving stale index entries behind"},
 		{Logic, CompositeSpanBoundary, "", "multi-column index range scan loses the edge key of the trailing strict range (fencepost in the span computation)"},
 		{Logic, PrefixSpanTruncate, "", "multi-column index scanned under a shorter key prefix than it was chosen for drops the final matching entry"},
+		{Logic, CoveringIndexProjSwap, "", "index-only projection reads the first two key columns of a multi-column index through a transposed column map"},
 	},
 	"firebird": {
 		{Logic, CmpNullEqTrue, "=", "NULL=NULL evaluates TRUE"},
@@ -154,6 +155,8 @@ var catalog = map[string][]spec{
 		{Logic, UnionAllDedup, "", "UNION ALL removes duplicates in the vectorized concatenation"},
 		{Crash, CrashOnFeature, "<<", "left shift crashes the vector executor"},
 		{Error, InternalErrorOnFeature, "HEX", "HEX raises an internal error"},
+		{Logic, VecCompareNullTrue, "=", "vectorized = kernel leaves the selection bit set for NULL lanes"},
+		{Logic, BatchTailDrop, "", "scan filter zeroes the selection bitmap's final partial 64-lane word, dropping the last batch's rows"},
 	},
 	"virtuoso": {
 		{Logic, CmpNullEqTrue, "<=", "NULL<=NULL evaluates TRUE"},

@@ -27,8 +27,11 @@ func TestSetIndexing(t *testing.T) {
 		{ID: "u", Kind: CompositeSpanBoundary},
 		{ID: "v", Kind: CompositeProbePrefixSkip},
 		{ID: "w", Kind: PrefixSpanTruncate},
+		{ID: "x", Kind: VecCompareNullTrue, Param: "="},
+		{ID: "y", Kind: CoveringIndexProjSwap},
+		{ID: "z", Kind: BatchTailDrop},
 	})
-	if s.Len() != 23 {
+	if s.Len() != 26 {
 		t.Fatalf("Len = %d", s.Len())
 	}
 	if f := s.CmpNullTrue("="); f == nil || f.ID != "a" {
@@ -68,6 +71,8 @@ func TestSetIndexing(t *testing.T) {
 		"CompPrefix":   s.CompositePrefixSkip(),
 		"PrefixTrunc":  s.PrefixTruncate(),
 		"CrashDeep":    s.CrashDeep(),
+		"CoveringSwap": s.CoveringSwap(),
+		"BatchTail":    s.BatchTail(),
 	} {
 		if f == nil {
 			t.Errorf("%s lookup failed", name)
@@ -87,6 +92,12 @@ func TestSetIndexing(t *testing.T) {
 	}
 	if s.RangeBoundary(">=") != nil {
 		t.Error("RangeBoundary must be keyed by operator")
+	}
+	if f := s.VecNull("="); f == nil || f.ID != "x" {
+		t.Error("VecNull lookup failed")
+	}
+	if s.VecNull("<") != nil {
+		t.Error("VecNull must be keyed by operator")
 	}
 }
 
