@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"sqlancerpp/internal/core/campaign"
+	"sqlancerpp/internal/core/feedback"
+	"sqlancerpp/internal/core/oracle"
 	"sqlancerpp/internal/dialect"
 	"sqlancerpp/internal/engine"
 	"sqlancerpp/internal/experiments"
@@ -465,6 +467,116 @@ func BenchmarkPlanDiffEnumeration(b *testing.B) {
 	b.ReportMetric(float64(nSpecs), "specs/query")
 	b.ReportMetric(float64(extraRows)/float64(nSpecs), "rows-touched/extra-plan")
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
+}
+
+// BenchmarkPlanPairNovelty measures what the plan-pair novelty scheduler
+// buys at the unchanged -plans cap: a workload of recurring query shapes
+// (the same skeleton regenerated with fresh literals, which is exactly
+// what the generator produces) runs through the PlanDiff oracle under
+// the "scheduled" arm (unseen (shape, spec) pairs rank first) and the
+// "canonical" ablation arm (same tracker bookkeeping, canonical
+// truncation — the pre-scheduler behavior). Both arms execute the same
+// number of plans per case; the scheduler redirects that identical row
+// budget toward pairs not yet diffed. The headline metric is
+// novel-pairs/krows — novel plan pairs diffed per thousand executor rows
+// touched — and the acceptance bar is the scheduled arm scoring at
+// least 3x the canonical arm.
+func BenchmarkPlanPairNovelty(b *testing.B) {
+	build := func() *engine.DB {
+		db := engine.Open(dialect.MustGet("sqlite"), engine.WithoutFaults())
+		mustSetup := func(sql string) {
+			if err := db.Exec(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mustSetup("CREATE TABLE p0 (a0 INTEGER, x0 TEXT)")
+		mustSetup("CREATE TABLE p1 (a1 INTEGER, b1 INTEGER)")
+		mustSetup("CREATE TABLE p2 (b2 INTEGER, c2 INTEGER)")
+		mustSetup("CREATE TABLE p3 (c3 INTEGER, x3 TEXT)")
+		for i := 0; i < 24; i++ {
+			mustSetup(fmt.Sprintf("INSERT INTO p0 VALUES (%d, 'p0r%d')", i%6, i))
+			mustSetup(fmt.Sprintf("INSERT INTO p1 VALUES (%d, %d)", i%6, i%8))
+			mustSetup(fmt.Sprintf("INSERT INTO p2 VALUES (%d, %d)", i%8, i%5))
+			mustSetup(fmt.Sprintf("INSERT INTO p3 VALUES (%d, 'p3r%d')", i%5, i))
+		}
+		mustSetup("CREATE INDEX ip1 ON p1 (a1)")
+		mustSetup("CREATE INDEX ip2 ON p2 (b2)")
+		mustSetup("CREATE INDEX ip3 ON p3 (c3)")
+		return db
+	}
+
+	// Three 4-relation chain shapes, each recurring four times with fresh
+	// literals — same fingerprint, different Case. A 4-chain enumerates
+	// well past the cap (the join-order axis alone yields 23 permutation
+	// specs), so the canonical arm re-diffs the same capped prefix on
+	// every recurrence while the scheduled arm walks the rest of the
+	// shape's enumeration.
+	const recurrences = 6
+	const chain = " FROM p0 INNER JOIN p1 ON p0.a0 = p1.a1 " +
+		"INNER JOIN p2 ON p1.b1 = p2.b2 INNER JOIN p3 ON p2.c2 = p3.c3 "
+	shapes := []func(lit int) string{
+		func(l int) string {
+			return fmt.Sprintf("SELECT p0.x0, p3.x3"+chain+"WHERE p0.a0 = %d", l%6)
+		},
+		func(l int) string {
+			return fmt.Sprintf("SELECT p1.b1, p2.c2"+chain+"WHERE p0.a0 > %d AND p3.c3 = %d",
+				l%4, l%5)
+		},
+		func(l int) string {
+			return fmt.Sprintf("SELECT p0.x0, p1.a1, p2.b2"+chain+"WHERE p2.c2 < %d", 2+l%3)
+		},
+	}
+	type preparedCase struct {
+		base *sqlast.Select
+		pred sqlast.Expr
+	}
+	var cases []preparedCase
+	for _, shape := range shapes {
+		for rec := 0; rec < recurrences; rec++ {
+			stmt, err := sqlparse.Shared().Parse(shape(rec))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Clone before splitting off the predicate: the shared parse
+			// cache hands out one AST per distinct text, and recurrence
+			// literals can collide (2+l%3 repeats for l=0 and l=3).
+			sel := sqlast.CloneSelect(stmt.(*sqlast.Select))
+			pred := sel.Where
+			sel.Where = nil
+			cases = append(cases, preparedCase{base: sel, pred: pred})
+		}
+	}
+
+	run := func(b *testing.B, canonical bool) {
+		db := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var novel, repeated int
+		var rows int64
+		for i := 0; i < b.N; i++ {
+			pairs := feedback.NewPairTracker()
+			memo := oracle.NewPlanEnumMemo()
+			novel, repeated, rows = 0, 0, -db.TotalCost()
+			for seq, pc := range cases {
+				res := oracle.PlanDiffCase(db, &oracle.Case{
+					Base: pc.base, Pred: pc.pred, Seq: seq,
+					Pairs: pairs, Enum: memo, CanonicalPlans: canonical,
+				})
+				if res.Outcome != oracle.OK {
+					b.Fatalf("case %d: %v %v %s", seq, res.Outcome, res.Err, res.Detail)
+				}
+				novel += res.PairsNovel
+				repeated += res.PairsRepeated
+			}
+			rows += db.TotalCost()
+		}
+		b.ReportMetric(float64(novel), "novel-pairs/op")
+		b.ReportMetric(float64(repeated), "repeated-pairs/op")
+		b.ReportMetric(float64(rows), "rows-touched/op")
+		b.ReportMetric(float64(novel)/float64(rows)*1000, "novel-pairs/krows")
+	}
+	b.Run("scheduled", func(b *testing.B) { run(b, false) })
+	b.Run("canonical", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkCompositeProbe measures the composite-key span against the

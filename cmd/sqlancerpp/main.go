@@ -35,7 +35,9 @@ func main() {
 	baselineMode := flag.Bool("baseline", false, "use the per-DBMS baseline generator (SQLancer)")
 	reduceBugs := flag.Bool("reduce", true, "reduce prioritized logic bugs")
 	maxPlans := flag.Int("plans", 0,
-		"cap enumerated plans per PlanDiff query (0 = oracle default, negative = unlimited); dropped plans are reported, not silently truncated")
+		"cap enumerated plans per PlanDiff query (0 = oracle default, negative = unlimited)")
+	pairSched := flag.Bool("pairsched", true,
+		"rank plan specs whose (query shape, plan) pair is not yet diffed ahead of the canonical order (false = truncate canonical order)")
 	statePath := flag.String("state", "", "load/persist learned feature probabilities (JSON)")
 	workers := flag.Int("workers", 0, "run the campaign as deterministic parallel shards over N workers (0 = serial)")
 	batch := flag.Int("batch", 0,
@@ -68,19 +70,20 @@ func main() {
 	}
 
 	opts := sqlancerpp.Options{
-		DBMS:       *dbms,
-		Oracle:     *oracleName,
-		TestCases:  *cases,
-		Seed:       *seed,
-		NoFeedback: *noFeedback,
-		Baseline:   *baselineMode,
-		Reduce:     *reduceBugs,
-		MaxPlans:   *maxPlans,
-		Workers:    *workers,
-		RowBudget:  *budget,
-		BatchSize:  *batch,
-		Checkpoint: *checkpoint,
-		Resume:     *resume,
+		DBMS:            *dbms,
+		Oracle:          *oracleName,
+		TestCases:       *cases,
+		Seed:            *seed,
+		NoFeedback:      *noFeedback,
+		Baseline:        *baselineMode,
+		Reduce:          *reduceBugs,
+		MaxPlans:        *maxPlans,
+		NoPlanPairSched: !*pairSched,
+		Workers:         *workers,
+		RowBudget:       *budget,
+		BatchSize:       *batch,
+		Checkpoint:      *checkpoint,
+		Resume:          *resume,
 	}
 	if *statePath != "" {
 		if data, err := os.ReadFile(*statePath); err == nil {
@@ -128,9 +131,9 @@ func main() {
 		fmt.Printf("statements over the -budget row limit: %d (skipped deterministically)\n",
 			report.BudgetExceeded)
 	}
-	if report.PlanSpecsDropped > 0 {
-		fmt.Printf("plan specs beyond the -plans cap: %d (raise -plans to diff every enumerated plan)\n",
-			report.PlanSpecsDropped)
+	if report.PlanPairsNovel+report.PlanPairsRepeated > 0 {
+		fmt.Printf("plan pairs diffed: %d novel, %d repeated\n",
+			report.PlanPairsNovel, report.PlanPairsRepeated)
 	}
 	if len(report.UnsupportedFeatures) > 0 {
 		fmt.Printf("learned unsupported features: %s\n",

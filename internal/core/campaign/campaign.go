@@ -103,9 +103,15 @@ type Config struct {
 
 	// MaxPlansPerQuery caps the plan specs the PlanDiff oracle diffs per
 	// query (the -plans flag): 0 selects oracle.DefaultMaxPlans, negative
-	// is unlimited. Specs beyond the cap are tallied in
-	// Report.PlanSpecsDropped rather than truncated silently.
+	// is unlimited. With the plan-pair scheduler on (the default), the
+	// cap buys unseen (shape, spec) pairs first; Report.PlanPairsNovel /
+	// PlanPairsRepeated show the split.
 	MaxPlansPerQuery int
+	// NoPlanPairSched disables the plan-pair novelty scheduler: PlanDiff
+	// falls back to truncating the canonical enumeration order, with no
+	// pair tracking or enumeration memo. The zero value keeps the
+	// scheduler on.
+	NoPlanPairSched bool
 
 	// ReduceBugs runs the reducer on prioritized logic and harness bugs.
 	ReduceBugs bool
@@ -134,6 +140,10 @@ type Config struct {
 	// FeedbackState, when set, seeds the tracker (paper Figure 5: the
 	// learned probabilities can be persisted and reloaded).
 	FeedbackState []byte
+	// PlanPairState, when set, seeds the plan-pair tracker with a prior
+	// run's Report.PlanPairState — the resume path that keeps a restarted
+	// campaign from re-diffing pairs it already covered.
+	PlanPairState []byte
 }
 
 // BugClass labels a bug-inducing case.
@@ -199,14 +209,16 @@ type Report struct {
 	// non-zero value indicates a defect in this engine, not a found bug.
 	FalsePositives int
 
-	// PlanSpecsDropped counts enumerated plan specs the MaxPlansPerQuery
-	// cap kept PlanDiff from executing across the whole campaign (the
-	// "log dropped, never truncate silently" accounting).
-	PlanSpecsDropped int
+	// PlanPairsNovel and PlanPairsRepeated count the plan specs PlanDiff
+	// executed whose (query shape, spec) pair its tracker had not / had
+	// already diffed. Summed across shards; the ratio is the scheduler's
+	// effectiveness ("observations per unit of budget").
+	PlanPairsNovel    int
+	PlanPairsRepeated int
 
 	// HarnessCrashes counts Go panics recovered at the containment
 	// boundary and converted into ClassHarness bug cases. Summed across
-	// shards like PlanSpecsDropped.
+	// shards like the plan-pair counters.
 	HarnessCrashes int
 	// BudgetExceeded counts statements aborted by the deterministic
 	// rows-touched budget (Config.RowBudget). Budget-exceeded cases are
@@ -228,6 +240,11 @@ type Report struct {
 
 	// FeedbackState is the tracker's final state for persistence.
 	FeedbackState []byte
+	// PlanPairState is the plan-pair tracker's final state (nil with the
+	// scheduler disabled). It rides shard checkpoints losslessly and
+	// merges by union, so resumed and sharded campaigns schedule — and
+	// count — identically to uninterrupted serial ones.
+	PlanPairState []byte
 	// Unsupported lists the features learned to be unsupported.
 	Unsupported []string
 	// GroundTruthFaults lists the distinct injected fault IDs among all
@@ -254,6 +271,13 @@ type Runner struct {
 	// sched is one cycle of the deterministic weighted oracle rotation;
 	// test case n dispatches to sched[(n-1) % len(sched)].
 	sched []oracle.Oracle
+
+	// pairs and planMemo are the plan-pair novelty scheduler's state:
+	// pairs persists across database epochs (shapes recur across states),
+	// planMemo is reset with each epoch (it caches against the catalog).
+	// Both nil with Config.NoPlanPairSched.
+	pairs    *feedback.PairTracker
+	planMemo *oracle.PlanEnumMemo
 
 	db    *engine.DB
 	setup []*gen.Statement // successfully executed setup statements
@@ -355,6 +379,18 @@ func New(cfg Config) (*Runner, error) {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
 
+	var pairs *feedback.PairTracker
+	var planMemo *oracle.PlanEnumMemo
+	if !cfg.NoPlanPairSched {
+		pairs = feedback.NewPairTracker()
+		if cfg.PlanPairState != nil {
+			if err := pairs.LoadState(cfg.PlanPairState); err != nil {
+				return nil, fmt.Errorf("campaign: loading plan-pair state: %w", err)
+			}
+		}
+		planMemo = oracle.NewPlanEnumMemo()
+	}
+
 	g := gen.New(gen.Config{
 		Seed:           cfg.Seed,
 		Policy:         policy,
@@ -367,11 +403,13 @@ func New(cfg Config) (*Runner, error) {
 	})
 
 	return &Runner{
-		sched:   oracle.Schedule(selected),
-		cfg:     cfg,
-		tracker: tracker,
-		g:       g,
-		pri:     prioritize.New(),
+		sched:    oracle.Schedule(selected),
+		cfg:      cfg,
+		tracker:  tracker,
+		g:        g,
+		pri:      prioritize.New(),
+		pairs:    pairs,
+		planMemo: planMemo,
 		report: &Report{
 			Dialect:            cfg.Dialect.Name,
 			Mode:               cfg.Mode.String(),
@@ -431,6 +469,11 @@ func (r *Runner) engineOpts() []engine.Option {
 // (Figure 2 step 1), keeping the learned feedback across states.
 func (r *Runner) newDatabase() {
 	r.db = engine.Open(r.cfg.Dialect, r.engineOpts()...)
+	if r.planMemo != nil {
+		// The memo caches enumerations against the old instance's catalog;
+		// the pair tracker survives (shapes recur across states).
+		r.planMemo.Reset()
+	}
 	r.g.ResetModel()
 	r.setup = nil
 	for i := 0; i < r.cfg.SetupStmts; i++ {
@@ -539,12 +582,13 @@ func (r *Runner) runOracleCase() {
 		return
 	}
 	c := &oracle.Case{Base: oc.Base, Pred: oc.Pred, Seq: r.report.TestCases,
-		MaxPlans: r.cfg.MaxPlansPerQuery}
+		MaxPlans: r.cfg.MaxPlansPerQuery, Pairs: pairsOrNil(r.pairs), Enum: r.planMemo}
 	res, crashed := r.checkContained(r.pickOracle(c), c, oc)
 	if crashed {
 		return
 	}
-	r.report.PlanSpecsDropped += res.PlansDropped
+	r.report.PlanPairsNovel += res.PairsNovel
+	r.report.PlanPairsRepeated += res.PairsRepeated
 
 	switch res.Outcome {
 	case oracle.OK:
@@ -881,6 +925,11 @@ func (r *Runner) finishReport() {
 	if err == nil {
 		r.report.FeedbackState = state
 	}
+	if r.pairs != nil {
+		if ps, err := r.pairs.SaveState(); err == nil {
+			r.report.PlanPairState = ps
+		}
+	}
 	r.report.Unsupported = r.tracker.Unsupported()
 
 	// UniquePrioritized counts distinct injected faults among the
@@ -895,6 +944,16 @@ func (r *Runner) finishReport() {
 	r.report.UniquePrioritized = len(pri)
 	r.report.UniqueGroundTruth = len(r.allFaults)
 	r.report.GroundTruthFaults = sortedKeys(r.allFaults)
+}
+
+// pairsOrNil converts the runner's tracker pointer to the oracle-facing
+// interface without the typed-nil pitfall: a nil *PairTracker must reach
+// the oracle as a nil interface, not a non-nil interface wrapping nil.
+func pairsOrNil(p *feedback.PairTracker) oracle.PlanPairs {
+	if p == nil {
+		return nil
+	}
+	return p
 }
 
 // sortedKeys returns the keys of a string set, sorted.

@@ -67,14 +67,17 @@ type checkpointFile struct {
 func fingerprint(cfg Config) string {
 	h := fnv.New64a()
 	h.Write(cfg.FeedbackState)
-	return fmt.Sprintf("d=%s m=%d tc=%d ss=%d cpd=%d se=%d seed=%d or=%v tco=%t rp=%g ef=%v th=%g cf=%g ui=%d df=%d sd=%d md=%d di=%d mp=%d rb=%t pcl=%d budget=%d kac=%t fs=%x",
+	ph := fnv.New64a()
+	ph.Write(cfg.PlanPairState)
+	return fmt.Sprintf("d=%s m=%d tc=%d ss=%d cpd=%d se=%d seed=%d or=%v tco=%t rp=%g ef=%v th=%g cf=%g ui=%d df=%d sd=%d md=%d di=%d mp=%d nps=%t rb=%t pcl=%d budget=%d kac=%t fs=%x pps=%x",
 		cfg.Dialect.Name, cfg.Mode, cfg.TestCases, cfg.SetupStmts,
 		cfg.CasesPerDB, cfg.SmokeEvery, cfg.Seed, cfg.Oracles,
 		cfg.TypeCorrect, cfg.RiskyProb, cfg.ExtraFunctions,
 		cfg.Threshold, cfg.Confidence, cfg.UpdateInterval,
 		cfg.DDLMaxFailures, cfg.StartDepth, cfg.MaxDepth,
-		cfg.DepthInterval, cfg.MaxPlansPerQuery, cfg.ReduceBugs,
-		cfg.PerfCostLimit, cfg.RowBudget, cfg.KeepAllCases, h.Sum64())
+		cfg.DepthInterval, cfg.MaxPlansPerQuery, cfg.NoPlanPairSched,
+		cfg.ReduceBugs, cfg.PerfCostLimit, cfg.RowBudget,
+		cfg.KeepAllCases, h.Sum64(), ph.Sum64())
 }
 
 // RunShardedOpts is RunSharded with checkpoint/resume and interruption

@@ -105,11 +105,14 @@ func TestPlanDiffEnumerationBeatsLegacyTogglePair(t *testing.T) {
 	}
 }
 
-// TestPlanCapSurfacesDroppedSpecs: a campaign running with a tight
-// -plans cap must account for every enumerated spec it skipped in
-// Report.PlanSpecsDropped (and shard merging must preserve the tally).
-func TestPlanCapSurfacesDroppedSpecs(t *testing.T) {
-	cfg := func(workers bool) Config {
+// TestPlanPairCountersAndShardMerge: a campaign with a tight -plans cap
+// must account for every executed plan spec as a novel or repeated
+// (shape, spec) pair, persist the pair tracker's state in the report,
+// and preserve both across shard merging. The serial runner keeps one
+// tracker across database epochs, so recurring query shapes must show
+// up as repeated pairs; disabling the scheduler zeroes the accounting.
+func TestPlanPairCountersAndShardMerge(t *testing.T) {
+	cfg := func(sched bool) Config {
 		return Config{
 			Dialect:          dialect.MustGet("sqlite"),
 			Mode:             Adaptive,
@@ -117,9 +120,10 @@ func TestPlanCapSurfacesDroppedSpecs(t *testing.T) {
 			Seed:             11,
 			Oracles:          []oracle.Name{oracle.PlanDiffName},
 			MaxPlansPerQuery: 1,
+			NoPlanPairSched:  !sched,
 		}
 	}
-	r, err := New(cfg(false))
+	r, err := New(cfg(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,14 +131,37 @@ func TestPlanCapSurfacesDroppedSpecs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.PlanSpecsDropped == 0 {
-		t.Fatal("cap 1 must drop enumerated specs on index-bearing states")
+	if rep.PlanPairsNovel == 0 {
+		t.Fatal("campaign executed no novel plan pairs on index-bearing states")
 	}
+	if rep.PlanPairsRepeated == 0 {
+		t.Fatal("recurring shapes under cap 1 must eventually repeat pairs")
+	}
+	if rep.PlanPairState == nil {
+		t.Fatal("report must carry the pair tracker's state")
+	}
+
 	shardedRep, err := RunSharded(cfg(true), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if shardedRep.PlanSpecsDropped == 0 {
-		t.Fatal("shard merge lost the dropped-spec tally")
+	if shardedRep.PlanPairsNovel == 0 {
+		t.Fatal("shard merge lost the novel-pair tally")
+	}
+	if shardedRep.PlanPairState == nil {
+		t.Fatal("shard merge lost the pair tracker state")
+	}
+
+	off, err := New(cfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offRep, err := off.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offRep.PlanPairsNovel != 0 || offRep.PlanPairsRepeated != 0 || offRep.PlanPairState != nil {
+		t.Fatalf("scheduler off must not track pairs: novel=%d repeated=%d state=%v",
+			offRep.PlanPairsNovel, offRep.PlanPairsRepeated, offRep.PlanPairState != nil)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"sqlancerpp/internal/core/feedback"
 	"sqlancerpp/internal/dialect"
 	"sqlancerpp/internal/faults"
 )
@@ -220,6 +221,69 @@ func TestCheckpointResume(t *testing.T) {
 	}
 	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("checkpoint not removed after completion: %v", err)
+	}
+}
+
+// TestCheckpointRoundTripsPlanPairState: an interrupted-and-resumed
+// campaign must carry the plan-pair tracker state losslessly through
+// the checkpoint — same serialized snapshot, same pair set, and the
+// same novel/repeated accounting as the uninterrupted run.
+func TestCheckpointRoundTripsPlanPairState(t *testing.T) {
+	cfg := shardedCfg(t, 800, 17) // 4 shards
+	ref, err := RunShardedOpts(cfg, ShardedOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.PlanPairState == nil || ref.PlanPairsNovel == 0 {
+		t.Fatalf("reference run tracked no pairs (novel=%d)", ref.PlanPairsNovel)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	interrupt := make(chan struct{})
+	go func() {
+		for {
+			if _, err := os.Stat(path); err == nil {
+				close(interrupt)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	_, err = RunShardedOpts(cfg, ShardedOptions{
+		Workers: 1, CheckpointPath: path, Interrupt: interrupt,
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	resumed, err := RunShardedOpts(cfg, ShardedOptions{
+		Workers: 2, CheckpointPath: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref.PlanPairState, resumed.PlanPairState) {
+		t.Fatal("resumed plan-pair state differs from the uninterrupted run")
+	}
+	if resumed.PlanPairsNovel != ref.PlanPairsNovel ||
+		resumed.PlanPairsRepeated != ref.PlanPairsRepeated {
+		t.Fatalf("pair counters drifted across resume: novel %d/%d repeated %d/%d",
+			resumed.PlanPairsNovel, ref.PlanPairsNovel,
+			resumed.PlanPairsRepeated, ref.PlanPairsRepeated)
+	}
+	// The snapshot must load back into a tracker with the same pair set.
+	tr := feedback.NewPairTracker()
+	if err := tr.LoadState(resumed.PlanPairState); err != nil {
+		t.Fatalf("resumed state does not load: %v", err)
+	}
+	if tr.Pairs() == 0 {
+		t.Fatal("resumed state loads empty")
+	}
+	reser, err := tr.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reser, resumed.PlanPairState) {
+		t.Fatal("pair state does not round-trip byte-identically through Load/Save")
 	}
 }
 

@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 
+	"sqlancerpp/internal/core/feedback"
 	"sqlancerpp/internal/core/prioritize"
 )
 
@@ -94,6 +95,10 @@ func mergeReports(cfg Config, reps []*Report) (*Report, error) {
 	// Config.FeedbackState, so its saved state carries those priors
 	// (deduplicated below before the posterior update).
 	tracker := newTracker(cfg)
+	// Plan-pair union: shards record their own pairs (and, on resume,
+	// re-include the warm-start snapshot every shard was seeded with);
+	// union is idempotent, so no warm-start discount is needed.
+	pairs := feedback.NewPairTracker()
 	pri := prioritize.New()
 	faults := map[string]bool{}
 	priFaults := map[string]bool{}
@@ -106,7 +111,8 @@ func mergeReports(cfg Config, reps []*Report) (*Report, error) {
 		merged.SetupOK += rep.SetupOK
 		merged.Detected += rep.Detected
 		merged.FalsePositives += rep.FalsePositives
-		merged.PlanSpecsDropped += rep.PlanSpecsDropped
+		merged.PlanPairsNovel += rep.PlanPairsNovel
+		merged.PlanPairsRepeated += rep.PlanPairsRepeated
 		merged.HarnessCrashes += rep.HarnessCrashes
 		merged.BudgetExceeded += rep.BudgetExceeded
 		for c, n := range rep.DetectedByClass {
@@ -138,6 +144,11 @@ func mergeReports(cfg Config, reps []*Report) (*Report, error) {
 				return nil, fmt.Errorf("campaign: merging shard feedback: %w", err)
 			}
 		}
+		if rep.PlanPairState != nil {
+			if err := pairs.MergeState(rep.PlanPairState); err != nil {
+				return nil, fmt.Errorf("campaign: merging shard plan pairs: %w", err)
+			}
+		}
 	}
 
 	merged.UniqueGroundTruth = len(faults)
@@ -155,6 +166,11 @@ func mergeReports(cfg Config, reps []*Report) (*Report, error) {
 	tracker.Update()
 	if state, err := tracker.Save(); err == nil {
 		merged.FeedbackState = state
+	}
+	if !cfg.NoPlanPairSched {
+		if state, err := pairs.SaveState(); err == nil {
+			merged.PlanPairState = state
+		}
 	}
 	merged.Unsupported = tracker.Unsupported()
 	return merged, nil

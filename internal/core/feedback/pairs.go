@@ -1,0 +1,141 @@
+package feedback
+
+// Plan-pair coverage. The PlanDiff oracle diffs a query's baseline plan
+// against enumerated equivalent plans, and a campaign regenerates the
+// same query *shapes* over and over with fresh literals; without
+// memory, a capped plan budget re-diffs the same canonical prefix every
+// time. PairTracker remembers which (query shape, plan spec) pairs a
+// campaign has already diffed so the scheduler can spend the budget on
+// pairs that can still find something — QPG's "mutate toward unseen
+// plans" signal, keyed on engine.PlanShape fingerprints.
+//
+// Like Tracker, the state is mergeable: shards start empty, record
+// their own pairs, and MergeState unions shard snapshots in shard
+// order, so the merged campaign state — and every counter derived from
+// per-shard tracker decisions — is byte-identical at any worker count.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// PairTracker records the (query shape, plan spec) pairs a campaign has
+// diffed. The zero value is not ready; use NewPairTracker. Methods are
+// safe for concurrent use.
+type PairTracker struct {
+	mu   sync.Mutex
+	seen map[uint64]map[string]struct{}
+}
+
+// NewPairTracker returns an empty tracker.
+func NewPairTracker() *PairTracker {
+	return &PairTracker{seen: map[uint64]map[string]struct{}{}}
+}
+
+// Seen reports whether the (shape, spec) pair was already recorded.
+func (p *PairTracker) Seen(shape uint64, spec string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.seen[shape][spec]
+	return ok
+}
+
+// Mark records a diffed (shape, spec) pair.
+func (p *PairTracker) Mark(shape uint64, spec string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.seen[shape]
+	if m == nil {
+		m = map[string]struct{}{}
+		p.seen[shape] = m
+	}
+	m[spec] = struct{}{}
+}
+
+// Pairs returns the total number of recorded pairs.
+func (p *PairTracker) Pairs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, m := range p.seen {
+		n += len(m)
+	}
+	return n
+}
+
+// pairSnapshot is the serialized form: shape keys as fixed-width hex
+// strings (encoding/json sorts map keys, so equal states serialize
+// byte-identically) and spec lists sorted.
+type pairSnapshot struct {
+	Pairs map[string][]string `json:"pairs"`
+}
+
+// SaveState serializes the tracker deterministically.
+func (p *PairTracker) SaveState() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := pairSnapshot{Pairs: make(map[string][]string, len(p.seen))}
+	for shape, m := range p.seen {
+		specs := make([]string, 0, len(m))
+		for s := range m {
+			specs = append(specs, s)
+		}
+		sort.Strings(specs)
+		snap.Pairs[fmt.Sprintf("%016x", shape)] = specs
+	}
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// LoadState replaces the tracker contents with a saved snapshot.
+func (p *PairTracker) LoadState(data []byte) error {
+	var snap pairSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("pair state: %w", err)
+	}
+	seen := make(map[uint64]map[string]struct{}, len(snap.Pairs))
+	for key, specs := range snap.Pairs {
+		shape, err := strconv.ParseUint(key, 16, 64)
+		if err != nil {
+			return fmt.Errorf("pair state: bad shape key %q", key)
+		}
+		m := make(map[string]struct{}, len(specs))
+		for _, s := range specs {
+			m[s] = struct{}{}
+		}
+		seen[shape] = m
+	}
+	p.mu.Lock()
+	p.seen = seen
+	p.mu.Unlock()
+	return nil
+}
+
+// MergeState unions a saved snapshot into the tracker. Union is
+// commutative and idempotent, so merging shard states in shard order
+// yields the same result as any interleaved single-process run.
+func (p *PairTracker) MergeState(data []byte) error {
+	var snap pairSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("pair state: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, specs := range snap.Pairs {
+		shape, err := strconv.ParseUint(key, 16, 64)
+		if err != nil {
+			return fmt.Errorf("pair state: bad shape key %q", key)
+		}
+		m := p.seen[shape]
+		if m == nil {
+			m = make(map[string]struct{}, len(specs))
+			p.seen[shape] = m
+		}
+		for _, s := range specs {
+			m[s] = struct{}{}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package feedback
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPairTrackerSeenMark(t *testing.T) {
+	p := NewPairTracker()
+	if p.Seen(1, "noindex") {
+		t.Fatal("empty tracker claims a pair")
+	}
+	p.Mark(1, "noindex")
+	p.Mark(1, "perm:1,0")
+	p.Mark(2, "noindex")
+	if !p.Seen(1, "noindex") || !p.Seen(2, "noindex") || p.Seen(2, "perm:1,0") {
+		t.Fatal("Seen does not reflect Mark")
+	}
+	if p.Pairs() != 3 {
+		t.Fatalf("Pairs() = %d, want 3", p.Pairs())
+	}
+}
+
+// TestPairTrackerStateDeterministic: equal pair sets serialize to
+// byte-identical snapshots regardless of insertion order — the property
+// shard-merged reports rely on.
+func TestPairTrackerStateDeterministic(t *testing.T) {
+	a, b := NewPairTracker(), NewPairTracker()
+	pairs := []struct {
+		shape uint64
+		spec  string
+	}{{7, "noindex"}, {7, "perm:1,0"}, {3, "rel:t=scan"}, {0xffffffffffffffff, "swap"}}
+	for _, pr := range pairs {
+		a.Mark(pr.shape, pr.spec)
+	}
+	for i := len(pairs) - 1; i >= 0; i-- {
+		b.Mark(pairs[i].shape, pairs[i].spec)
+	}
+	sa, err := a.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatalf("insertion order leaked into the snapshot:\n%s\n%s", sa, sb)
+	}
+
+	back := NewPairTracker()
+	if err := back.LoadState(sa); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := back.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rt, sa) {
+		t.Fatal("Load/Save round trip not byte-identical")
+	}
+}
+
+// TestPairTrackerMergeUnion: merging shard snapshots in any order yields
+// the same union state, and merging is idempotent.
+func TestPairTrackerMergeUnion(t *testing.T) {
+	s1, s2 := NewPairTracker(), NewPairTracker()
+	s1.Mark(1, "noindex")
+	s1.Mark(1, "perm:1,0")
+	s2.Mark(1, "noindex") // overlap
+	s2.Mark(2, "rel:t=scan")
+	b1, _ := s1.SaveState()
+	b2, _ := s2.SaveState()
+
+	m12, m21 := NewPairTracker(), NewPairTracker()
+	for _, data := range [][]byte{b1, b2} {
+		if err := m12.MergeState(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, data := range [][]byte{b2, b1, b1} { // reversed, plus a repeat
+		if err := m21.MergeState(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o12, _ := m12.SaveState()
+	o21, _ := m21.SaveState()
+	if !bytes.Equal(o12, o21) {
+		t.Fatalf("merge not order-independent/idempotent:\n%s\n%s", o12, o21)
+	}
+	if m12.Pairs() != 3 {
+		t.Fatalf("union holds %d pairs, want 3", m12.Pairs())
+	}
+
+	if err := NewPairTracker().MergeState([]byte("{bad")); err == nil {
+		t.Fatal("malformed snapshot must fail to merge")
+	}
+	if err := NewPairTracker().LoadState([]byte(`{"pairs":{"zz":["x"]}}`)); err == nil {
+		t.Fatal("malformed shape key must fail to load")
+	}
+}

@@ -72,10 +72,13 @@ type Result struct {
 	// The reducer feeds it back through Case.PlanSpec so the replay
 	// executes the exact plan pair.
 	PlanSpec string
-	// PlansDropped counts enumerated plan specs the MaxPlans cap kept
-	// PlanDiff from executing for this case (surfaced in the campaign
-	// report rather than truncated silently).
-	PlansDropped int
+	// PairsNovel and PairsRepeated count the plan specs PlanDiff
+	// executed for this case that its pair tracker had not / had already
+	// diffed for the query's shape (zero when the case carried no
+	// tracker). The campaign sums them into the report, where the ratio
+	// shows the novelty scheduler working.
+	PairsNovel    int
+	PairsRepeated int
 }
 
 // multiset builds a count map over rendered rows.

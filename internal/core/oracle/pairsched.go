@@ -1,0 +1,82 @@
+package oracle
+
+// Plan-pair novelty scheduling support. A campaign regenerates the same
+// query shapes over and over with fresh literals; PlanDiff's plan
+// budget (Case.MaxPlans) re-spent in fixed canonical order keeps
+// diffing the same cheap prefix. The campaign threads two pieces of
+// state through Case so repeated shapes get cheaper and more
+// productive: a PlanPairs tracker that remembers which (shape, spec)
+// pairs were already diffed — PlanDiffCase ranks unseen pairs first —
+// and a PlanEnumMemo that caches the enumerated plan set per shape so a
+// repeated shape skips re-enumeration entirely.
+
+import (
+	"sync"
+
+	"sqlancerpp/internal/engine"
+	"sqlancerpp/internal/sqlast"
+)
+
+// PlanPairs is the per-campaign (query shape, plan spec) coverage the
+// novelty scheduler consults; feedback.PairTracker implements it. Seen
+// reports whether the pair was already diffed, Mark records a diff.
+type PlanPairs interface {
+	Seen(shape uint64, spec string) bool
+	Mark(shape uint64, spec string)
+}
+
+// enumEntry caches one shape's enumerated plan set with the specs'
+// canonical serializations pre-rendered (ranking and pair bookkeeping
+// key on the strings, so rendering once per shape instead of once per
+// case is most of the memo's win).
+type enumEntry struct {
+	specs []engine.PlanSpec
+	keys  []string
+}
+
+// PlanEnumMemo caches EnumeratePlans results per query shape. The key
+// is the full fingerprint — the identifier-normalized Shape alone does
+// not determine the plan set (the same shape over differently-indexed
+// tables enumerates differently), so the memo also pins the concrete
+// identifier hash. Entries can go stale when mid-epoch DDL changes the
+// catalog under an already-memoized shape; that is safe by the plan
+// spec contract — inapplicable forcing degrades to a scan, never errors
+// — and costs at most a wasted diff, so the campaign only resets the
+// memo at database-epoch boundaries.
+type PlanEnumMemo struct {
+	mu      sync.Mutex
+	entries map[engine.PlanShapeKey]*enumEntry
+}
+
+// NewPlanEnumMemo returns an empty memo.
+func NewPlanEnumMemo() *PlanEnumMemo {
+	return &PlanEnumMemo{entries: map[engine.PlanShapeKey]*enumEntry{}}
+}
+
+// Reset drops every entry (called at database-epoch boundaries, where
+// the catalog the entries were enumerated against is discarded).
+func (m *PlanEnumMemo) Reset() {
+	m.mu.Lock()
+	m.entries = map[engine.PlanShapeKey]*enumEntry{}
+	m.mu.Unlock()
+}
+
+// lookup returns the cached enumeration for key, computing and caching
+// it on first sight.
+func (m *PlanEnumMemo) lookup(db *engine.DB, sel *sqlast.Select, key engine.PlanShapeKey) ([]engine.PlanSpec, []string) {
+	m.mu.Lock()
+	e := m.entries[key]
+	m.mu.Unlock()
+	if e == nil {
+		specs := engine.EnumeratePlans(db, sel)
+		keys := make([]string, len(specs))
+		for i := range specs {
+			keys[i] = specs[i].String()
+		}
+		e = &enumEntry{specs: specs, keys: keys}
+		m.mu.Lock()
+		m.entries[key] = e
+		m.mu.Unlock()
+	}
+	return e.specs, e.keys
+}

@@ -10,7 +10,8 @@ package oracle
 // composite equality-prefix width — the composite-vs-leading axis),
 // the covering-off plan where an index could serve the statement
 // index-only (the covering-projection axis), per-join probe
-// suppression, and the swapped join input order. Because
+// suppression, and every non-identity permutation of the leading
+// inner-join chain (the join-order axis). Because
 // all executions share the statement text, the database state, and the
 // reference evaluation semantics, any divergence is a plan-dependent
 // defect; several members of the injected index-path fault family are
@@ -41,12 +42,25 @@ func PlanDiff(db *engine.DB, base *sqlast.Select, pred sqlast.Expr) Result {
 
 // PlanDiffCase applies the plan-diffing oracle to one case. The
 // instance's plan spec is restored before returning. With c.PlanSpec
-// set, enumeration is skipped and the baseline is diffed against exactly
-// that plan — the reducer's replay path. Result.MaxCost carries the
-// baseline execution's cost only — the alternative plans are deliberate,
-// not a performance symptom — and a Bug's Detail reports the serialized
-// losing spec with both costs, which Result.PlanSpec repeats verbatim
-// for the bug report.
+// set, enumeration and scheduling are skipped and the baseline is
+// diffed against exactly that plan — the reducer's replay path. With
+// c.Pairs set, enumerated specs whose (shape, spec) pair the tracker
+// has not seen rank ahead of the canonical order before the MaxPlans
+// cap applies (canonical order breaks ties), every executed pair is
+// marked, and the Result reports the novel/repeated split.
+// Result.MaxCost carries the baseline execution's cost only — the
+// alternative plans are deliberate, not a performance symptom — and a
+// Bug's Detail reports the serialized losing spec with both costs,
+// which Result.PlanSpec repeats verbatim for the bug report.
+//
+// An alternative plan that *errors* where the baseline succeeded is
+// itself a plan-dependent divergence and reports a Bug with the losing
+// spec — except for two error classes a correct engine produces
+// plan-dependently by design, which stay Invalid: the deterministic
+// execution budget (a plan touching more rows may exceed it without any
+// defect) and runtime evaluation errors (a plan that filters rows
+// earlier never evaluates the failing expression — LN(0) behind an
+// index probe is reachable only from the scan plan).
 func PlanDiffCase(db *engine.DB, c *Case) Result {
 	r := newRunner(db)
 
@@ -65,43 +79,103 @@ func PlanDiffCase(db *engine.DB, c *Case) Result {
 	baseSet := multiset(baseRes)
 
 	var specs []engine.PlanSpec
-	dropped := 0
+	var keys []string
+	var shape engine.PlanShapeKey
 	if c.PlanSpec != "" {
 		spec, perr := engine.ParsePlanSpec(c.PlanSpec)
 		if perr != nil {
 			return r.result(PlanDiffName, Invalid, perr, "")
 		}
 		specs = []engine.PlanSpec{spec}
+		keys = []string{c.PlanSpec}
 	} else {
-		specs = engine.EnumeratePlans(db, q)
+		if c.Pairs != nil || c.Enum != nil {
+			shape = engine.PlanShape(q)
+		}
+		if c.Enum != nil {
+			specs, keys = c.Enum.lookup(db, q, shape)
+		} else {
+			specs = engine.EnumeratePlans(db, q)
+			keys = make([]string, len(specs))
+			for i := range specs {
+				keys[i] = specs[i].String()
+			}
+		}
+		if c.Pairs != nil && !c.CanonicalPlans {
+			specs, keys = rankNovelFirst(c.Pairs, shape.Shape, specs, keys)
+		}
 		max := c.MaxPlans
 		if max == 0 {
 			max = DefaultMaxPlans
 		}
 		if max > 0 && len(specs) > max {
-			dropped = len(specs) - max
 			specs = specs[:max]
+			keys = keys[:max]
 		}
 	}
 
-	for _, spec := range specs {
+	novel, repeated := 0, 0
+	for i, spec := range specs {
+		if c.Pairs != nil && c.PlanSpec == "" {
+			if c.Pairs.Seen(shape.Shape, keys[i]) {
+				repeated++
+			} else {
+				novel++
+				c.Pairs.Mark(shape.Shape, keys[i])
+			}
+		}
 		db.SetPlanSpec(spec)
 		altRes, err := r.query(q)
 		if err != nil {
-			return r.result(PlanDiffName, Invalid, err, "")
+			if engine.IsBudgetExceeded(err) || engine.ClassOf(err) == engine.ErrRuntime {
+				return r.result(PlanDiffName, Invalid, err, "")
+			}
+			res := r.result(PlanDiffName, Bug, nil, fmt.Sprintf(
+				"PlanDiff divergence (auto plan succeeded, plan [%s] errored): %v [cost auto=%d]",
+				keys[i], err, baseCost))
+			res.MaxCost = baseCost
+			res.PlanSpec = keys[i]
+			res.PairsNovel, res.PairsRepeated = novel, repeated
+			return res
 		}
 		if d := diffMultisets(baseSet, multiset(altRes)); d != "" {
 			res := r.result(PlanDiffName, Bug, nil, fmt.Sprintf(
 				"PlanDiff divergence (auto plan vs plan [%s]): %s [cost auto=%d alt=%d]",
-				spec.String(), d, baseCost, r.costs[len(r.costs)-1]))
+				keys[i], d, baseCost, r.costs[len(r.costs)-1]))
 			res.MaxCost = baseCost
-			res.PlanSpec = spec.String()
-			res.PlansDropped = dropped
+			res.PlanSpec = keys[i]
+			res.PairsNovel, res.PairsRepeated = novel, repeated
 			return res
 		}
 	}
 	res := r.result(PlanDiffName, OK, nil, "")
 	res.MaxCost = baseCost
-	res.PlansDropped = dropped
+	res.PairsNovel, res.PairsRepeated = novel, repeated
 	return res
+}
+
+// rankNovelFirst stably partitions the enumerated specs into pairs the
+// tracker has not seen for this shape followed by pairs it has,
+// preserving canonical enumeration order within each partition — the
+// deterministic tie-break that keeps equal campaign states scheduling
+// equal plans at every worker count.
+func rankNovelFirst(pairs PlanPairs, shape uint64, specs []engine.PlanSpec, keys []string) ([]engine.PlanSpec, []string) {
+	outS := make([]engine.PlanSpec, 0, len(specs))
+	outK := make([]string, 0, len(keys))
+	for i := range specs {
+		if !pairs.Seen(shape, keys[i]) {
+			outS = append(outS, specs[i])
+			outK = append(outK, keys[i])
+		}
+	}
+	if len(outS) == len(specs) {
+		return specs, keys
+	}
+	for i := range specs {
+		if pairs.Seen(shape, keys[i]) {
+			outS = append(outS, specs[i])
+			outK = append(outK, keys[i])
+		}
+	}
+	return outS, outK
 }

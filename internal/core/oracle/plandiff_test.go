@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"sqlancerpp/internal/core/feedback"
 	"sqlancerpp/internal/dialect"
 	"sqlancerpp/internal/engine"
 	"sqlancerpp/internal/faults"
@@ -135,10 +136,12 @@ func TestPlanDiffReplaysRecordedSpecVerbatim(t *testing.T) {
 	}
 }
 
-// TestPlanDiffCapReportsDroppedPlans: the MaxPlans cap must bound the
-// executed plan pairs and account for every spec it drops — silent
-// truncation would misrepresent plan-space coverage.
-func TestPlanDiffCapReportsDroppedPlans(t *testing.T) {
+// TestPlanDiffCapAndPairScheduling: the MaxPlans cap bounds the executed
+// plan pairs; with a pair tracker attached, the budget is re-spent on
+// unseen (shape, spec) pairs — a repeated shape diffs the next specs in
+// canonical order instead of re-diffing the same prefix — and the
+// CanonicalPlans ablation restores the prefix-re-diffing behavior.
+func TestPlanDiffCapAndPairScheduling(t *testing.T) {
 	db := engine.Open(dialect.MustGet("sqlite"), engine.WithoutFaults())
 	mustExec(t, db,
 		"CREATE TABLE t (c0 INTEGER, c1 INTEGER)",
@@ -151,18 +154,69 @@ func TestPlanDiffCapReportsDroppedPlans(t *testing.T) {
 	base := parseSelect(t, "SELECT * FROM t")
 	sel := parseSelect(t, "SELECT * FROM t WHERE c0 = 1 AND c1 = 2")
 
-	full := PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: -1})
-	if full.Outcome != OK || full.PlansDropped != 0 {
-		t.Fatalf("unlimited run: %v dropped=%d", full.Outcome, full.PlansDropped)
+	pairs := feedback.NewPairTracker()
+	full := PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: -1, Pairs: pairs})
+	if full.Outcome != OK {
+		t.Fatalf("unlimited run: %v (%q)", full.Outcome, full.Detail)
 	}
 	enumerated := len(full.Queries) - 1
+	if enumerated < 4 {
+		t.Fatalf("setup enumerates only %d plans, need >= 4", enumerated)
+	}
+	if full.PairsNovel != enumerated || full.PairsRepeated != 0 {
+		t.Fatalf("first sight: novel=%d repeated=%d, want %d/0",
+			full.PairsNovel, full.PairsRepeated, enumerated)
+	}
 
-	capped := PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: 2})
+	// The identical case again: every pair is covered, none novel.
+	again := PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: -1, Pairs: pairs})
+	if again.PairsNovel != 0 || again.PairsRepeated != enumerated {
+		t.Errorf("repeat: novel=%d repeated=%d, want 0/%d",
+			again.PairsNovel, again.PairsRepeated, enumerated)
+	}
+
+	// Capped runs with a fresh tracker: the cap bounds executions, and the
+	// second run spends its budget on the *next* unseen pairs, so two runs
+	// at cap 2 cover 4 distinct pairs.
+	fresh := feedback.NewPairTracker()
+	capped := PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: 2, Pairs: fresh})
 	if len(capped.Queries) != 3 {
 		t.Fatalf("cap 2 must execute baseline + 2 plans, got %d queries", len(capped.Queries))
 	}
-	if capped.PlansDropped != enumerated-2 {
-		t.Errorf("dropped = %d, want %d", capped.PlansDropped, enumerated-2)
+	if capped.PairsNovel != 2 || capped.PairsRepeated != 0 {
+		t.Errorf("capped first run: novel=%d repeated=%d, want 2/0",
+			capped.PairsNovel, capped.PairsRepeated)
+	}
+	capped2 := PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: 2, Pairs: fresh})
+	if capped2.PairsNovel != 2 || capped2.PairsRepeated != 0 {
+		t.Errorf("capped second run must rank unseen pairs first: novel=%d repeated=%d",
+			capped2.PairsNovel, capped2.PairsRepeated)
+	}
+	if fresh.Pairs() != 4 {
+		t.Errorf("tracker holds %d pairs, want 4", fresh.Pairs())
+	}
+
+	// CanonicalPlans keeps the bookkeeping but disables the ranking: the
+	// second run re-diffs the same canonical prefix.
+	abl := feedback.NewPairTracker()
+	PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: 2, Pairs: abl, CanonicalPlans: true})
+	abl2 := PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: 2, Pairs: abl, CanonicalPlans: true})
+	if abl2.PairsNovel != 0 || abl2.PairsRepeated != 2 {
+		t.Errorf("ablation second run: novel=%d repeated=%d, want 0/2",
+			abl2.PairsNovel, abl2.PairsRepeated)
+	}
+
+	// The enumeration memo must not change what executes: same counters,
+	// same queries, one enumeration.
+	memo := NewPlanEnumMemo()
+	memoPairs := feedback.NewPairTracker()
+	m1 := PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: 2, Pairs: memoPairs, Enum: memo})
+	m2 := PlanDiffCase(db, &Case{Base: base, Pred: sel.Where, MaxPlans: 2, Pairs: memoPairs, Enum: memo})
+	if m1.PairsNovel != 2 || m2.PairsNovel != 2 {
+		t.Errorf("memoized runs: novel %d then %d, want 2/2", m1.PairsNovel, m2.PairsNovel)
+	}
+	if len(memo.entries) != 1 {
+		t.Errorf("memo holds %d entries, want 1", len(memo.entries))
 	}
 }
 

@@ -30,14 +30,23 @@ type Case struct {
 	Seq int
 	// MaxPlans caps the plan specs PlanDiff diffs the baseline against
 	// per query (0 selects DefaultMaxPlans; negative is unlimited).
-	// Specs beyond the cap are counted in Result.PlansDropped, never
-	// truncated silently.
 	MaxPlans int
 	// PlanSpec, when non-empty, is a serialized engine.PlanSpec: PlanDiff
 	// skips enumeration and diffs the baseline against exactly this plan.
 	// The reducer sets it from the bug's recorded losing spec, so a
 	// replay re-executes the precise plan pair that diverged.
 	PlanSpec string
+	// Pairs, when non-nil, is the campaign's plan-pair coverage: PlanDiff
+	// ranks plan specs whose (shape, spec) pair is unseen ahead of the
+	// canonical order before applying MaxPlans, marks every executed
+	// pair, and reports the novel/repeated split in the Result.
+	Pairs PlanPairs
+	// Enum, when non-nil, caches plan enumerations per query shape so
+	// repeated shapes skip re-enumeration.
+	Enum *PlanEnumMemo
+	// CanonicalPlans disables the novelty *ranking* while keeping the
+	// pair bookkeeping — the ablation arm benchmarks compare against.
+	CanonicalPlans bool
 }
 
 // Oracle is a first-class test oracle.

@@ -168,14 +168,29 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 	// cover, when non-nil, serves the projection from the chosen index's
 	// key columns instead of evaluating projection expressions (cover.go).
 	var cover *coverPlan
+	// starOrder, when non-nil, maps original relation positions to their
+	// permuted indexes so * projection keeps the original column order
+	// under a JoinPerm plan; moved marks the ON conjuncts the reorder
+	// re-attached at a later step (the JoinPermConjDrop fault's site).
+	var starOrder []int
+	var moved map[sqlast.Expr]bool
 	if len(sel.From) > 0 {
-		// PlanSpec join-input-order forcing: exchange the first two FROM
-		// relations where the swap is semantically safe; an unsafe swap is
-		// ignored (forcing degrades, never errors).
+		// PlanSpec join-order forcing: reorder the leading inner-join
+		// chain where the permutation is semantically safe; an unsafe
+		// permutation is ignored (forcing degrades, never errors).
 		from := sel.From
-		if s.planSpec.SwapInputs && swapInputsSafe(sel) {
-			from = swappedFrom(from)
-			s.cov.Hit("plan.swap")
+		if perm := s.planSpec.JoinPerm; len(perm) > 0 {
+			if m := permPrefixLen(sel); len(perm) <= m {
+				from, moved = permutedFrom(from, perm)
+				starOrder = make([]int, len(from))
+				for j := range starOrder {
+					starOrder[j] = j
+				}
+				for j, o := range perm {
+					starOrder[o] = j
+				}
+				s.cov.Hit("plan.perm")
+			}
 		}
 		first, err := s.materializeRef(from[0].Ref, outer)
 		if err != nil {
@@ -206,7 +221,7 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 			if err != nil {
 				return nil, err
 			}
-			rows, err = s.joinStep(sel, rels, rows, right, item, step, outer)
+			rows, err = s.joinStep(sel, rels, rows, right, item, step, moved, outer)
 			if err != nil {
 				return nil, err
 			}
@@ -241,7 +256,7 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 		}
 	}
 
-	colNames := s.outputColumns(sel, rels)
+	colNames := s.outputColumns(sel, rels, starOrder)
 
 	grouped := len(sel.GroupBy) > 0 || selHasAggregates(sel)
 	var outRows [][]Value
@@ -275,7 +290,7 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 			if klen > 0 {
 				kbuf = kflat[i*klen : (i+1)*klen : (i+1)*klen]
 			}
-			out, keys, err := s.projectRow(sel, rels, row, ctx, flat[i*width:i*width:(i+1)*width], kbuf)
+			out, keys, err := s.projectRow(sel, rels, row, starOrder, ctx, flat[i*width:i*width:(i+1)*width], kbuf)
 			if err != nil {
 				return nil, err
 			}
@@ -333,8 +348,10 @@ func (s *DB) execSelectEnv(sel *sqlast.Select, outer *rowEnv) (*Result, *Error) 
 
 // joinStep combines the accumulated rows with one new relation. step is
 // the join-step ordinal (0 joins the second FROM item), which the plan
-// spec's per-join forcing keys on.
-func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matRel, item sqlast.FromItem, step int, outer *rowEnv) ([]jrow, *Error) {
+// spec's per-join forcing keys on. moved marks ON conjuncts a JoinPerm
+// reorder re-attached at a later step — the JoinPermConjDrop defect
+// loses exactly those.
+func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matRel, item sqlast.FromItem, step int, moved map[sqlast.Expr]bool, outer *rowEnv) ([]jrow, *Error) {
 	jf := joinFeature(item.Join)
 	s.cov.Hit("exec.join." + jf)
 
@@ -383,11 +400,53 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 	var out []jrow
 	switch item.Join {
 	case sqlast.JoinComma, sqlast.JoinCross, sqlast.JoinInner, sqlast.JoinNatural:
-		if probe := s.planJoinProbe(sel, rels, right, onConjs, step); probe != nil {
-			return s.joinProbeStep(probe, left, jf, env, ctx, onConjs, &arena)
+		// The join-reorderer conjunct-drop defect loses the ON conjuncts
+		// a permutation relocated past their original step: the step
+		// evaluates only the conjuncts that stayed put, so candidate
+		// pairs a relocated conjunct would have rejected leak through.
+		// It can fire only under a non-identity JoinPerm plan — the auto
+		// plan relocates nothing — which makes it observable exactly to
+		// a plan-diffing oracle.
+		dropFault := s.faultSet().PermConjDrop()
+		var kept, dropped []sqlast.Expr
+		if dropFault != nil && len(moved) > 0 {
+			for _, c := range onConjs {
+				if moved[c] {
+					dropped = append(dropped, c)
+				} else {
+					kept = append(kept, c)
+				}
+			}
+		}
+		if len(dropped) == 0 {
+			dropFault = nil
+			if probe := s.planJoinProbe(sel, rels, right, onConjs, step); probe != nil {
+				return s.joinProbeStep(probe, left, jf, env, ctx, onConjs, &arena)
+			}
 		}
 		for _, lrow := range left {
 			for _, rrow := range right.rows {
+				if dropFault != nil {
+					env.bindRow(lrow)
+					env.rels[len(lrow)].vals = rrow
+					ok, err := s.evalFilterConjs(kept, ctx)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						// The defect emits the row; trigger only when a
+						// dropped conjunct would have rejected it, so the
+						// ground truth marks observable divergence.
+						if s.permDropRejects(ctx, dropped) {
+							s.trigger(dropFault)
+						}
+						out = append(out, arena.row(lrow, rrow))
+					}
+					if s.chargeRow() {
+						return nil, errBudget
+					}
+					continue
+				}
 				ok, err := match(lrow, rrow)
 				if err != nil {
 					return nil, err
@@ -569,12 +628,36 @@ func naturalOn(rels []matRel, right matRel) sqlast.Expr {
 	return on
 }
 
-// outputColumns computes the result column names.
-func (s *DB) outputColumns(sel *sqlast.Select, rels []matRel) []string {
+// permDropRejects reports whether any relocated-then-dropped ON
+// conjunct would have rejected the candidate pair ctx is bound to — the
+// ground-truth observability check of JoinPermConjDrop. Evaluation cost
+// is excluded: the check is bookkeeping, not execution.
+func (s *DB) permDropRejects(ctx *evalCtx, dropped []sqlast.Expr) bool {
+	saved := s.cost
+	defer func() { s.cost = saved }()
+	for _, c := range dropped {
+		t, err := ctx.evalTri(c)
+		if err != nil || t != TriTrue {
+			return true
+		}
+	}
+	return false
+}
+
+// outputColumns computes the result column names. starOrder, when
+// non-nil, restores * expansion to the original relation order under a
+// permuted join plan.
+func (s *DB) outputColumns(sel *sqlast.Select, rels []matRel, starOrder []int) []string {
 	var out []string
 	for i := range sel.Items {
 		item := &sel.Items[i]
 		if item.Star {
+			if starOrder != nil {
+				for _, ri := range starOrder {
+					out = append(out, rels[ri].cols...)
+				}
+				continue
+			}
 			for _, rel := range rels {
 				out = append(out, rel.cols...)
 			}
@@ -615,10 +698,16 @@ func projWidth(sel *sqlast.Select, rels []matRel) int {
 // row. out is an empty, capacity-bounded projection buffer; keys is a
 // full-length ORDER BY key buffer (nil when the statement has none) —
 // both are caller-provided slices of per-statement backing arrays.
-func (s *DB) projectRow(sel *sqlast.Select, rels []matRel, row jrow, ctx *evalCtx, out, keys []Value) ([]Value, []Value, *Error) {
+func (s *DB) projectRow(sel *sqlast.Select, rels []matRel, row jrow, starOrder []int, ctx *evalCtx, out, keys []Value) ([]Value, []Value, *Error) {
 	for i := range sel.Items {
 		item := &sel.Items[i]
 		if item.Star {
+			if starOrder != nil {
+				for _, ri := range starOrder {
+					out = append(out, row[ri]...)
+				}
+				continue
+			}
 			for ri := range rels {
 				out = append(out, row[ri]...)
 			}

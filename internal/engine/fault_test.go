@@ -313,11 +313,11 @@ func TestFaultCatalogueShape(t *testing.T) {
 			}
 		}
 	}
-	if total != 129 {
-		t.Errorf("catalogue total = %d, want 129", total)
+	if total != 130 {
+		t.Errorf("catalogue total = %d, want 130", total)
 	}
-	if logic != 97 {
-		t.Errorf("logic faults = %d, want 97", logic)
+	if logic != 98 {
+		t.Errorf("logic faults = %d, want 98", logic)
 	}
 	// Shape: Umbra > MonetDB > Dolt ≈ CrateDB > the rest (paper Table 2).
 	if !(perDialect["umbra"] > perDialect["monetdb"] &&

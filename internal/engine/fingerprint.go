@@ -1,0 +1,367 @@
+package engine
+
+// Deterministic query-shape fingerprinting for the plan-pair novelty
+// scheduler. PlanShape reduces a SELECT to the skeleton the plan
+// enumerator can see — structure, join types, clause presence, operator
+// identities — while normalizing away the parts that recur with fresh
+// values every generation: literal constants and (for the Shape half)
+// the concrete relation/column names. Two recurrences of "the same
+// query with different literals" therefore hash identically, which is
+// what lets the scheduler recognize a repeated shape and spend the plan
+// budget on pairs it has not diffed yet.
+//
+// The key has two halves:
+//
+//   - Shape normalizes identifiers positionally (relations by FROM
+//     order, columns by first use), so it is stable across renamed
+//     tables. The pair tracker keys on Shape alone.
+//   - Ident hashes the same skeleton with the lower-cased concrete
+//     names kept. The enumeration memo keys on the full key, because
+//     the normalized shape does NOT determine the enumerated plan set:
+//     the same shape over differently-indexed tables enumerates
+//     different specs.
+//
+// The walk is allocation-lean (two FNV-1a accumulators, small slices
+// for the positional identifier maps) because it runs once per oracle
+// case on the campaign hot path.
+
+import (
+	"strings"
+
+	"sqlancerpp/internal/sqlast"
+)
+
+// PlanShapeKey identifies a query's plan-relevant skeleton.
+type PlanShapeKey struct {
+	// Shape is the literal- and identifier-normalized skeleton hash.
+	Shape uint64
+	// Ident additionally pins the lower-cased relation/column/function
+	// identities (still literal-normalized).
+	Ident uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// shaper carries the two running hashes and the positional identifier
+// tables of one PlanShape walk.
+type shaper struct {
+	shape uint64
+	ident uint64
+	// rels and cols map lower-cased concrete names to first-use order;
+	// linear scans over small slices beat map allocations at the sizes
+	// the generator produces (≤ 4 relations, a handful of columns).
+	rels []string
+	cols []string
+}
+
+// PlanShape fingerprints a SELECT's plan-relevant skeleton. It is a
+// pure function of the statement: equal ASTs (up to literal values and,
+// for the Shape half, identifier names) produce equal keys on every
+// platform and run.
+func PlanShape(sel *sqlast.Select) PlanShapeKey {
+	sh := shaper{shape: fnvOffset64, ident: fnvOffset64}
+	sh.selectStmt(sel)
+	return PlanShapeKey{Shape: sh.shape, Ident: sh.ident}
+}
+
+// byteTok feeds one structural byte to both hashes.
+func (sh *shaper) byteTok(b byte) {
+	sh.shape = (sh.shape ^ uint64(b)) * fnvPrime64
+	sh.ident = (sh.ident ^ uint64(b)) * fnvPrime64
+}
+
+// num feeds a small structural integer (node tags, arities, operator
+// codes) to both hashes.
+func (sh *shaper) num(v int) {
+	sh.byteTok(byte(v))
+	sh.byteTok(byte(v >> 8))
+}
+
+// identTok feeds a lower-cased identifier to the ident hash only; the
+// shape hash gets the positional index resolved by the caller.
+func (sh *shaper) identTok(lower string) {
+	for i := 0; i < len(lower); i++ {
+		sh.ident = (sh.ident ^ uint64(lower[i])) * fnvPrime64
+	}
+	sh.ident = (sh.ident ^ 0xff) * fnvPrime64 // terminator
+}
+
+// shapePos feeds a positional identifier index to the shape hash only.
+func (sh *shaper) shapePos(kind byte, pos int) {
+	sh.shape = (sh.shape ^ uint64(kind)) * fnvPrime64
+	sh.shape = (sh.shape ^ uint64(byte(pos))) * fnvPrime64
+	sh.shape = (sh.shape ^ uint64(byte(pos>>8))) * fnvPrime64
+}
+
+// pos returns the first-use position of lower in tab, appending it when
+// new.
+func pos(tab *[]string, lower string) int {
+	for i, s := range *tab {
+		if s == lower {
+			return i
+		}
+	}
+	*tab = append(*tab, lower)
+	return len(*tab) - 1
+}
+
+// rel records a relation identifier (table name or alias as referenced).
+func (sh *shaper) rel(name string) {
+	lower := strings.ToLower(name)
+	sh.shapePos('r', pos(&sh.rels, lower))
+	sh.identTok(lower)
+}
+
+// col records a column identifier, keyed by its qualified lower-case
+// form so the same column referenced twice resolves to one position.
+func (sh *shaper) col(table, column string) {
+	lower := strings.ToLower(table) + "." + strings.ToLower(column)
+	sh.shapePos('c', pos(&sh.cols, lower))
+	sh.identTok(lower)
+}
+
+// name records an identifier that is part of the shape itself (function
+// names): both hashes get the concrete lower-cased spelling.
+func (sh *shaper) name(s string) {
+	lower := strings.ToLower(s)
+	for i := 0; i < len(lower); i++ {
+		sh.shape = (sh.shape ^ uint64(lower[i])) * fnvPrime64
+	}
+	sh.shape = (sh.shape ^ 0xff) * fnvPrime64
+	sh.identTok(lower)
+}
+
+// Structural tags. Values are arbitrary but frozen: changing one
+// changes every fingerprint, which resets learned pair-coverage state.
+const (
+	tagSelect = iota + 1
+	tagDistinct
+	tagItemStar
+	tagItemExpr
+	tagFrom
+	tagTableName
+	tagDerived
+	tagOn
+	tagWhere
+	tagGroupBy
+	tagHaving
+	tagCompound
+	tagOrderBy
+	tagLimit
+	tagOffset
+	tagLiteral
+	tagColumnRef
+	tagUnary
+	tagBinary
+	tagFunc
+	tagCase
+	tagWhen
+	tagElse
+	tagCast
+	tagBetween
+	tagInList
+	tagIsNull
+	tagIsBool
+	tagLike
+	tagSubquery
+	tagExists
+	tagOperand
+	tagNil
+)
+
+func (sh *shaper) selectStmt(sel *sqlast.Select) {
+	if sel == nil {
+		sh.num(tagNil)
+		return
+	}
+	sh.num(tagSelect)
+	if sel.Distinct {
+		sh.num(tagDistinct)
+	}
+	sh.num(len(sel.Items))
+	for i := range sel.Items {
+		it := &sel.Items[i]
+		if it.Star {
+			sh.num(tagItemStar)
+			continue
+		}
+		sh.num(tagItemExpr)
+		sh.expr(it.Expr)
+		// Aliases rename output columns without touching planning; they
+		// are not part of the shape.
+	}
+	sh.num(tagFrom)
+	sh.num(len(sel.From))
+	for i := range sel.From {
+		item := &sel.From[i]
+		sh.num(int(item.Join))
+		switch r := item.Ref.(type) {
+		case *sqlast.TableName:
+			sh.num(tagTableName)
+			sh.rel(r.Name)
+			if r.Alias != "" {
+				sh.rel(r.Alias)
+			}
+		case *sqlast.DerivedTable:
+			sh.num(tagDerived)
+			sh.selectStmt(r.Select)
+			sh.rel(r.Alias)
+		default:
+			sh.num(tagNil)
+		}
+		if item.On != nil {
+			sh.num(tagOn)
+			sh.expr(item.On)
+		}
+	}
+	if sel.Where != nil {
+		sh.num(tagWhere)
+		sh.expr(sel.Where)
+	}
+	if len(sel.GroupBy) > 0 {
+		sh.num(tagGroupBy)
+		sh.num(len(sel.GroupBy))
+		for _, e := range sel.GroupBy {
+			sh.expr(e)
+		}
+	}
+	if sel.Having != nil {
+		sh.num(tagHaving)
+		sh.expr(sel.Having)
+	}
+	for i := range sel.Compound {
+		sh.num(tagCompound)
+		sh.num(int(sel.Compound[i].Op))
+		sh.selectStmt(sel.Compound[i].Select)
+	}
+	if len(sel.OrderBy) > 0 {
+		sh.num(tagOrderBy)
+		sh.num(len(sel.OrderBy))
+		for i := range sel.OrderBy {
+			sh.expr(sel.OrderBy[i].Expr)
+			if sel.OrderBy[i].Desc {
+				sh.byteTok('d')
+			}
+		}
+	}
+	// LIMIT/OFFSET values are literals in disguise: presence matters to
+	// the plan space, the constants do not.
+	if sel.Limit != nil {
+		sh.num(tagLimit)
+	}
+	if sel.Offset != nil {
+		sh.num(tagOffset)
+	}
+}
+
+func (sh *shaper) expr(e sqlast.Expr) {
+	switch x := e.(type) {
+	case nil:
+		sh.num(tagNil)
+	case *sqlast.Literal:
+		// Literal values are the noise the fingerprint exists to remove;
+		// the kind stays because NULL vs non-NULL changes sargability.
+		sh.num(tagLiteral)
+		sh.num(int(x.Kind))
+	case *sqlast.ColumnRef:
+		sh.num(tagColumnRef)
+		sh.col(x.Table, x.Column)
+	case *sqlast.Unary:
+		sh.num(tagUnary)
+		sh.num(int(x.Op))
+		sh.expr(x.X)
+	case *sqlast.Binary:
+		sh.num(tagBinary)
+		sh.num(int(x.Op))
+		sh.expr(x.L)
+		sh.expr(x.R)
+	case *sqlast.Func:
+		sh.num(tagFunc)
+		sh.name(x.Name)
+		if x.Star {
+			sh.byteTok('*')
+		}
+		if x.Distinct {
+			sh.byteTok('D')
+		}
+		sh.num(len(x.Args))
+		for _, a := range x.Args {
+			sh.expr(a)
+		}
+	case *sqlast.Case:
+		sh.num(tagCase)
+		if x.Operand != nil {
+			sh.num(tagOperand)
+			sh.expr(x.Operand)
+		}
+		sh.num(len(x.Whens))
+		for i := range x.Whens {
+			sh.num(tagWhen)
+			sh.expr(x.Whens[i].Cond)
+			sh.expr(x.Whens[i].Then)
+		}
+		if x.Else != nil {
+			sh.num(tagElse)
+			sh.expr(x.Else)
+		}
+	case *sqlast.Cast:
+		sh.num(tagCast)
+		sh.num(int(x.To))
+		sh.expr(x.X)
+	case *sqlast.Between:
+		sh.num(tagBetween)
+		if x.Not {
+			sh.byteTok('!')
+		}
+		sh.expr(x.X)
+		sh.expr(x.Lo)
+		sh.expr(x.Hi)
+	case *sqlast.InList:
+		sh.num(tagInList)
+		if x.Not {
+			sh.byteTok('!')
+		}
+		sh.expr(x.X)
+		sh.num(len(x.List))
+		for _, e := range x.List {
+			sh.expr(e)
+		}
+	case *sqlast.IsNull:
+		sh.num(tagIsNull)
+		if x.Not {
+			sh.byteTok('!')
+		}
+		sh.expr(x.X)
+	case *sqlast.IsBool:
+		sh.num(tagIsBool)
+		if x.Not {
+			sh.byteTok('!')
+		}
+		if x.Val {
+			sh.byteTok('t')
+		}
+		sh.expr(x.X)
+	case *sqlast.Like:
+		sh.num(tagLike)
+		sh.num(int(x.Kind))
+		if x.Not {
+			sh.byteTok('!')
+		}
+		sh.expr(x.X)
+		sh.expr(x.Pattern)
+	case *sqlast.Subquery:
+		sh.num(tagSubquery)
+		sh.selectStmt(x.Select)
+	case *sqlast.Exists:
+		sh.num(tagExists)
+		if x.Not {
+			sh.byteTok('!')
+		}
+		sh.selectStmt(x.Select)
+	default:
+		sh.num(tagNil)
+	}
+}

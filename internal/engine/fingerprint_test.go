@@ -1,0 +1,92 @@
+package engine_test
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/engine"
+)
+
+func shapeOf(t *testing.T, q string) engine.PlanShapeKey {
+	t.Helper()
+	return engine.PlanShape(parseSel(t, q))
+}
+
+// TestPlanShapeNormalization: the shape half of the fingerprint ignores
+// literal values and concrete identifier spellings (they hash into the
+// ident half instead), while structural differences — operators, extra
+// conjuncts, join types, DISTINCT, LIMIT presence — change it.
+func TestPlanShapeNormalization(t *testing.T) {
+	base := shapeOf(t, "SELECT t.a FROM t WHERE t.a = 1 AND t.b < 10")
+
+	// Same skeleton, different literals: same shape AND same ident.
+	relit := shapeOf(t, "SELECT t.a FROM t WHERE t.a = 99 AND t.b < 7")
+	if relit != base {
+		t.Fatal("literal values leaked into the fingerprint")
+	}
+
+	// Same skeleton, renamed identifiers: same shape, different ident.
+	renamed := shapeOf(t, "SELECT u.x FROM u WHERE u.x = 1 AND u.y < 10")
+	if renamed.Shape != base.Shape {
+		t.Fatal("identifier names leaked into the shape half")
+	}
+	if renamed.Ident == base.Ident {
+		t.Fatal("ident half ignores identifier names")
+	}
+
+	// Identifier case never matters (SQL identifiers are case-insensitive).
+	if upper := shapeOf(t, "SELECT T.A FROM T WHERE T.A = 1 AND T.B < 10"); upper != base {
+		t.Fatal("identifier case leaked into the fingerprint")
+	}
+
+	// A literal of a different *kind* is a different shape.
+	if kind := shapeOf(t, "SELECT t.a FROM t WHERE t.a = 'x' AND t.b < 10"); kind.Shape == base.Shape {
+		t.Fatal("literal kind must be structural")
+	}
+
+	// Structural changes move the shape.
+	for _, q := range []string{
+		"SELECT t.a FROM t WHERE t.a = 1 OR t.b < 10",
+		"SELECT t.a FROM t WHERE t.a = 1",
+		"SELECT DISTINCT t.a FROM t WHERE t.a = 1 AND t.b < 10",
+		"SELECT t.a FROM t WHERE t.a = 1 AND t.b < 10 LIMIT 5",
+		"SELECT t.a, t.b FROM t WHERE t.a = 1 AND t.b < 10",
+		"SELECT t.a FROM t INNER JOIN s ON t.a = s.a WHERE t.a = 1 AND t.b < 10",
+	} {
+		if shapeOf(t, q).Shape == base.Shape {
+			t.Fatalf("%q must differ structurally from the base query", q)
+		}
+	}
+
+	// LIMIT is presence-only: two different limit values share a shape.
+	l5 := shapeOf(t, "SELECT t.a FROM t LIMIT 5")
+	l9 := shapeOf(t, "SELECT t.a FROM t LIMIT 9")
+	if l5 != l9 {
+		t.Fatal("LIMIT value leaked into the fingerprint")
+	}
+
+	// Column positions are normalized per first use: the same positional
+	// pattern over different columns of one table collapses to one shape.
+	p1 := shapeOf(t, "SELECT t.a FROM t WHERE t.a = 1")
+	p2 := shapeOf(t, "SELECT t.b FROM t WHERE t.b = 1")
+	if p1.Shape != p2.Shape {
+		t.Fatal("positional normalization broken for single-column queries")
+	}
+	// ...but *repetition structure* is preserved: referencing two distinct
+	// columns differs from referencing one column twice.
+	two := shapeOf(t, "SELECT t.a FROM t WHERE t.b = 1")
+	if two.Shape == p1.Shape {
+		t.Fatal("distinct-column reference pattern must differ from repeated-column")
+	}
+}
+
+// TestPlanShapeDeterministic: the fingerprint is a pure function of the
+// statement — repeated hashing and a re-parse agree.
+func TestPlanShapeDeterministic(t *testing.T) {
+	const q = "SELECT t.a, COUNT(*) FROM t INNER JOIN s ON t.a = s.b WHERE t.c > 3 GROUP BY t.a HAVING COUNT(*) > 1 ORDER BY t.a DESC LIMIT 7"
+	first := shapeOf(t, q)
+	for i := 0; i < 3; i++ {
+		if shapeOf(t, q) != first {
+			t.Fatal("fingerprint not deterministic")
+		}
+	}
+}

@@ -9,6 +9,8 @@ package engine
 // the legacy index-on/off pair covers only one axis of the space.
 
 import (
+	"strings"
+
 	"sqlancerpp/internal/sqlast"
 )
 
@@ -18,8 +20,8 @@ import (
 // forcing variants (each matched index, plus every strictly narrower
 // equality-prefix width — the composite-vs-leading axis), then the
 // covering-off plan when some matched index could serve the statement
-// index-only, then per-join probe suppression, then the swapped join
-// input order. The list is a
+// index-only, then per-join probe suppression, then every non-identity
+// permutation of the leading inner-join chain. The list is a
 // pure function of (statement, catalog), so equal seeds enumerate equal
 // plan spaces; callers that cap it (Config.MaxPlansPerQuery) truncate
 // the tail, keeping the earlier, coarser plans.
@@ -108,11 +110,51 @@ func EnumeratePlans(db *DB, sel *sqlast.Select) []PlanSpec {
 		rels = append(rels, right)
 	}
 
-	// Join input order of the first two relations.
-	if swapInputsSafe(sel) {
-		specs = append(specs, PlanSpec{SwapInputs: true})
+	// Join order of the leading inner-join chain: every non-identity
+	// permutation of its first k relations (k capped at 4 to bound the
+	// axis at 23 specs). Positions beyond k keep their place, and their
+	// ON conditions still see every earlier relation bound.
+	if m := permPrefixLen(sel); m >= 2 {
+		k := m
+		if k > maxPermRels {
+			k = maxPermRels
+		}
+		permuteLex(k, func(perm []int) {
+			if p := CanonicalPerm(perm); p != nil {
+				specs = append(specs, PlanSpec{
+					JoinPerm: append([]int(nil), p...)})
+			}
+		})
 	}
 	return specs
+}
+
+// maxPermRels caps the permuted prefix length: 4 relations already
+// yield 23 non-identity orders, and the generator never emits more.
+const maxPermRels = 4
+
+// permuteLex visits every permutation of [0..k) in lexicographic order.
+// The callback's slice is reused across calls.
+func permuteLex(k int, visit func([]int)) {
+	perm := make([]int, k)
+	used := make([]bool, k)
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == k {
+			visit(perm)
+			return
+		}
+		for v := 0; v < k; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			perm[depth] = v
+			rec(depth + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
 }
 
 // relPlan builds a single-relation forcing spec.
@@ -133,47 +175,255 @@ func staticRel(db *DB, item sqlast.FromItem) matRel {
 	}
 }
 
-// swapInputsSafe reports whether exchanging the first two FROM relations
-// preserves the statement's semantics up to row order: the first join
-// must be inner-like with an order-symmetric condition (comma, cross,
-// explicit INNER — outer joins are side-sensitive), the projection must
-// not expand a * (relation order dictates its column order), and the
-// statement must be order-safe (the same gate every candidate-reordering
-// plan uses). An unsafe swap is ignored, not an error.
-func swapInputsSafe(sel *sqlast.Select) bool {
-	if len(sel.Compound) > 0 || len(sel.From) < 2 {
-		return false
+// permPrefixLen returns the length of the leading FROM prefix whose
+// relations may be freely reordered (0 or 1 when none may): every join
+// in the prefix is inner-like (comma, cross, explicit INNER — outer
+// joins are side-sensitive), every prefix ON conjunct references only
+// table-qualified columns of prefix relations and contains no subquery
+// (relocation changes when a correlated subquery's bindings exist),
+// prefix aliases are pairwise distinct so qualified references stay
+// unambiguous after reordering, no later join is NATURAL (naturalOn
+// binds shared columns against the *first* earlier relation, which
+// reordering rebinds), and the statement is order-safe (the same gate
+// every candidate-reordering plan uses). SELECT * does not block the
+// permutation: the executor restores the original relation order in
+// star expansion. An unsafe permutation is ignored, not an error.
+func permPrefixLen(sel *sqlast.Select) int {
+	if len(sel.Compound) > 0 || len(sel.From) < 2 || !indexOrderSafe(sel) {
+		return 0
 	}
-	switch sel.From[1].Join {
-	case sqlast.JoinComma, sqlast.JoinCross, sqlast.JoinInner:
-	default:
-		return false
-	}
-	// A later NATURAL join synthesizes its ON against the *first* earlier
-	// relation sharing each column name (naturalOn walks rels in order);
-	// swapping the first two relations can rebind those columns, so the
-	// swap is only safe when every later join's condition is explicit.
-	for _, item := range sel.From[2:] {
+	for _, item := range sel.From[1:] {
 		if item.Join == sqlast.JoinNatural {
-			return false
+			return 0
 		}
 	}
-	for i := range sel.Items {
-		if sel.Items[i].Star {
-			return false
+	m := 1
+	for m < len(sel.From) {
+		switch sel.From[m].Join {
+		case sqlast.JoinComma, sqlast.JoinCross, sqlast.JoinInner:
+			m++
+		default:
+			goto sized
 		}
 	}
-	return indexOrderSafe(sel)
+sized:
+	if m < 2 {
+		return 0
+	}
+	aliases := make([]string, m)
+	for i := 0; i < m; i++ {
+		aliases[i] = refAlias(sel.From[i].Ref)
+		if aliases[i] == "" {
+			return 0
+		}
+		for j := 0; j < i; j++ {
+			if strings.EqualFold(aliases[i], aliases[j]) {
+				return 0
+			}
+		}
+	}
+	for i := 1; i < m; i++ {
+		if sel.From[i].On == nil {
+			continue
+		}
+		for _, conj := range splitAnd(sel.From[i].On, nil) {
+			if !permConjSafe(conj, aliases) {
+				return 0
+			}
+		}
+	}
+	return m
 }
 
-// swappedFrom returns a copy of the FROM list with the first two
-// relations exchanged: the second item's ref leads, the first item's ref
-// joins onto it under the original join type and ON condition (symmetric
-// for inner-like joins), and later items are untouched.
-func swappedFrom(from []sqlast.FromItem) []sqlast.FromItem {
+// refAlias returns the reference name of a FROM item's relation.
+func refAlias(ref sqlast.TableRef) string {
+	switch r := ref.(type) {
+	case *sqlast.TableName:
+		return r.RefName()
+	case *sqlast.DerivedTable:
+		return r.Alias
+	default:
+		return ""
+	}
+}
+
+// permConjSafe reports whether an ON conjunct can be re-attached at a
+// different join step: every column reference is qualified with a
+// prefix alias (so the binding step is computable and unambiguous) and
+// no subquery appears.
+func permConjSafe(e sqlast.Expr, aliases []string) bool {
+	ok := true
+	walkExpr(e, func(x sqlast.Expr) bool {
+		switch n := x.(type) {
+		case *sqlast.ColumnRef:
+			if n.Table == "" {
+				ok = false
+				return false
+			}
+			found := false
+			for _, a := range aliases {
+				if strings.EqualFold(n.Table, a) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				return false
+			}
+		case *sqlast.Subquery, *sqlast.Exists:
+			ok = false
+			return false
+		}
+		return ok
+	})
+	return ok
+}
+
+// walkExpr visits e and its sub-expressions (not descending into
+// subquery SELECTs) until visit returns false.
+func walkExpr(e sqlast.Expr, visit func(sqlast.Expr) bool) bool {
+	if e == nil {
+		return true
+	}
+	if !visit(e) {
+		return false
+	}
+	switch x := e.(type) {
+	case *sqlast.Unary:
+		return walkExpr(x.X, visit)
+	case *sqlast.Binary:
+		return walkExpr(x.L, visit) && walkExpr(x.R, visit)
+	case *sqlast.Func:
+		for _, a := range x.Args {
+			if !walkExpr(a, visit) {
+				return false
+			}
+		}
+	case *sqlast.Case:
+		if !walkExpr(x.Operand, visit) {
+			return false
+		}
+		for i := range x.Whens {
+			if !walkExpr(x.Whens[i].Cond, visit) ||
+				!walkExpr(x.Whens[i].Then, visit) {
+				return false
+			}
+		}
+		return walkExpr(x.Else, visit)
+	case *sqlast.Cast:
+		return walkExpr(x.X, visit)
+	case *sqlast.Between:
+		return walkExpr(x.X, visit) && walkExpr(x.Lo, visit) &&
+			walkExpr(x.Hi, visit)
+	case *sqlast.InList:
+		if !walkExpr(x.X, visit) {
+			return false
+		}
+		for _, le := range x.List {
+			if !walkExpr(le, visit) {
+				return false
+			}
+		}
+	case *sqlast.IsNull:
+		return walkExpr(x.X, visit)
+	case *sqlast.IsBool:
+		return walkExpr(x.X, visit)
+	case *sqlast.Like:
+		return walkExpr(x.X, visit) && walkExpr(x.Pattern, visit)
+	}
+	return true
+}
+
+// permutedFrom returns the FROM list reordered by perm — new position j
+// holds original relation perm[j], positions beyond len(perm) keep
+// their place — with every prefix ON conjunct re-attached at the
+// earliest permuted step that binds all relations it references
+// (permuted steps join as explicit INNER). The second result marks the
+// conjuncts whose set of joined-in relations at their new step differs
+// from the original — the "relocated" conjuncts a join-reorderer defect
+// can mishandle; a plain two-relation swap relocates nothing.
+func permutedFrom(from []sqlast.FromItem, perm []int) ([]sqlast.FromItem, map[sqlast.Expr]bool) {
+	k := len(perm)
 	out := make([]sqlast.FromItem, len(from))
 	copy(out, from)
-	out[0] = sqlast.FromItem{Ref: from[1].Ref}
-	out[1] = sqlast.FromItem{Ref: from[0].Ref, Join: from[1].Join, On: from[1].On}
-	return out
+
+	aliases := make([]string, k)
+	for i := 0; i < k; i++ {
+		aliases[i] = refAlias(from[i].Ref)
+	}
+
+	// Pool the prefix ON conjuncts with the original relation set each
+	// one joined under.
+	var conjs []sqlast.Expr
+	var origStep []int
+	for i := 1; i < k; i++ {
+		if from[i].On != nil {
+			for _, c := range splitAnd(from[i].On, nil) {
+				conjs = append(conjs, c)
+				origStep = append(origStep, i)
+			}
+		}
+	}
+
+	// bound[o] is the new step at which original relation o joins in.
+	bound := make([]int, k)
+	for j := 0; j < k; j++ {
+		out[j] = sqlast.FromItem{Ref: from[perm[j]].Ref}
+		if j > 0 {
+			out[j].Join = sqlast.JoinInner
+		}
+		bound[perm[j]] = j
+	}
+
+	var moved map[sqlast.Expr]bool
+	ons := make([]sqlast.Expr, k)
+	for ci, conj := range conjs {
+		// The conjunct becomes evaluable at the latest new step among
+		// the relations it references (step 1 when it references none).
+		at := 1
+		walkExpr(conj, func(x sqlast.Expr) bool {
+			if cr, ok := x.(*sqlast.ColumnRef); ok {
+				for o := 0; o < k; o++ {
+					if strings.EqualFold(cr.Table, aliases[o]) {
+						if bound[o] > at {
+							at = bound[o]
+						}
+						break
+					}
+				}
+			}
+			return true
+		})
+		if ons[at] == nil {
+			ons[at] = conj
+		} else {
+			ons[at] = &sqlast.Binary{Op: sqlast.OpAnd, L: ons[at], R: conj}
+		}
+		// Relocated: the relations already joined when the conjunct now
+		// applies differ from those joined at its original step.
+		if !samePrefixSet(perm, at, origStep[ci]) {
+			if moved == nil {
+				moved = map[sqlast.Expr]bool{}
+			}
+			moved[conj] = true
+		}
+	}
+	for j := 1; j < k; j++ {
+		out[j].On = ons[j]
+	}
+	return out, moved
+}
+
+// samePrefixSet reports whether {perm[0..at]} equals {0..orig}.
+func samePrefixSet(perm []int, at, orig int) bool {
+	if at != orig {
+		return false
+	}
+	for j := 0; j <= at; j++ {
+		if perm[j] > orig {
+			return false
+		}
+	}
+	return true
 }

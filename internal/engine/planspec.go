@@ -4,7 +4,7 @@ package engine
 // join-strategy choices the planner (plan.go) would otherwise make by
 // cost: per-relation scan/index forcing with an optional composite
 // equality-prefix width cap, per-join-step probe suppression, and the
-// join input order of the first two FROM relations. The PlanDiff oracle
+// join order of the leading inner-join chain. The PlanDiff oracle
 // drives it: EnumeratePlans (planenum.go) yields the deterministic set
 // of semantically-equivalent specs for a query, and the oracle diffs the
 // auto plan against each of them.
@@ -71,11 +71,18 @@ type PlanSpec struct {
 	// while index maintenance continues. This is the plan the legacy
 	// SetIndexPaths(false) toggle selected.
 	DisableIndexPaths bool
-	// SwapInputs exchanges the first two FROM relations before planning,
-	// choosing the other join input order. Applied only when the swap is
-	// semantically safe (inner-like first join, no SELECT *, order-safe
-	// statement); otherwise it is ignored.
-	SwapInputs bool
+	// JoinPerm reorders the leading inner-join chain of the FROM list
+	// before planning: relation j of the permuted FROM is original
+	// relation JoinPerm[j], with positions beyond len(JoinPerm) left in
+	// place. The canonical form trims trailing fixed points, so the
+	// identity is nil and the legacy two-relation swap is [1, 0]. ON
+	// conjuncts are re-attached at the earliest permuted step that binds
+	// their relations, and SELECT * output is restored to the original
+	// relation order, so the permutation is invisible to results. It is
+	// applied only when semantically safe (inner-like chain, explicit
+	// qualified ON conditions, order-safe statement); otherwise it is
+	// ignored.
+	JoinPerm []int
 	// CoveringOff suppresses covering-index projection: even when every
 	// referenced column is in the chosen index's key, the executor
 	// materializes heap rows and evaluates the projection normally. The
@@ -106,19 +113,25 @@ func (p *PlanSpec) joinProbeOff(step int) bool {
 }
 
 // String renders the spec in its canonical serialized form: "auto" for
-// the zero spec, otherwise space-separated tokens — "noindex", "swap",
-// "nocover", "rel:<alias>=scan", "rel:<alias>=index(<name>)[/w<k>]",
-// "rel:<alias>=auto/w<k>", "join:<step>=probeoff" — with relations
-// sorted by alias and joins by step, so equal specs render identically.
-// ParsePlanSpec inverts it; bug reports carry the losing spec in this
-// form and the reducer replays it verbatim.
+// the zero spec, otherwise space-separated tokens — "noindex",
+// "perm:<i,j,...>", "nocover", "rel:<alias>=scan",
+// "rel:<alias>=index(<name>)[/w<k>]", "rel:<alias>=auto/w<k>",
+// "join:<step>=probeoff" — with relations sorted by alias and joins by
+// step, so equal specs render identically. ParsePlanSpec inverts it
+// (and still accepts the legacy "swap" spelling of "perm:1,0"); bug
+// reports carry the losing spec in this form and the reducer replays
+// it verbatim.
 func (p PlanSpec) String() string {
 	var toks []string
 	if p.DisableIndexPaths {
 		toks = append(toks, "noindex")
 	}
-	if p.SwapInputs {
-		toks = append(toks, "swap")
+	if len(p.JoinPerm) > 0 {
+		ps := make([]string, len(p.JoinPerm))
+		for i, v := range p.JoinPerm {
+			ps[i] = strconv.Itoa(v)
+		}
+		toks = append(toks, "perm:"+strings.Join(ps, ","))
 	}
 	if p.CoveringOff {
 		toks = append(toks, "nocover")
@@ -160,6 +173,21 @@ func (p PlanSpec) String() string {
 	return strings.Join(toks, " ")
 }
 
+// CanonicalPerm trims trailing fixed points from a permutation and
+// returns nil for the identity, so equal join orders compare and render
+// identically regardless of how many fixed tail positions the caller
+// spelled out.
+func CanonicalPerm(perm []int) []int {
+	n := len(perm)
+	for n > 0 && perm[n-1] == n-1 {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	return perm[:n]
+}
+
 // ParsePlanSpec parses the String form back into a PlanSpec.
 func ParsePlanSpec(s string) (PlanSpec, error) {
 	var p PlanSpec
@@ -172,7 +200,24 @@ func ParsePlanSpec(s string) (PlanSpec, error) {
 		case tok == "noindex":
 			p.DisableIndexPaths = true
 		case tok == "swap":
-			p.SwapInputs = true
+			// Legacy spelling from pre-permutation reports.
+			p.JoinPerm = []int{1, 0}
+		case strings.HasPrefix(tok, "perm:"):
+			parts := strings.Split(tok[len("perm:"):], ",")
+			perm := make([]int, len(parts))
+			seen := make([]bool, len(parts))
+			for i, part := range parts {
+				v, err := strconv.Atoi(part)
+				if err != nil || v < 0 || v >= len(parts) || seen[v] {
+					return PlanSpec{}, fmt.Errorf("planspec: bad permutation %q", tok)
+				}
+				perm[i] = v
+				seen[v] = true
+			}
+			if perm = CanonicalPerm(perm); perm == nil {
+				return PlanSpec{}, fmt.Errorf("planspec: identity permutation %q", tok)
+			}
+			p.JoinPerm = perm
 		case tok == "nocover":
 			p.CoveringOff = true
 		case strings.HasPrefix(tok, "rel:"):

@@ -3,7 +3,7 @@ package engine
 // Unit tests for the PlanSpec plan-control API: serialization round
 // trips, per-relation and per-join forcing, prefix-width caps,
 // forced-but-inapplicable fallback (degrade to a scan, never an error),
-// join-input-order swapping, and the determinism and shape of
+// join-order permutation, and the determinism and shape of
 // EnumeratePlans.
 
 import (
@@ -21,7 +21,8 @@ func TestPlanSpecStringParseRoundTrip(t *testing.T) {
 	specs := []PlanSpec{
 		{},
 		{DisableIndexPaths: true},
-		{SwapInputs: true},
+		{JoinPerm: []int{1, 0}},
+		{JoinPerm: []int{2, 0, 1}},
 		{Relations: map[string]RelSpec{"t": {Force: ForceScan}}},
 		{Relations: map[string]RelSpec{"t": {Force: ForceIndex, Index: "i0"}}},
 		{Relations: map[string]RelSpec{
@@ -29,7 +30,7 @@ func TestPlanSpecStringParseRoundTrip(t *testing.T) {
 			"b": {Force: ForceAuto, PrefixWidth: 2},
 		}},
 		{Joins: map[int]JoinSpec{0: {ProbeOff: true}, 2: {ProbeOff: true}}},
-		{DisableIndexPaths: true, SwapInputs: true,
+		{DisableIndexPaths: true, JoinPerm: []int{1, 0},
 			Relations: map[string]RelSpec{"t": {Force: ForceScan}},
 			Joins:     map[int]JoinSpec{1: {ProbeOff: true}}},
 	}
@@ -49,10 +50,26 @@ func TestPlanSpecStringParseRoundTrip(t *testing.T) {
 	for _, bad := range []string{
 		"bogus", "rel:t", "rel:t=index()", "rel:t=magic", "rel:t=scan/w0",
 		"join:x=probeoff", "join:1=magic", "join:-1=probeoff",
+		"perm:", "perm:0", "perm:0,1", "perm:0,0", "perm:2,0", "perm:1,x",
 	} {
 		if _, err := ParsePlanSpec(bad); err == nil {
 			t.Errorf("ParsePlanSpec(%q) must fail", bad)
 		}
+	}
+	// The legacy "swap" token parses as the two-relation transposition.
+	legacy, err := ParsePlanSpec("swap")
+	if err != nil {
+		t.Fatalf("legacy swap token: %v", err)
+	}
+	if legacy.String() != "perm:1,0" {
+		t.Errorf("legacy swap parses to %q, want perm:1,0", legacy.String())
+	}
+	// CanonicalPerm trims trailing fixed points and maps identity to nil.
+	if p := CanonicalPerm([]int{1, 0, 2, 3}); len(p) != 2 || p[0] != 1 || p[1] != 0 {
+		t.Errorf("CanonicalPerm([1 0 2 3]) = %v, want [1 0]", p)
+	}
+	if p := CanonicalPerm([]int{0, 1, 2}); p != nil {
+		t.Errorf("CanonicalPerm(identity) = %v, want nil", p)
 	}
 }
 
@@ -238,27 +255,28 @@ func TestPlanSpecJoinForcing(t *testing.T) {
 	}
 
 	// A sargable conjunct on r is only probeable when r leads the FROM:
-	// the swapped input order makes it the planned relation.
+	// the permuted input order makes it the planned relation.
 	const qs = "SELECT l.lx, r.ry FROM l INNER JOIN r ON l.x = r.y WHERE r.y = 3"
 	noSwap, noSwapCost := querySpec(t, db, PlanSpec{}, qs)
-	swap, swapCost := querySpec(t, db, PlanSpec{SwapInputs: true}, qs)
+	swap, swapCost := querySpec(t, db, PlanSpec{JoinPerm: []int{1, 0}}, qs)
 	if !equalMultisets(multisetOf(noSwap), multisetOf(swap)) {
-		t.Error("swap changed the join multiset")
+		t.Error("perm changed the join multiset")
 	}
 	if swapCost >= noSwapCost {
-		t.Errorf("swap must let the r.y probe lead: cost %d vs %d", swapCost, noSwapCost)
+		t.Errorf("perm must let the r.y probe lead: cost %d vs %d", swapCost, noSwapCost)
 	}
 
-	// The swap is ignored where unsafe: SELECT * column order depends on
-	// relation order, so the spec must not change it.
+	// SELECT * stays permutable: the order-restoring projection keeps the
+	// output columns in original relation order while the join runs in
+	// permuted order.
 	const qstar = "SELECT * FROM l INNER JOIN r ON l.x = r.y"
 	starBase, _ := querySpec(t, db, PlanSpec{}, qstar)
-	starSwap, _ := querySpec(t, db, PlanSpec{SwapInputs: true}, qstar)
+	starSwap, _ := querySpec(t, db, PlanSpec{JoinPerm: []int{1, 0}}, qstar)
 	if strings.Join(starBase.Columns, ",") != strings.Join(starSwap.Columns, ",") {
-		t.Errorf("unsafe swap applied: columns %v vs %v", starBase.Columns, starSwap.Columns)
+		t.Errorf("star projection not order-restored: columns %v vs %v", starBase.Columns, starSwap.Columns)
 	}
 	if !equalMultisets(multisetOf(starBase), multisetOf(starSwap)) {
-		t.Error("gated swap changed the result")
+		t.Error("permuted star query changed the result")
 	}
 }
 
@@ -277,15 +295,15 @@ func TestSwapGatedByLaterNaturalJoin(t *testing.T) {
 
 	const q = "SELECT t0.x, t1.x, t2.x FROM t0 INNER JOIN t1 ON t0.y = t1.y NATURAL JOIN t2"
 	base, _ := querySpec(t, db, PlanSpec{}, q)
-	swapped, _ := querySpec(t, db, PlanSpec{SwapInputs: true}, q)
+	swapped, _ := querySpec(t, db, PlanSpec{JoinPerm: []int{1, 0}}, q)
 	if !equalMultisets(multisetOf(base), multisetOf(swapped)) {
-		t.Fatalf("swap must be ignored under a later NATURAL join:\nbase: %v\nswap: %v",
+		t.Fatalf("perm must be ignored under a later NATURAL join:\nbase: %v\nperm: %v",
 			base.RenderRows(), swapped.RenderRows())
 	}
 	sel := parseSelectStmt(t, q)
 	for _, spec := range EnumeratePlans(db, sel) {
-		if spec.SwapInputs {
-			t.Fatalf("enumerator emitted the unsafe swap: %s", spec.String())
+		if len(spec.JoinPerm) > 0 {
+			t.Fatalf("enumerator emitted an unsafe permutation: %s", spec.String())
 		}
 	}
 }
@@ -326,7 +344,7 @@ func TestEnumeratePlansDeterministicAndShaped(t *testing.T) {
 		"rel:t=index(iab)",
 		"rel:t=index(iab)/w1",
 		"join:0=probeoff",
-		"swap",
+		"perm:1,0",
 	} {
 		if !strings.Contains(got, want+"; ") {
 			t.Errorf("plan space misses %q: %s", want, got)

@@ -63,6 +63,10 @@ type DB struct {
 	// budget accounting.
 	rows   int64
 	budget int64
+	// totalCost is the sum of cost over every finished statement on this
+	// instance (never reset) — the denominator for work-normalized
+	// metrics like novel plan pairs per rows touched.
+	totalCost int64
 	// batch is the scan filter's columnar batch width (rows per selection
 	// bitmap chunk); <= 0 selects the row-at-a-time reference executor.
 	// Execution is observationally identical at every width — the knob
@@ -188,6 +192,11 @@ func (s *DB) TriggeredFaults() []string {
 // LastCost returns the executor work units of the last statement.
 func (s *DB) LastCost() int64 { return s.cost }
 
+// TotalCost returns the cumulative executor work units charged across
+// every statement on this instance. Unlike LastCost it is never reset,
+// so campaign-level metrics can normalize by total rows touched.
+func (s *DB) TotalCost() int64 { return s.totalCost }
+
 // chargeRow charges one row of executor work against the statement's
 // cost and its rows-touched budget, reporting whether the budget is now
 // exhausted. It is the only place budgeted loops account work, so cost
@@ -247,6 +256,9 @@ func (s *DB) run(sql string) (*Result, error) {
 	s.triggered = map[string]bool{}
 	s.cost = 0
 	s.rows = 0
+	// Fold each statement's final cost into the instance-lifetime total:
+	// TotalCost is exactly the sum of LastCost over every statement.
+	defer func() { s.totalCost += s.cost }()
 	if s.crashed {
 		return nil, errf(ErrCrash, "server is not running (restart required)")
 	}

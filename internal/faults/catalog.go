@@ -114,6 +114,7 @@ var catalog = map[string][]spec{
 		{Logic, IndexRangeBoundary, "<=", "index range scan treats <= as an exclusive upper bound, dropping boundary keys"},
 		{Logic, JoinIndexResidual, "", "index-nested-loop join treats the probe equality as the whole ON condition, skipping residual conjuncts"},
 		{Logic, CompositeSpanBoundary, "", "composite index span computes its trailing strict range with an off-by-one, dropping the boundary-adjacent key"},
+		{Logic, JoinPermConjDrop, "", "join reorderer drops a relocated ON conjunct when the permuted order defers it past its original step"},
 	},
 	"monetdb": {
 		{Logic, CmpNullTrue, "<=", "<= with NULL operand keeps the row"},

@@ -196,6 +196,15 @@ const (
 	// unaffected, so small tables mask the defect. SELECT filtering
 	// only: DML collection orders mutations row-at-a-time.
 	BatchTailDrop
+	// JoinPermConjDrop: the join reorderer drops an ON conjunct that a
+	// join-order permutation re-attached at a later step than it
+	// originally joined under — the step evaluates only the conjuncts
+	// that stayed put, so candidate pairs the relocated conjunct would
+	// have rejected leak into the result. The auto plan and the plain
+	// two-relation swap relocate nothing, so the defect is observable
+	// only when a plan-diffing oracle forces a deeper permutation of a
+	// 3+-relation inner-join chain.
+	JoinPermConjDrop
 )
 
 // Fault is one injected defect.
@@ -243,6 +252,7 @@ type Set struct {
 	vecNull      map[string]*Fault // by comparison operator spelling
 	coverSwap    *Fault
 	batchTail    *Fault
+	permDrop     *Fault
 }
 
 // NewSet indexes a fault list.
@@ -325,6 +335,8 @@ func NewSet(list []Fault) *Set {
 			s.coverSwap = f
 		case BatchTailDrop:
 			s.batchTail = f
+		case JoinPermConjDrop:
+			s.permDrop = f
 		}
 	}
 	return s
@@ -477,16 +489,17 @@ func (s *Set) UniqueConflict() *Fault {
 
 // HasPlanFaults reports whether the set carries any access-path-planner
 // fault (PartialIndexScan, StaleIndexAfterUpdate, IndexRangeBoundary,
-// CompositeSpanBoundary, CompositeProbePrefixSkip, PrefixSpanTruncate).
-// The engine pins its planner scratch buffers before running their
-// ground-truth checks, whose clean re-evaluation may re-enter the
-// planner.
+// CompositeSpanBoundary, CompositeProbePrefixSkip, PrefixSpanTruncate,
+// JoinPermConjDrop). The engine pins its planner scratch buffers before
+// running their ground-truth checks, whose clean re-evaluation may
+// re-enter the planner.
 func (s *Set) HasPlanFaults() bool {
 	if s == nil {
 		return false
 	}
 	return s.partialIndex != nil || s.staleIndex != nil || s.compBound != nil ||
-		s.compPrefix != nil || s.prefixTrunc != nil || len(s.rangeBound) > 0
+		s.compPrefix != nil || s.prefixTrunc != nil || s.permDrop != nil ||
+		len(s.rangeBound) > 0
 }
 
 // CompositeBoundary returns the composite-span off-by-one fault, if any.
@@ -603,4 +616,12 @@ func (s *Set) BatchTail() *Fault {
 		return nil
 	}
 	return s.batchTail
+}
+
+// PermConjDrop returns the join-reorderer conjunct-drop fault, if any.
+func (s *Set) PermConjDrop() *Fault {
+	if s == nil {
+		return nil
+	}
+	return s.permDrop
 }

@@ -132,8 +132,8 @@ func TestForDialectIDsUnique(t *testing.T) {
 
 func TestCountByClass(t *testing.T) {
 	counts := CountByClass(ForDialect("umbra"))
-	if counts[Logic] != 19 {
-		t.Errorf("umbra logic faults = %d, want 19", counts[Logic])
+	if counts[Logic] != 20 {
+		t.Errorf("umbra logic faults = %d, want 20", counts[Logic])
 	}
 	if counts[Crash]+counts[Error]+counts[Perf] != 8 {
 		t.Errorf("umbra other faults = %d, want 8",

@@ -57,9 +57,18 @@ type Options struct {
 	Reduce bool
 	// MaxPlans caps the equivalent plans the PlanDiff oracle diffs per
 	// query (the -plans flag): 0 selects the oracle default, negative is
-	// unlimited. Plans beyond the cap are counted in
-	// Report.PlanSpecsDropped, never truncated silently.
+	// unlimited. With the plan-pair scheduler on (the default), the cap
+	// buys unseen (query shape, plan spec) pairs first; see
+	// Report.PlanPairsNovel / PlanPairsRepeated.
 	MaxPlans int
+	// NoPlanPairSched disables the plan-pair novelty scheduler (the
+	// -pairsched=false flag): PlanDiff truncates the canonical plan
+	// enumeration order instead of ranking unseen pairs first.
+	NoPlanPairSched bool
+	// PlanPairState seeds the plan-pair tracker with a previous run's
+	// Report.PlanPairState, so a warm-started campaign skips pairs it
+	// already diffed.
+	PlanPairState []byte
 	// Threshold is the Bayesian minimum success probability p
 	// (default 0.05 for scaled runs; the paper uses 0.01).
 	Threshold float64
@@ -144,9 +153,15 @@ type Report struct {
 	// FalsePositives counts bug cases with no ground-truth fault; any
 	// non-zero value indicates a defect in this library.
 	FalsePositives int
-	// PlanSpecsDropped counts enumerated plans the MaxPlans cap kept the
-	// PlanDiff oracle from executing.
-	PlanSpecsDropped int
+	// PlanPairsNovel and PlanPairsRepeated count the plan specs the
+	// PlanDiff oracle executed whose (query shape, plan spec) pair its
+	// tracker had not / had already diffed; the ratio shows the novelty
+	// scheduler stretching the MaxPlans budget.
+	PlanPairsNovel    int
+	PlanPairsRepeated int
+	// PlanPairState holds the plan-pair tracker's final state for reuse
+	// via Options.PlanPairState (nil with the scheduler disabled).
+	PlanPairState []byte
 	// HarnessCrashes counts Go panics recovered at the campaign's
 	// containment boundary and converted into "harness"-class bug cases.
 	HarnessCrashes int
@@ -177,9 +192,11 @@ func Run(o Options) (*Report, error) {
 		Threshold:        o.Threshold,
 		ReduceBugs:       o.Reduce,
 		MaxPlansPerQuery: o.MaxPlans,
+		NoPlanPairSched:  o.NoPlanPairSched,
 		RowBudget:        o.RowBudget,
 		BatchSize:        o.BatchSize,
 		FeedbackState:    o.FeedbackState,
+		PlanPairState:    o.PlanPairState,
 	}
 	switch {
 	case o.Baseline:
@@ -224,7 +241,9 @@ func Run(o Options) (*Report, error) {
 		FeedbackState:       rep.FeedbackState,
 		UnsupportedFeatures: rep.Unsupported,
 		FalsePositives:      rep.FalsePositives,
-		PlanSpecsDropped:    rep.PlanSpecsDropped,
+		PlanPairsNovel:      rep.PlanPairsNovel,
+		PlanPairsRepeated:   rep.PlanPairsRepeated,
+		PlanPairState:       rep.PlanPairState,
 		HarnessCrashes:      rep.HarnessCrashes,
 		BudgetExceeded:      rep.BudgetExceeded,
 	}
