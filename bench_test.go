@@ -8,6 +8,7 @@ package sqlancerpp
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"sqlancerpp/internal/core/campaign"
 	"sqlancerpp/internal/core/feedback"
@@ -206,6 +207,32 @@ func BenchmarkBudgetedCampaign(b *testing.B) {
 	}
 	if rep.BudgetExceeded != 0 {
 		b.Fatalf("budget ceiling reached %d times; the overhead measurement is polluted", rep.BudgetExceeded)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
+}
+
+// BenchmarkSupervisedCampaign is the sharded campaign with the full
+// robustness harness armed — supervisor (default retries), per-case
+// watchdog at a ceiling no case reaches, and a checkpoint written after
+// every shard — against the fault-free engine. It measures the overhead
+// of supervised execution itself: no retries fire, no hangs trip, and
+// the acceptance bar is throughput comparable to the unsupervised
+// sharded run.
+func BenchmarkSupervisedCampaign(b *testing.B) {
+	d := dialect.MustGet("sqlite")
+	ckpt := b.TempDir() + "/bench.ckpt"
+	b.ReportAllocs()
+	b.ResetTimer()
+	rep, err := campaign.RunShardedOpts(campaign.Config{
+		Dialect: d, Mode: campaign.Adaptive, TestCases: b.N + 1, Seed: 1,
+		CaseTimeout: time.Hour,
+	}, campaign.ShardedOptions{Workers: 2, CheckpointPath: ckpt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Hangs != 0 || rep.ShardRetries != 0 || rep.ShardsQuarantined != 0 {
+		b.Fatalf("supervision fired on a fault-free run: hangs=%d retries=%d quarantined=%d",
+			rep.Hangs, rep.ShardRetries, rep.ShardsQuarantined)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
 }

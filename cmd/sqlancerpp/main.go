@@ -6,7 +6,8 @@
 //	sqlancerpp -dbms cratedb [-cases 20000] [-oracle all|tlp-family|<names>]
 //	           [-seed 1] [-no-feedback] [-baseline] [-reduce] [-plans 6]
 //	           [-state feedback.json] [-workers 8] [-budget 100000]
-//	           [-checkpoint run.ckpt] [-resume] [-list] [-list-oracles]
+//	           [-checkpoint run.ckpt] [-resume] [-timeout 2s]
+//	           [-shard-retries 2] [-chaos spec] [-list] [-list-oracles]
 //
 // With -checkpoint, SIGINT/SIGTERM stops the campaign at the next shard
 // boundary after saving progress; re-running with -resume continues it
@@ -47,6 +48,12 @@ func main() {
 	checkpoint := flag.String("checkpoint", "",
 		"persist campaign progress to this file after every completed shard (SIGINT/SIGTERM saves and exits cleanly)")
 	resume := flag.Bool("resume", false, "continue an interrupted campaign from -checkpoint")
+	caseTimeout := flag.Duration("timeout", 0,
+		"per-case wall-clock watchdog; cases exceeding it are canceled and reported as hangs with their seed (0 = disabled)")
+	shardRetries := flag.Int("shard-retries", 0,
+		"retries before a failing shard is quarantined and the campaign completes degraded (0 = default 2, negative = no retries)")
+	chaosSpec := flag.String("chaos", "",
+		"inject deterministic harness faults, e.g. 'ckpt-write=~8;shard-error=1x2' (testing the harness itself; see internal/chaos)")
 	list := flag.Bool("list", false, "list registered dialects and exit")
 	listOracles := flag.Bool("list-oracles", false, "list registered oracles and exit")
 	maxPrint := flag.Int("max-print", 5, "bug reports to print in full")
@@ -84,6 +91,9 @@ func main() {
 		BatchSize:       *batch,
 		Checkpoint:      *checkpoint,
 		Resume:          *resume,
+		CaseTimeout:     *caseTimeout,
+		ShardRetries:    *shardRetries,
+		Chaos:           *chaosSpec,
 	}
 	if *statePath != "" {
 		if data, err := os.ReadFile(*statePath); err == nil {
@@ -130,6 +140,23 @@ func main() {
 	if report.BudgetExceeded > 0 {
 		fmt.Printf("statements over the -budget row limit: %d (skipped deterministically)\n",
 			report.BudgetExceeded)
+	}
+	if report.Hangs > 0 {
+		fmt.Printf("hangs: %d cases exceeded the -timeout watchdog (reported as hang-class bugs)\n",
+			report.Hangs)
+	}
+	if report.ShardRetries > 0 {
+		fmt.Printf("shard attempts retried: %d\n", report.ShardRetries)
+	}
+	if report.ShardsQuarantined > 0 {
+		fmt.Printf("WARNING: %d shards quarantined; results are degraded\n", report.ShardsQuarantined)
+		for _, q := range report.QuarantinedShards {
+			fmt.Printf("   shard %d (seed %d, %d cases): %s\n", q.Shard, q.Seed, q.TestCases, q.Err)
+		}
+	}
+	if report.CheckpointWriteFailures > 0 {
+		fmt.Printf("WARNING: %d checkpoint writes failed (campaign continued; -resume may lose progress)\n",
+			report.CheckpointWriteFailures)
 	}
 	if report.PlanPairsNovel+report.PlanPairsRepeated > 0 {
 		fmt.Printf("plan pairs diffed: %d novel, %d repeated\n",

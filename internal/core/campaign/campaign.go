@@ -11,7 +11,10 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
+	"sqlancerpp/internal/chaos"
 	"sqlancerpp/internal/core/feedback"
 	"sqlancerpp/internal/core/gen"
 	"sqlancerpp/internal/core/oracle"
@@ -131,6 +134,24 @@ type Config struct {
 	// PerfCostLimit flags queries whose executor cost exceeds the limit
 	// as performance bugs (0 disables).
 	PerfCostLimit int64
+	// CaseTimeout bounds each contained execution unit's wall-clock time
+	// (the -timeout flag): a watchdog timer armed per oracle case (and
+	// per setup/smoke statement) sets a cooperative cancel flag that the
+	// engine polls at its zero-alloc row-budget sites, failing the case
+	// with ErrTimeout. Timed-out cases are tallied in Report.Hangs and
+	// recorded as ClassHang bugs with their seed for offline replay; they
+	// are never logic bugs and never false positives. 0 disables the
+	// watchdog. Unlike RowBudget this is wall-clock and therefore
+	// host-dependent; it is excluded from the checkpoint fingerprint.
+	CaseTimeout time.Duration
+	// Chaos, when set, injects *infrastructure* faults (checkpoint
+	// write/corruption failures, shard errors and panics, case stalls) to
+	// exercise the supervisor's recovery paths — see internal/chaos. It
+	// is entirely separate from the dialect's DBMS logic-fault catalog:
+	// chaos faults must be survived, never reported as bugs. nil (the
+	// default) injects nothing; excluded from the checkpoint fingerprint
+	// so a chaos-free resume can recover a chaos-interrupted run.
+	Chaos *chaos.Injector
 
 	// Coverage, when set, records engine coverage.
 	Coverage *coverage.Recorder
@@ -161,6 +182,13 @@ const (
 	// sanitized stack; the poisoned instance is restarted and the
 	// campaign continues.
 	ClassHarness BugClass = "harness"
+	// ClassHang marks a case aborted by the per-case wall-clock watchdog
+	// (Config.CaseTimeout): execution exceeded its time bound and was
+	// cooperatively canceled. The report carries the case's seed and
+	// ordinal so the hang can be replayed offline without a timeout.
+	// Hangs carry no ground-truth fault by construction and are exempt
+	// from false-positive accounting.
+	ClassHang BugClass = "hang"
 )
 
 // BugCase is one bug-inducing test case.
@@ -225,6 +253,33 @@ type Report struct {
 	// skipped — no validity feedback, never a bug report.
 	BudgetExceeded int
 
+	// The robustness counters below are zero on fault-free runs and
+	// tagged omitempty, so a chaos-free report's JSON stays byte-identical
+	// to reports from builds that predate them.
+
+	// Hangs counts cases aborted by the per-case wall-clock watchdog
+	// (Config.CaseTimeout); each also appears as a ClassHang bug case.
+	Hangs int `json:",omitempty"`
+	// ShardRetries counts shard attempts that failed and were retried by
+	// the supervisor (summed across shards in a merged report).
+	ShardRetries int `json:",omitempty"`
+	// ShardsQuarantined counts shards whose every attempt failed; the
+	// campaign completed degraded without their results. QuarantinedShards
+	// records their seed ranges for offline replay.
+	ShardsQuarantined int                `json:",omitempty"`
+	QuarantinedShards []QuarantinedShard `json:",omitempty"`
+	// CheckpointWriteFailures counts checkpoint saves that failed and
+	// were degraded to a warning (the campaign keeps running; it just
+	// loses that checkpoint generation's progress on a crash).
+	CheckpointWriteFailures int `json:",omitempty"`
+
+	// Quarantined marks a per-shard placeholder report: the shard's
+	// supervisor exhausted its retries and this report carries no results,
+	// only QuarantineErr. Merged reports never set it; they count such
+	// placeholders in ShardsQuarantined instead.
+	Quarantined   bool   `json:",omitempty"`
+	QuarantineErr string `json:",omitempty"`
+
 	// Validity statistics (paper Table 4): a test case is valid when all
 	// its oracle queries executed.
 	TestCases  int
@@ -253,6 +308,16 @@ type Report struct {
 	GroundTruthFaults []string
 }
 
+// QuarantinedShard records one quarantined shard's seed range so the
+// lost work can be replayed offline (the shard's derived seed plus its
+// test-case count fully determine what it would have run).
+type QuarantinedShard struct {
+	Shard     int
+	Seed      int64
+	TestCases int
+	Err       string
+}
+
 // ValidityRate returns valid/total test cases.
 func (r *Report) ValidityRate() float64 {
 	if r.TestCases == 0 {
@@ -278,6 +343,11 @@ type Runner struct {
 	// Both nil with Config.NoPlanPairSched.
 	pairs    *feedback.PairTracker
 	planMemo *oracle.PlanEnumMemo
+
+	// cancel is the per-case watchdog's cooperative cancellation flag,
+	// shared with the main engine instance via WithCancel. nil when
+	// Config.CaseTimeout is unset; replay instances never get it.
+	cancel *atomic.Bool
 
 	db    *engine.DB
 	setup []*gen.Statement // successfully executed setup statements
@@ -402,6 +472,11 @@ func New(cfg Config) (*Runner, error) {
 		RiskyProb:      cfg.RiskyProb,
 	})
 
+	var cancel *atomic.Bool
+	if cfg.CaseTimeout > 0 {
+		cancel = new(atomic.Bool)
+	}
+
 	return &Runner{
 		sched:    oracle.Schedule(selected),
 		cfg:      cfg,
@@ -410,6 +485,7 @@ func New(cfg Config) (*Runner, error) {
 		pri:      prioritize.New(),
 		pairs:    pairs,
 		planMemo: planMemo,
+		cancel:   cancel,
 		report: &Report{
 			Dialect:            cfg.Dialect.Name,
 			Mode:               cfg.Mode.String(),
@@ -456,13 +532,52 @@ func (r *Runner) replayOpts() []engine.Option {
 }
 
 // engineOpts assembles the engine options for the campaign's main
-// instances: the replay set plus coverage recording.
+// instances: the replay set plus coverage recording and the watchdog's
+// cancel flag. Replay instances deliberately get neither — reduction
+// must shrink against deterministic failures only.
 func (r *Runner) engineOpts() []engine.Option {
 	opts := r.replayOpts()
 	if r.cfg.Coverage != nil {
 		opts = append(opts, engine.WithCoverage(r.cfg.Coverage))
 	}
+	if r.cancel != nil {
+		opts = append(opts, engine.WithCancel(r.cancel))
+	}
 	return opts
+}
+
+// armWatchdog starts the per-case wall-clock watchdog: after
+// Config.CaseTimeout the timer sets the shared cancel flag and the
+// engine fails the running statement with ErrTimeout at its next
+// per-row checkpoint. Returns nil (nothing to disarm) when no timeout
+// is configured.
+func (r *Runner) armWatchdog() *time.Timer {
+	if r.cancel == nil {
+		return nil
+	}
+	c := r.cancel
+	return time.AfterFunc(r.cfg.CaseTimeout, func() { c.Store(true) })
+}
+
+// disarmWatchdog stops the case's timer and clears the cancel flag so
+// the next case starts with a clean slate. It runs before the panic
+// containment handler (deferred after it, LIFO), so even a recovered
+// crash's reduction replays never observe a set flag.
+func (r *Runner) disarmWatchdog(t *time.Timer) {
+	if t == nil {
+		return
+	}
+	t.Stop()
+	r.cancel.Store(false)
+}
+
+// stallUntilCanceled simulates a hung case (the chaos case-stall site):
+// it burns wall-clock until the watchdog fires, making timeout tests
+// deterministic — the stall cannot outlive the timer.
+func (r *Runner) stallUntilCanceled() {
+	for !r.cancel.Load() {
+		time.Sleep(50 * time.Microsecond)
+	}
 }
 
 // newDatabase opens a fresh DBMS instance and generates a database state
@@ -505,6 +620,10 @@ func (r *Runner) execSetup(st *gen.Statement) {
 		r.report.BudgetExceeded++
 		return
 	}
+	if engine.IsTimeout(err) {
+		r.recordHang("", []string{st.SQL}, st.Features)
+		return
+	}
 	ok := err == nil
 	if ok {
 		r.report.SetupOK++
@@ -539,6 +658,8 @@ func (r *Runner) execSetup(st *gen.Statement) {
 // and the poisoned instance restarted, instead of killing the campaign.
 func (r *Runner) execContained(st *gen.Statement) (err error, crashed bool) {
 	defer r.containStmt(st, &crashed)
+	wd := r.armWatchdog()
+	defer r.disarmWatchdog(wd)
 	return r.db.Exec(st.SQL), false
 }
 
@@ -566,6 +687,10 @@ func (r *Runner) runSmokeQuery() {
 	}
 	if engine.IsBudgetExceeded(err) {
 		r.report.BudgetExceeded++
+		return
+	}
+	if engine.IsTimeout(err) {
+		r.recordHang("", []string{st.SQL}, st.Features)
 		return
 	}
 	r.tracker.RecordQuery(st.Features, err == nil)
@@ -607,6 +732,13 @@ func (r *Runner) runOracleCase() {
 	case oracle.Invalid:
 		if engine.IsBudgetExceeded(res.Err) {
 			r.report.BudgetExceeded++
+			return
+		}
+		if engine.IsTimeout(res.Err) {
+			// The watchdog canceled the case: report the hang, but teach
+			// the tracker nothing — a timeout says the case was slow on
+			// this host, not that its features are unsupported.
+			r.recordHang(res.Oracle, res.Queries, oc.Features)
 			return
 		}
 		r.tracker.RecordQuery(oc.Features, false)
@@ -661,7 +793,35 @@ func (r *Runner) checkContained(orc oracle.Oracle, c *oracle.Case, oc *gen.Oracl
 			r.recordHarnessCrash(p, orc.Name(), carrier, oc.Features)
 		}
 	}()
+	wd := r.armWatchdog()
+	defer r.disarmWatchdog(wd)
+	// The chaos stall site hangs this case until the watchdog cancels it
+	// — the deterministic stand-in for a genuinely wedged execution. It
+	// is a no-op unless a watchdog is armed: a stall with no timeout
+	// would hang the campaign, which is the failure mode under test, not
+	// a test of it.
+	if r.cancel != nil && r.cfg.Chaos.StallCase(c.Seq) {
+		r.stallUntilCanceled()
+	}
 	return orc.Check(r.db, c), false
+}
+
+// recordHang converts a watchdog cancellation into a ClassHang bug case
+// carrying the case's seed and ordinal — everything needed to replay the
+// hang offline without a timeout. Hangs have no ground-truth fault by
+// construction (wall-clock is not in the fault catalog), so recordBug
+// exempts them from false-positive accounting.
+func (r *Runner) recordHang(orc oracle.Name, queries, features []string) {
+	r.report.Hangs++
+	r.recordBug(&BugCase{
+		Class:    ClassHang,
+		Oracle:   orc,
+		Seq:      r.report.TestCases,
+		Queries:  queries,
+		Features: features,
+		Detail: fmt.Sprintf("case exceeded wall-clock timeout %s (seed %d, case %d)",
+			r.cfg.CaseTimeout, r.cfg.Seed, r.report.TestCases),
+	}, nil)
 }
 
 // recordHarnessCrash converts a recovered panic into a ClassHarness bug
@@ -733,7 +893,10 @@ func (r *Runner) recordBug(bug *BugCase, oc *gen.OracleCase) {
 	bug.ID = r.bugID
 	r.report.Detected++
 	r.report.DetectedByClass[bug.Class]++
-	if len(bug.Triggered) == 0 {
+	// Hangs are exempt: a wall-clock timeout never has a ground-truth
+	// fault, and counting it as a false positive would make the
+	// "FalsePositives == 0" invariant unsatisfiable under a watchdog.
+	if len(bug.Triggered) == 0 && bug.Class != ClassHang {
 		r.report.FalsePositives++
 	}
 	r.noteFaults(bug.Triggered)

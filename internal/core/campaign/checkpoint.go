@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"path/filepath"
 	"sync"
+	"time"
 
+	"sqlancerpp/internal/chaos"
 	"sqlancerpp/internal/par"
 )
 
@@ -18,6 +21,14 @@ import (
 // report byte-identical to an uninterrupted run.
 var ErrInterrupted = errors.New("campaign: interrupted")
 
+// Supervisor defaults: a transient shard failure gets two more chances,
+// spaced by a doubling backoff capped at 8x the base.
+const (
+	DefaultShardRetries = 2
+	DefaultRetryBackoff = 50 * time.Millisecond
+	maxBackoffFactor    = 8
+)
+
 // ShardedOptions parameterizes RunShardedOpts.
 type ShardedOptions struct {
 	// Workers bounds concurrent shard execution (minimum 1). The worker
@@ -26,29 +37,57 @@ type ShardedOptions struct {
 	// CheckpointPath, when set, persists campaign progress: after every
 	// completed shard the per-shard reports (each carrying its tracker's
 	// feedback state) and the shard seed table are written atomically
-	// (temp file + rename) to this path. The file is removed once the
+	// (unique temp file + fsync + rename, with the previous generation
+	// rotated to CheckpointPath+".bak") to this path. Write failures
+	// degrade the campaign (counted in Report.CheckpointWriteFailures)
+	// instead of aborting it. Both generations are removed once the
 	// campaign completes.
 	CheckpointPath string
 	// Resume loads CheckpointPath before running and skips the shards it
 	// already holds. The checkpoint's configuration fingerprint must
-	// match the resolved configuration; a missing file starts fresh.
+	// match the resolved configuration; a missing file starts fresh, and
+	// a corrupt file falls back to the ".bak" last-known-good generation
+	// (or a fresh start) instead of refusing to resume.
 	Resume bool
 	// Interrupt, when closed, stops the run at the next shard boundary
 	// with ErrInterrupted. Shards already in flight finish and are
 	// checkpointed; shards not yet started never start.
 	Interrupt <-chan struct{}
+	// MaxShardRetries is how many times the supervisor re-runs a shard
+	// whose attempt failed (error or recovered panic) before
+	// quarantining it: 0 selects DefaultShardRetries, negative disables
+	// retries. A quarantined shard contributes an explicit placeholder
+	// to the merge — the campaign completes degraded, never aborts on a
+	// shard failure.
+	MaxShardRetries int
+	// RetryBackoff is the base delay between attempts of one shard
+	// (doubling per retry, capped at 8x): 0 selects DefaultRetryBackoff,
+	// negative disables the delay (tests).
+	RetryBackoff time.Duration
 }
 
 // checkpointVersion is bumped whenever the checkpoint layout or the
-// shard partitioning scheme changes incompatibly.
-const checkpointVersion = 1
+// shard partitioning scheme changes incompatibly. Version 2 wraps the
+// payload in a checksummed envelope and adds the ".bak" generation.
+const checkpointVersion = 2
+
+// checkpointEnvelope is the on-disk frame around the checkpoint payload:
+// a version and an FNV-1a content checksum that makes every checkpoint
+// self-verifying. A torn or bit-flipped file fails the checksum and is
+// treated as corrupt (salvageable), while a version or fingerprint
+// mismatch inside an *intact* file stays a hard error — corruption and
+// misuse must not be confused.
+type checkpointEnvelope struct {
+	Version  int
+	Checksum string
+	Payload  json.RawMessage
+}
 
 // checkpointFile is the serialized campaign progress: which shards have
 // completed and their full reports. Reports round-trip losslessly
 // through JSON (every field is exported; FeedbackState is base64), which
 // is what makes a resumed merge byte-identical to an uninterrupted one.
 type checkpointFile struct {
-	Version int
 	// Fingerprint pins the resolved configuration (including an FNV-1a
 	// hash of the warm-start feedback state) so a checkpoint cannot be
 	// resumed under a different campaign setup.
@@ -61,9 +100,20 @@ type checkpointFile struct {
 	Shards []*Report
 }
 
+// errCkptCorrupt marks a checkpoint generation that cannot be trusted:
+// unreadable, unparseable, or failing its checksum. loadCheckpoint
+// responds by salvaging the previous generation, never by aborting.
+var errCkptCorrupt = errors.New("campaign: checkpoint corrupt")
+
+// errInjected is the error chaos-injected infrastructure faults surface.
+var errInjected = errors.New("injected chaos fault")
+
 // fingerprint renders the resolved configuration fields that determine a
 // campaign's behavior. Policy is a function value and cannot be
-// fingerprinted; checkpointed runs must configure via Mode.
+// fingerprinted; checkpointed runs must configure via Mode. CaseTimeout,
+// Chaos, and the supervisor's retry knobs are deliberately excluded:
+// they are infrastructure, not campaign semantics, so a chaos-free
+// -resume can recover a chaos-interrupted run.
 func fingerprint(cfg Config) string {
 	h := fnv.New64a()
 	h.Write(cfg.FeedbackState)
@@ -80,11 +130,14 @@ func fingerprint(cfg Config) string {
 		cfg.KeepAllCases, h.Sum64(), ph.Sum64())
 }
 
-// RunShardedOpts is RunSharded with checkpoint/resume and interruption
-// support. Progress is saved at shard granularity: each completed
-// shard's report is written to the checkpoint before the next one is
-// merged in, so an interrupted campaign loses at most the shards that
-// were in flight.
+// RunShardedOpts is RunSharded with supervision, checkpoint/resume, and
+// interruption support. Progress is saved at shard granularity: each
+// completed shard's report is written to the checkpoint before the next
+// one is merged in, so an interrupted campaign loses at most the shards
+// that were in flight. Shard failures are retried and then quarantined
+// (see ShardedOptions.MaxShardRetries); checkpoint write failures are
+// counted, not fatal. Only configuration errors and interruption abort
+// the run.
 func RunShardedOpts(cfg Config, opts ShardedOptions) (*Report, error) {
 	if cfg.Dialect == nil {
 		return nil, fmt.Errorf("campaign: no dialect configured")
@@ -99,9 +152,20 @@ func RunShardedOpts(cfg Config, opts ShardedOptions) (*Report, error) {
 	if workers > nShards {
 		workers = nShards
 	}
+	maxRetries := opts.MaxShardRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultShardRetries
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := opts.RetryBackoff
+	if backoff == 0 {
+		backoff = DefaultRetryBackoff
+	} else if backoff < 0 {
+		backoff = 0
+	}
 
 	cp := &checkpointFile{
-		Version:     checkpointVersion,
 		Fingerprint: fingerprint(cfg),
 		TotalShards: nShards,
 		Seeds:       make([]int64, nShards),
@@ -117,6 +181,7 @@ func RunShardedOpts(cfg Config, opts ShardedOptions) (*Report, error) {
 	}
 
 	var mu sync.Mutex
+	ckptFailures := 0
 	err := par.ForEach(nShards, workers, func(i int) error {
 		if cp.Shards[i] != nil {
 			return nil // restored from the checkpoint
@@ -126,11 +191,7 @@ func RunShardedOpts(cfg Config, opts ShardedOptions) (*Report, error) {
 			return ErrInterrupted
 		default:
 		}
-		runner, err := New(shards[i])
-		if err != nil {
-			return err
-		}
-		rep, err := runner.Run()
+		rep, err := runShardSupervised(shards[i], i, maxRetries, backoff)
 		if err != nil {
 			return err
 		}
@@ -138,7 +199,11 @@ func RunShardedOpts(cfg Config, opts ShardedOptions) (*Report, error) {
 		defer mu.Unlock()
 		cp.Shards[i] = rep
 		if opts.CheckpointPath != "" {
-			return saveCheckpoint(opts.CheckpointPath, cp)
+			if serr := saveCheckpoint(opts.CheckpointPath, cp, cfg.Chaos); serr != nil {
+				// Degrade, don't abort: the campaign keeps running and
+				// only risks redoing this generation's shards on a crash.
+				ckptFailures++
+			}
 		}
 		return nil
 	})
@@ -149,30 +214,108 @@ func RunShardedOpts(cfg Config, opts ShardedOptions) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	merged.CheckpointWriteFailures += ckptFailures
 	if opts.CheckpointPath != "" {
-		os.Remove(opts.CheckpointPath) // campaign complete; nothing to resume
+		// Campaign complete; nothing to resume. A failed removal is a real
+		// error — a stale checkpoint would resurrect this run's shards
+		// into the next campaign that reuses the path.
+		for _, p := range []string{opts.CheckpointPath, opts.CheckpointPath + ".bak"} {
+			if rerr := os.Remove(p); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+				return nil, fmt.Errorf("campaign: removing completed checkpoint: %w", rerr)
+			}
+		}
 	}
 	return merged, nil
 }
 
+// runShardSupervised runs one shard under the supervisor's retry policy:
+// a failed attempt (error or recovered panic) is retried with doubling
+// capped backoff; when every attempt fails the shard is quarantined —
+// the returned placeholder report carries the failure and contributes
+// nothing else to the merge. Configuration errors are fatal immediately:
+// they would fail identically on every retry and on every other shard.
+func runShardSupervised(sc Config, shard, maxRetries int, backoff time.Duration) (*Report, error) {
+	var lastErr error
+	for attempt := 1; attempt <= maxRetries+1; attempt++ {
+		if attempt > 1 && backoff > 0 {
+			d := backoff << (attempt - 2)
+			if d > maxBackoffFactor*backoff {
+				d = maxBackoffFactor * backoff
+			}
+			time.Sleep(d)
+		}
+		rep, fatal, err := runShardAttempt(sc, shard, attempt)
+		if err == nil {
+			rep.ShardRetries = attempt - 1
+			return rep, nil
+		}
+		if fatal {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return &Report{
+		Quarantined:   true,
+		QuarantineErr: lastErr.Error(),
+		ShardRetries:  maxRetries,
+	}, nil
+}
+
+// runShardAttempt executes one attempt at one shard behind a recovery
+// boundary: a panic anywhere in the shard's runner becomes a retryable
+// error with a deterministic message (no stack — retry accounting must
+// not vary with scheduling). fatal marks configuration errors, which
+// retrying cannot fix.
+func runShardAttempt(sc Config, shard, attempt int) (rep *Report, fatal bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rep, fatal, err = nil, false,
+				fmt.Errorf("campaign: shard %d attempt %d panicked: %v", shard, attempt, p)
+		}
+	}()
+	switch sc.Chaos.ShardFault(shard, attempt) {
+	case chaos.ShardFailError:
+		return nil, false, fmt.Errorf("campaign: shard %d attempt %d: %w", shard, attempt, errInjected)
+	case chaos.ShardFailPanic:
+		panic(fmt.Sprintf("%v (shard %d attempt %d)", errInjected, shard, attempt))
+	}
+	runner, err := New(sc)
+	if err != nil {
+		return nil, true, err
+	}
+	rep, err = runner.Run()
+	if err != nil {
+		return nil, false, err
+	}
+	return rep, false, nil
+}
+
 // loadCheckpoint restores completed shards from path into cp after
 // validating that the checkpoint belongs to this exact campaign. A
-// missing file is not an error: the run simply starts from scratch.
+// missing file is not an error (the run starts from scratch), and a
+// corrupt primary falls back to the ".bak" last-known-good generation —
+// then to a fresh start — instead of refusing to resume. Version,
+// fingerprint, and shard-layout mismatches in an intact file remain hard
+// errors: they mean the checkpoint is someone else's, not that it is
+// damaged.
 func loadCheckpoint(path string, cp *checkpointFile) error {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
+	old, err := loadCheckpointFile(path)
+	switch {
+	case err == nil:
+	case errors.Is(err, os.ErrNotExist):
 		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("campaign: reading checkpoint: %w", err)
-	}
-	var old checkpointFile
-	if err := json.Unmarshal(data, &old); err != nil {
-		return fmt.Errorf("campaign: parsing checkpoint %s: %w", path, err)
-	}
-	if old.Version != cp.Version {
-		return fmt.Errorf("campaign: checkpoint %s has version %d, want %d",
-			path, old.Version, cp.Version)
+	case errors.Is(err, errCkptCorrupt):
+		bak, bakErr := loadCheckpointFile(path + ".bak")
+		switch {
+		case bakErr == nil:
+			old = bak
+		case errors.Is(bakErr, os.ErrNotExist), errors.Is(bakErr, errCkptCorrupt):
+			return nil // both generations unusable: start fresh
+		default:
+			return bakErr
+		}
+	default:
+		return err
 	}
 	if old.Fingerprint != cp.Fingerprint {
 		return fmt.Errorf("campaign: checkpoint %s was recorded for a different configuration", path)
@@ -190,19 +333,108 @@ func loadCheckpoint(path string, cp *checkpointFile) error {
 	return nil
 }
 
-// saveCheckpoint writes cp to path atomically: the JSON goes to a temp
-// file first and replaces the checkpoint via rename, so a crash during
-// the write can never leave a torn checkpoint behind.
-func saveCheckpoint(path string, cp *checkpointFile) error {
-	data, err := json.Marshal(cp)
+// loadCheckpointFile reads and verifies one checkpoint generation.
+// Unreadable bytes, a broken envelope, a failed checksum, or an
+// undecodable payload all report errCkptCorrupt (salvageable); an intact
+// envelope with the wrong version is a hard error.
+func loadCheckpointFile(path string) (*checkpointFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: reading %s: %v", errCkptCorrupt, path, err)
+	}
+	var env checkpointEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: parsing %s: %v", errCkptCorrupt, path, err)
+	}
+	if env.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d",
+			path, env.Version, checkpointVersion)
+	}
+	if env.Checksum != ckptChecksum(env.Payload) {
+		return nil, fmt.Errorf("%w: %s checksum mismatch", errCkptCorrupt, path)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(env.Payload, &cf); err != nil {
+		return nil, fmt.Errorf("%w: decoding %s payload: %v", errCkptCorrupt, path, err)
+	}
+	return &cf, nil
+}
+
+// ckptChecksum is the envelope's content checksum: FNV-1a-64 over the
+// payload bytes, hex-rendered. Not cryptographic — it defends against
+// torn writes and bit rot, not adversaries.
+func ckptChecksum(payload []byte) string {
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// saveCheckpoint writes cp to path atomically and durably: the
+// checksummed envelope goes to a unique O_EXCL temp file in the same
+// directory (concurrent campaigns sharing a path can no longer clobber
+// each other's temp), is fsynced, and replaces the checkpoint via
+// rename — with the previous generation first rotated to path+".bak" as
+// the salvage target for torn-write recovery. The inj sites fault each
+// stage deterministically under chaos testing; inj is nil in production.
+func saveCheckpoint(path string, cp *checkpointFile, inj *chaos.Injector) error {
+	if inj.CheckpointFault(chaos.CheckpointMarshal) {
+		return fmt.Errorf("campaign: encoding checkpoint: %w", errInjected)
+	}
+	payload, err := json.Marshal(cp)
 	if err != nil {
 		return fmt.Errorf("campaign: encoding checkpoint: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	data, err := json.Marshal(checkpointEnvelope{
+		Version:  checkpointVersion,
+		Checksum: ckptChecksum(payload),
+		Payload:  payload,
+	})
+	if err != nil {
+		return fmt.Errorf("campaign: encoding checkpoint envelope: %w", err)
+	}
+	if inj.CheckpointFault(chaos.CheckpointTorn) {
+		// A torn write that still commits: half the bytes reach the final
+		// rename. The checksum catches it on load and the .bak generation
+		// salvages the resume.
+		data = data[:len(data)/2]
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: creating checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if err == nil && inj.CheckpointFault(chaos.CheckpointWrite) {
+		err = errInjected
+	}
+	if err == nil {
+		// fsync before rename: the rename must never become visible ahead
+		// of the data it points at.
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("campaign: writing checkpoint: %w", err)
 	}
+	// Rotate the current generation to last-known-good. Between this
+	// rename and the next, path does not exist — a crash in that window
+	// resumes from .bak, which is exactly what .bak is for.
+	if err := os.Rename(path, path+".bak"); err != nil && !errors.Is(err, os.ErrNotExist) {
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: rotating checkpoint generation: %w", err)
+	}
+	if inj.CheckpointFault(chaos.CheckpointRename) {
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: committing checkpoint: %w", errInjected)
+	}
 	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("campaign: committing checkpoint: %w", err)
 	}
 	return nil

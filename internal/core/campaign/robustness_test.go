@@ -293,12 +293,11 @@ func TestCheckpointFingerprintMismatch(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.ckpt")
 	recorded := shardedCfg(t, 400, 11).withDefaults()
 	if err := saveCheckpoint(path, &checkpointFile{
-		Version:     checkpointVersion,
 		Fingerprint: fingerprint(recorded),
 		TotalShards: 2,
 		Seeds:       make([]int64, 2),
 		Shards:      make([]*Report, 2),
-	}); err != nil {
+	}, nil); err != nil {
 		t.Fatal(err)
 	}
 

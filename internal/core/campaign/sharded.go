@@ -84,6 +84,12 @@ func shardConfigs(cfg Config) []Config {
 // pooled evidence. Ground-truth fault sets union. Every step is a
 // deterministic function of the shard reports, which are themselves
 // deterministic per shard seed.
+//
+// A quarantined shard's placeholder contributes only its retry count and
+// a QuarantinedShards entry (shard ordinal, derived seed, case count —
+// the full recipe for offline replay); everything else about the merge
+// is computed exactly as if the shard were absent, so the degraded
+// report is still a deterministic function of which shards survived.
 func mergeReports(cfg Config, reps []*Report) (*Report, error) {
 	merged := &Report{
 		Dialect:            cfg.Dialect.Name,
@@ -102,8 +108,24 @@ func mergeReports(cfg Config, reps []*Report) (*Report, error) {
 	pri := prioritize.New()
 	faults := map[string]bool{}
 	priFaults := map[string]bool{}
+	shards := shardConfigs(cfg)
+	// nLive counts the shards whose feedback state made it into the pool
+	// — the divisor for the warm-start discount below. Quarantined shards
+	// contributed nothing, so counting len(reps) would over-discount.
+	nLive := 0
 
-	for _, rep := range reps {
+	for i, rep := range reps {
+		merged.ShardRetries += rep.ShardRetries
+		if rep.Quarantined {
+			merged.ShardsQuarantined++
+			merged.QuarantinedShards = append(merged.QuarantinedShards, QuarantinedShard{
+				Shard:     i,
+				Seed:      shards[i].Seed,
+				TestCases: shards[i].TestCases,
+				Err:       rep.QuarantineErr,
+			})
+			continue
+		}
 		idOffset := merged.Detected
 		merged.TestCases += rep.TestCases
 		merged.ValidCases += rep.ValidCases
@@ -115,6 +137,8 @@ func mergeReports(cfg Config, reps []*Report) (*Report, error) {
 		merged.PlanPairsRepeated += rep.PlanPairsRepeated
 		merged.HarnessCrashes += rep.HarnessCrashes
 		merged.BudgetExceeded += rep.BudgetExceeded
+		merged.Hangs += rep.Hangs
+		merged.CheckpointWriteFailures += rep.CheckpointWriteFailures
 		for c, n := range rep.DetectedByClass {
 			merged.DetectedByClass[c] += n
 		}
@@ -143,6 +167,7 @@ func mergeReports(cfg Config, reps []*Report) (*Report, error) {
 			if err := tracker.MergeState(rep.FeedbackState); err != nil {
 				return nil, fmt.Errorf("campaign: merging shard feedback: %w", err)
 			}
+			nLive++
 		}
 		if rep.PlanPairState != nil {
 			if err := pairs.MergeState(rep.PlanPairState); err != nil {
@@ -155,22 +180,37 @@ func mergeReports(cfg Config, reps []*Report) (*Report, error) {
 	merged.GroundTruthFaults = sortedKeys(faults)
 	merged.UniquePrioritized = len(priFaults)
 
-	// Every shard's saved state re-includes the warm-start prior it was
-	// seeded with; keep exactly one copy of that prior in the pooled
-	// evidence.
-	if cfg.FeedbackState != nil && len(reps) > 1 {
-		if err := tracker.DiscountState(cfg.FeedbackState, len(reps)-1); err != nil {
-			return nil, fmt.Errorf("campaign: discounting warm-start prior: %w", err)
+	// Every live shard's saved state re-includes the warm-start prior it
+	// was seeded with; keep exactly one copy of that prior in the pooled
+	// evidence. The divisor is the live shard count, not len(reps):
+	// quarantined shards never contributed their copy. With no live
+	// shards at all, merge the prior in directly so a fully-degraded run
+	// still hands the warm start forward.
+	if cfg.FeedbackState != nil {
+		if nLive > 1 {
+			if err := tracker.DiscountState(cfg.FeedbackState, nLive-1); err != nil {
+				return nil, fmt.Errorf("campaign: discounting warm-start prior: %w", err)
+			}
+		} else if nLive == 0 {
+			if err := tracker.MergeState(cfg.FeedbackState); err != nil {
+				return nil, fmt.Errorf("campaign: preserving warm-start prior: %w", err)
+			}
 		}
 	}
 	tracker.Update()
-	if state, err := tracker.Save(); err == nil {
-		merged.FeedbackState = state
+	// A state that fails to serialize is lost feedback, not a cosmetic
+	// miss: fail the merge loudly instead of silently dropping it.
+	state, err := tracker.Save()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: saving merged feedback state: %w", err)
 	}
+	merged.FeedbackState = state
 	if !cfg.NoPlanPairSched {
-		if state, err := pairs.SaveState(); err == nil {
-			merged.PlanPairState = state
+		state, err := pairs.SaveState()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: saving merged plan-pair state: %w", err)
 		}
+		merged.PlanPairState = state
 	}
 	merged.Unsupported = tracker.Unsupported()
 	return merged, nil

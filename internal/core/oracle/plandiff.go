@@ -127,7 +127,8 @@ func PlanDiffCase(db *engine.DB, c *Case) Result {
 		db.SetPlanSpec(spec)
 		altRes, err := r.query(q)
 		if err != nil {
-			if engine.IsBudgetExceeded(err) || engine.ClassOf(err) == engine.ErrRuntime {
+			if engine.IsBudgetExceeded(err) || engine.IsTimeout(err) ||
+				engine.ClassOf(err) == engine.ErrRuntime {
 				return r.result(PlanDiffName, Invalid, err, "")
 			}
 			res := r.result(PlanDiffName, Bug, nil, fmt.Sprintf(

@@ -369,8 +369,8 @@ func (s *DB) filterSelectRows(p *filterPlan, rows []jrow, env *rowEnv, ctx *eval
 				if keep {
 					kept = append(kept, row)
 				}
-				if s.chargeRow() {
-					return nil, errBudget
+				if cerr := s.chargeRow(); cerr != nil {
+					return nil, cerr
 				}
 			}
 		}
@@ -385,8 +385,8 @@ func (s *DB) filterSelectRows(p *filterPlan, rows []jrow, env *rowEnv, ctx *eval
 		if keep {
 			kept = append(kept, row)
 		}
-		if s.chargeRow() {
-			return nil, errBudget
+		if cerr := s.chargeRow(); cerr != nil {
+			return nil, cerr
 		}
 	}
 	return kept, nil

@@ -32,6 +32,12 @@ const (
 	// statement and the database state, so budget-exceeded statements
 	// fail identically on every replay and at every worker count.
 	ErrBudgetExceeded
+	// ErrTimeout: the campaign's per-case wall-clock watchdog fired and
+	// the cooperative cancel flag (WithCancel) stopped execution at the
+	// next row-budget checkpoint. Unlike ErrBudgetExceeded this is NOT
+	// deterministic — it depends on host speed — so the campaign reports
+	// it as a hang, never as a logic bug, and replays never set the flag.
+	ErrTimeout
 )
 
 // String returns a short class label.
@@ -53,6 +59,8 @@ func (c ErrClass) String() string {
 		return "internal"
 	case ErrBudgetExceeded:
 		return "budget"
+	case ErrTimeout:
+		return "timeout"
 	default:
 		return "?"
 	}
@@ -112,7 +120,21 @@ func IsBudgetExceeded(err error) bool {
 	return ok && ee.Class == ErrBudgetExceeded
 }
 
+// IsTimeout reports whether err is a watchdog cancellation. The campaign
+// tallies such cases as hangs (Report.Hangs) and exempts them from
+// false-positive accounting — a wall-clock timeout carries no
+// ground-truth fault by construction.
+func IsTimeout(err error) bool {
+	ee, ok := err.(*Error)
+	return ok && ee.Class == ErrTimeout
+}
+
 // errBudget is the shared budget-exhaustion error: the budget check sits
 // on the per-row hot path, so exceeding it must not allocate.
 var errBudget = &Error{Class: ErrBudgetExceeded,
 	Msg: "execution budget exceeded (rows-touched limit)"}
+
+// errTimeout is the shared watchdog-cancellation error; like errBudget
+// it is returned from the per-row hot path and must not allocate.
+var errTimeout = &Error{Class: ErrTimeout,
+	Msg: "case wall-clock timeout (watchdog canceled execution)"}

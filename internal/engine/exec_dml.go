@@ -408,8 +408,8 @@ func (s *DB) execUpdate(st *sqlast.Update) error {
 				bp, lane = &b, ri%s.batch
 			}
 			pass, err := s.commitFilterRow(&fp, bp, lane, ctx)
-			if s.chargeRow() {
-				return errBudget
+			if cerr := s.chargeRow(); cerr != nil {
+				return cerr
 			}
 			if err != nil {
 				return err
@@ -503,8 +503,8 @@ func (s *DB) execDelete(st *sqlast.Delete) error {
 			bp, lane = &b, ri%s.batch
 		}
 		pass, err := s.commitFilterRow(&fp, bp, lane, ctx)
-		if s.chargeRow() {
-			return errBudget
+		if cerr := s.chargeRow(); cerr != nil {
+			return cerr
 		}
 		if err != nil {
 			return err

@@ -442,8 +442,8 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 						}
 						out = append(out, arena.row(lrow, rrow))
 					}
-					if s.chargeRow() {
-						return nil, errBudget
+					if cerr := s.chargeRow(); cerr != nil {
+						return nil, cerr
 					}
 					continue
 				}
@@ -454,8 +454,8 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 				if ok {
 					out = append(out, arena.row(lrow, rrow))
 				}
-				if s.chargeRow() {
-					return nil, errBudget
+				if cerr := s.chargeRow(); cerr != nil {
+					return nil, cerr
 				}
 			}
 		}
@@ -473,8 +473,8 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 					matchedRight[ri] = true
 					out = append(out, arena.row(lrow, rrow))
 				}
-				if s.chargeRow() {
-					return nil, errBudget
+				if cerr := s.chargeRow(); cerr != nil {
+					return nil, cerr
 				}
 			}
 			if !any {
@@ -509,8 +509,8 @@ func (s *DB) joinStep(sel *sqlast.Select, rels []matRel, left []jrow, right matR
 					any = true
 					out = append(out, arena.row(lrow, rrow))
 				}
-				if s.chargeRow() {
-					return nil, errBudget
+				if cerr := s.chargeRow(); cerr != nil {
+					return nil, cerr
 				}
 			}
 			if !any {
@@ -575,8 +575,8 @@ func (s *DB) joinProbeStep(probe *joinProbe, left []jrow, jf string,
 					s.trigger(residual)
 				}
 				out = append(out, arena.row(lrow, rrow))
-				if s.chargeRow() {
-					return nil, errBudget
+				if cerr := s.chargeRow(); cerr != nil {
+					return nil, cerr
 				}
 				continue
 			}
@@ -588,8 +588,8 @@ func (s *DB) joinProbeStep(probe *joinProbe, left []jrow, jf string,
 			if ok {
 				out = append(out, arena.row(lrow, rrow))
 			}
-			if s.chargeRow() {
-				return nil, errBudget
+			if cerr := s.chargeRow(); cerr != nil {
+				return nil, cerr
 			}
 		}
 	}

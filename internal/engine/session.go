@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"sqlancerpp/internal/coverage"
 	"sqlancerpp/internal/dialect"
@@ -63,6 +64,11 @@ type DB struct {
 	// budget accounting.
 	rows   int64
 	budget int64
+	// cancel, when non-nil, is the campaign watchdog's cooperative
+	// cancellation flag: the per-row budget check polls it and fails the
+	// statement with ErrTimeout once set. nil (the default, and always
+	// nil on replay instances) costs one never-taken branch per row.
+	cancel *atomic.Bool
 	// totalCost is the sum of cost over every finished statement on this
 	// instance (never reset) — the denominator for work-normalized
 	// metrics like novel plan pairs per rows touched.
@@ -120,6 +126,16 @@ func WithBatchSize(n int) Option {
 
 // DefaultBatchSize is the scan filter's default columnar batch width.
 const DefaultBatchSize = 64
+
+// WithCancel attaches a cooperative cancellation flag. When the flag is
+// set (by the campaign's per-case watchdog, from its own goroutine), the
+// instance fails the current statement with ErrTimeout at the next
+// per-row budget checkpoint and rejects further statements until the
+// flag clears. The engine only ever Loads the flag; arming and clearing
+// are the watchdog's business.
+func WithCancel(c *atomic.Bool) Option {
+	return func(s *DB) { s.cancel = c }
+}
 
 // WithPlanSpec opens the instance with a plan-forcing specification
 // already applied — the open-time spelling of SetPlanSpec. The
@@ -198,13 +214,22 @@ func (s *DB) LastCost() int64 { return s.cost }
 func (s *DB) TotalCost() int64 { return s.totalCost }
 
 // chargeRow charges one row of executor work against the statement's
-// cost and its rows-touched budget, reporting whether the budget is now
-// exhausted. It is the only place budgeted loops account work, so cost
-// and budget can never drift apart.
-func (s *DB) chargeRow() bool {
+// cost and its rows-touched budget, returning the shared errBudget on
+// exhaustion or the shared errTimeout when the watchdog's cancel flag is
+// set (budget outranks timeout when both hold, keeping the deterministic
+// failure deterministic). It is the only place budgeted loops account
+// work, so cost, budget, and cancellation can never drift apart — and it
+// returns preallocated errors only, keeping the per-row path zero-alloc.
+func (s *DB) chargeRow() *Error {
 	s.cost++
 	s.rows++
-	return s.rows > s.budget
+	if s.rows > s.budget {
+		return errBudget
+	}
+	if s.cancel != nil && s.cancel.Load() {
+		return errTimeout
+	}
+	return nil
 }
 
 // SetPlanSpec installs a per-query plan-forcing specification
@@ -289,6 +314,12 @@ func (s *DB) run(sql string) (*Result, error) {
 func (s *DB) RunStmt(stmt sqlast.Stmt) (*Result, error) {
 	if s.crashed {
 		return nil, errf(ErrCrash, "server is not running (restart required)")
+	}
+	// A set cancel flag rejects the statement up front: once the watchdog
+	// fires, the whole case is timed out, including statements that would
+	// never reach a per-row checkpoint (DDL, empty scans).
+	if s.cancel != nil && s.cancel.Load() {
+		return nil, errTimeout
 	}
 	if err := s.validateStmt(stmt); err != nil {
 		return nil, err

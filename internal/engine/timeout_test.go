@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"sqlancerpp/internal/dialect"
+)
+
+// TestCancelFlagTimesOutStatements: a set cancel flag fails statements
+// with ErrTimeout — immediately in the RunStmt prologue, and at the
+// per-row checkpoint mid-scan — and clearing it restores the instance.
+func TestCancelFlagTimesOutStatements(t *testing.T) {
+	cancel := new(atomic.Bool)
+	db := Open(dialect.MustGet("sqlite"), WithoutFaults(), WithCancel(cancel))
+	mustExec := func(sql string) {
+		t.Helper()
+		if err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE t0 (c0 INTEGER)")
+	for i := 0; i < 8; i++ {
+		mustExec("INSERT INTO t0 VALUES (1)")
+	}
+
+	cancel.Store(true)
+	err := db.Exec("SELECT * FROM t0")
+	if !IsTimeout(err) {
+		t.Fatalf("with cancel set, got %v, want ErrTimeout", err)
+	}
+	if IsBudgetExceeded(err) || ClassOf(err) != ErrTimeout {
+		t.Fatalf("timeout misclassified: %v", err)
+	}
+
+	cancel.Store(false)
+	if err := db.Exec("SELECT * FROM t0"); err != nil {
+		t.Fatalf("after clearing the flag: %v", err)
+	}
+}
+
+// TestBudgetOutranksTimeout: when a statement exhausts its deterministic
+// row budget and the cancel flag is set, the deterministic failure wins
+// — replays without a watchdog must fail the same way.
+func TestBudgetOutranksTimeout(t *testing.T) {
+	cancel := new(atomic.Bool)
+	db := Open(dialect.MustGet("sqlite"), WithoutFaults(),
+		WithCancel(cancel), WithRowBudget(1))
+	if err := db.Exec("CREATE TABLE t0 (c0 INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := db.Exec("INSERT INTO t0 VALUES (1)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The flag is checked per row too, but the budget (1 row) trips on
+	// the same row the flag would — budget must be reported.
+	// RunStmt's prologue would reject first, so exercise the per-row
+	// path: clear the flag, start the scan via a fresh statement where
+	// the flag is set only after the prologue. Simplest deterministic
+	// equivalent: both conditions true from the start of the row loop.
+	cancel.Store(true)
+	err := db.Exec("SELECT * FROM t0")
+	if !IsTimeout(err) && !IsBudgetExceeded(err) {
+		t.Fatalf("got %v, want timeout (prologue) or budget", err)
+	}
+
+	// Per-row precedence directly: with the prologue bypassed (flag set
+	// mid-statement is not reproducible in a unit test), assert the
+	// documented ordering on chargeRow itself.
+	db2 := Open(dialect.MustGet("sqlite"), WithoutFaults(),
+		WithCancel(cancel), WithRowBudget(0))
+	db2.budget = 0 // next charged row exceeds
+	cancel.Store(true)
+	if cerr := db2.chargeRow(); cerr != errBudget {
+		t.Fatalf("chargeRow with budget exhausted and flag set returned %v, want errBudget", cerr)
+	}
+}

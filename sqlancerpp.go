@@ -22,8 +22,10 @@ package sqlancerpp
 
 import (
 	"fmt"
+	"time"
 
 	"sqlancerpp/internal/baseline"
+	"sqlancerpp/internal/chaos"
 	"sqlancerpp/internal/core/campaign"
 	"sqlancerpp/internal/core/oracle"
 	"sqlancerpp/internal/dialect"
@@ -105,6 +107,21 @@ type Options struct {
 	// boundary: Run returns ErrInterrupted after checkpointing every
 	// completed shard.
 	Interrupt <-chan struct{}
+	// CaseTimeout bounds each test case's wall-clock time (the -timeout
+	// flag): a watchdog cancels cases that exceed it, reporting them as
+	// "hang"-class bugs with their seed (Report.Hangs). 0 disables.
+	CaseTimeout time.Duration
+	// ShardRetries is how many times the supervisor re-runs a failing
+	// shard before quarantining it and completing the campaign degraded
+	// (the -shard-retries flag): 0 selects the default (2), negative
+	// disables retries. Quarantined seed ranges are reported for offline
+	// replay; fault-free runs are unaffected.
+	ShardRetries int
+	// Chaos injects deterministic infrastructure faults (the -chaos
+	// flag; see internal/chaos for the spec grammar) — a test harness
+	// for the harness itself. Off by default; campaign findings are
+	// unaffected by injection, only the robustness counters move.
+	Chaos string
 }
 
 // ErrInterrupted is returned by Run when the Interrupt channel closes
@@ -168,6 +185,28 @@ type Report struct {
 	// BudgetExceeded counts statements aborted by the deterministic
 	// Options.RowBudget execution budget.
 	BudgetExceeded int
+	// Hangs counts cases canceled by the Options.CaseTimeout watchdog
+	// and reported as "hang"-class bugs.
+	Hangs int
+	// ShardRetries counts shard attempts that failed and were retried;
+	// ShardsQuarantined counts shards abandoned after exhausting their
+	// retries (the campaign completed degraded). QuarantinedShards holds
+	// each abandoned shard's replay recipe.
+	ShardRetries      int
+	ShardsQuarantined int
+	QuarantinedShards []QuarantinedShard
+	// CheckpointWriteFailures counts checkpoint saves that failed and
+	// were degraded to a warning instead of aborting the campaign.
+	CheckpointWriteFailures int
+}
+
+// QuarantinedShard identifies one abandoned shard's seed range — enough
+// to replay its share of the campaign offline.
+type QuarantinedShard struct {
+	Shard     int
+	Seed      int64
+	TestCases int
+	Err       string
 }
 
 // Run executes a testing campaign against a registered dialect.
@@ -184,6 +223,10 @@ func Run(o Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sqlancerpp: %w", err)
 	}
+	inj, err := chaos.Parse(o.Chaos, o.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("sqlancerpp: %w", err)
+	}
 	cfg := campaign.Config{
 		Dialect:          d,
 		Oracles:          names,
@@ -197,6 +240,8 @@ func Run(o Options) (*Report, error) {
 		BatchSize:        o.BatchSize,
 		FeedbackState:    o.FeedbackState,
 		PlanPairState:    o.PlanPairState,
+		CaseTimeout:      o.CaseTimeout,
+		Chaos:            inj,
 	}
 	switch {
 	case o.Baseline:
@@ -211,10 +256,11 @@ func Run(o Options) (*Report, error) {
 		// Checkpointing works at shard granularity, so it implies the
 		// sharded runner even when Workers was left zero.
 		rep, err = campaign.RunShardedOpts(cfg, campaign.ShardedOptions{
-			Workers:        o.Workers,
-			CheckpointPath: o.Checkpoint,
-			Resume:         o.Resume,
-			Interrupt:      o.Interrupt,
+			Workers:         o.Workers,
+			CheckpointPath:  o.Checkpoint,
+			Resume:          o.Resume,
+			Interrupt:       o.Interrupt,
+			MaxShardRetries: o.ShardRetries,
 		})
 		if err != nil {
 			return nil, err
@@ -246,6 +292,16 @@ func Run(o Options) (*Report, error) {
 		PlanPairState:       rep.PlanPairState,
 		HarnessCrashes:      rep.HarnessCrashes,
 		BudgetExceeded:      rep.BudgetExceeded,
+		Hangs:               rep.Hangs,
+		ShardRetries:        rep.ShardRetries,
+		ShardsQuarantined:   rep.ShardsQuarantined,
+
+		CheckpointWriteFailures: rep.CheckpointWriteFailures,
+	}
+	for _, q := range rep.QuarantinedShards {
+		out.QuarantinedShards = append(out.QuarantinedShards, QuarantinedShard{
+			Shard: q.Shard, Seed: q.Seed, TestCases: q.TestCases, Err: q.Err,
+		})
 	}
 	for _, b := range rep.Bugs {
 		out.Bugs = append(out.Bugs, Bug{
