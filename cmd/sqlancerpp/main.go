@@ -108,6 +108,7 @@ func main() {
 		opts.Interrupt = interrupt
 		sigs := make(chan os.Signal, 1)
 		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		//lint:allow containment body is a blocking receive plus close and cannot panic; a recover boundary could swallow the close and hang shutdown
 		go func() {
 			<-sigs
 			signal.Stop(sigs)

@@ -1,0 +1,22 @@
+// Command sqlint runs the project's invariant-enforcing static-analysis
+// suite (internal/analysis): determinism of the report-producing
+// packages, goroutine crash containment, sentinel-error discipline,
+// checkpoint-fingerprint exhaustiveness, and fault-catalogue hygiene.
+//
+// It speaks the `go vet -vettool` protocol, so the canonical invocation
+// is
+//
+//	go build -o "$(go env GOPATH)/bin/sqlint" ./cmd/sqlint
+//	go vet -vettool="$(go env GOPATH)/bin/sqlint" ./...
+//
+// Run directly with package patterns (`sqlint ./...`) it re-executes
+// itself through go vet, so both forms analyze identical units with the
+// build's exact type information. Suppress a finding by annotating the
+// line (or the line above) with `//lint:allow <analyzer> <reason>`.
+package main
+
+import "sqlancerpp/internal/analysis"
+
+func main() {
+	analysis.Main(analysis.Suite())
+}

@@ -1,0 +1,222 @@
+// Package analysis is sqlint: a project-specific static-analysis suite
+// that enforces the load-bearing invariants of this reproduction as
+// compiler-grade checks — determinism of the report-producing packages
+// (same seed ⇒ byte-identical reports at any worker count), goroutine
+// crash containment, sentinel-error comparison discipline, checkpoint
+// fingerprint exhaustiveness, and fault-catalogue hygiene.
+//
+// The package mirrors the core of golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) on the standard library only, because
+// this build environment has no module proxy. cmd/sqlint wraps the suite
+// in the `go vet -vettool` unitchecker protocol, so the checks run with
+// the exact type information of the real build.
+//
+// A finding is suppressed by annotating the offending line (or the line
+// directly above it) with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory: an allow without one is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow annotations.
+	Name string
+	// Doc is the one-line contract the analyzer enforces.
+	Doc string
+	// Run executes the check and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The
+// determinism and containment analyzers skip test files: tests may
+// legitimately sleep, spawn helper goroutines, and race timers — the
+// invariants guard the report-producing production code.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgBaseName returns the package's clause name with any external-test
+// suffix stripped ("engine_test" → "engine"), the key the analyzers
+// match their package scopes against. Matching on the clause name (not
+// the import path) keeps the analyzers working identically under `go
+// vet`, the standalone driver, and the checktest fixtures.
+func (p *Pass) PkgBaseName() string {
+	return strings.TrimSuffix(p.Pkg.Name(), "_test")
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// allowRe matches the suppression annotation. The reason group is
+// validated separately so a bare "//lint:allow name" can be reported as
+// malformed instead of silently ignored.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_-]+)\s*(.*)$`)
+
+// allowSite is one parsed //lint:allow annotation.
+type allowSite struct {
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// collectAllows parses every //lint:allow annotation in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) []allowSite {
+	var sites []allowSite
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				sites = append(sites, allowSite{
+					line:     fset.Position(c.Pos()).Line,
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return sites
+}
+
+// Run executes the analyzers over one type-checked package and returns
+// the surviving diagnostics in file/line order: findings covered by a
+// well-formed //lint:allow on the same or the directly preceding line
+// are dropped, and malformed allows (no reason) are reported themselves.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+
+	allows := collectAllows(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range diags {
+			if !suppressed(fset, allows, d) {
+				out = append(out, d)
+			}
+		}
+	}
+	for _, site := range allows {
+		if site.reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      site.pos,
+				Analyzer: "lint",
+				Message: fmt.Sprintf("lint:allow %s needs a reason: "+
+					"every suppression must say why the invariant does not apply", site.analyzer),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, nil
+}
+
+// suppressed reports whether a well-formed allow annotation for the
+// diagnostic's analyzer sits on the same line or the line directly above.
+func suppressed(fset *token.FileSet, allows []allowSite, d Diagnostic) bool {
+	p := fset.Position(d.Pos)
+	for _, site := range allows {
+		if site.analyzer != d.Analyzer || site.reason == "" {
+			continue
+		}
+		sp := fset.PositionFor(site.pos, false)
+		if sp.Filename != p.Filename {
+			continue
+		}
+		if site.line == p.Line || site.line == p.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Suite returns the five sqlint analyzers in deterministic order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Nondeterminism,
+		Containment,
+		ErrSentinel,
+		Fingerprint,
+		FaultSite,
+	}
+}
+
+// pkgNameOf resolves a selector base expression to the package it names,
+// returning the imported package path ("time", "math/rand") or "".
+func pkgNameOf(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// check type-checks one synthetic file (package clause chooses the
+// analyzer scoping) and runs the given analyzers through Run, returning
+// the surviving diagnostics.
+func check(t *testing.T, src string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := newInfo()
+	pkg, err := (&types.Config{}).Check(f.Name.Name, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	diags, err := Run(fset, []*ast.File{f}, pkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+// TestAllowWithoutReasonIsItselfADiagnostic pins the suppression
+// contract: a bare "//lint:allow <analyzer>" does NOT suppress the
+// finding, and additionally surfaces a "lint" diagnostic of its own.
+func TestAllowWithoutReasonIsItselfADiagnostic(t *testing.T) {
+	src := `package a
+
+func spawn(work func()) {
+	//lint:allow containment
+	go func() { work() }()
+}
+`
+	diags := check(t, src, []*Analyzer{Containment})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (unsuppressed finding + malformed allow):\n%+v",
+			len(diags), diags)
+	}
+	var sawFinding, sawMalformed bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "containment":
+			sawFinding = true
+		case "lint":
+			sawMalformed = true
+			if !strings.Contains(d.Message, "needs a reason") {
+				t.Errorf("malformed-allow message = %q", d.Message)
+			}
+		}
+	}
+	if !sawFinding || !sawMalformed {
+		t.Errorf("diagnostics = %+v; want one containment finding and one lint finding", diags)
+	}
+}
+
+// TestAllowOnlySuppressesItsOwnAnalyzer: an allow naming a different
+// analyzer leaves the finding standing.
+func TestAllowOnlySuppressesItsOwnAnalyzer(t *testing.T) {
+	src := `package a
+
+func spawn(work func()) {
+	//lint:allow nondeterminism wrong analyzer name
+	go func() { work() }()
+}
+`
+	diags := check(t, src, []*Analyzer{Containment})
+	if len(diags) != 1 || diags[0].Analyzer != "containment" {
+		t.Fatalf("diagnostics = %+v; want exactly the containment finding", diags)
+	}
+}
+
+// TestAllowOnSameLineSuppresses covers the trailing-comment placement.
+func TestAllowOnSameLineSuppresses(t *testing.T) {
+	src := `package a
+
+func spawn(work func()) {
+	go func() { work() }() //lint:allow containment fixture reason
+}
+`
+	if diags := check(t, src, []*Analyzer{Containment}); len(diags) != 0 {
+		t.Fatalf("diagnostics = %+v; want none", diags)
+	}
+}
+
+// TestSuiteNamesAreUnique guards the //lint:allow namespace.
+func TestSuiteNamesAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Suite() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if !seen["nondeterminism"] || !seen["containment"] || !seen["errsentinel"] ||
+		!seen["fingerprint"] || !seen["faultsite"] {
+		t.Errorf("suite = %v; want all five sqlint analyzers", seen)
+	}
+}

@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sqlancerpp/internal/analysis"
+	"sqlancerpp/internal/analysis/checktest"
+)
+
+const srcRoot = "testdata/src"
+
+// Each test drives one analyzer over its fixture packages. The positive
+// packages seed true violations (matched by `// want` comments) and the
+// negative packages prove the scoping rules: deterministic-set
+// membership, the internal/par exemption, _test.go skipping, and the
+// //lint:allow suppression path.
+
+func TestNondeterminism(t *testing.T) {
+	checktest.Run(t, srcRoot, analysis.Nondeterminism,
+		"nondet/engine", "nondet/other")
+}
+
+func TestContainment(t *testing.T) {
+	checktest.Run(t, srcRoot, analysis.Containment,
+		"contain/a", "contain/par")
+}
+
+func TestErrSentinel(t *testing.T) {
+	checktest.Run(t, srcRoot, analysis.ErrSentinel,
+		"errsentinel/a")
+}
+
+func TestFingerprint(t *testing.T) {
+	checktest.Run(t, srcRoot, analysis.Fingerprint,
+		"fingerprint/good", "fingerprint/bad")
+}
+
+func TestFaultSite(t *testing.T) {
+	checktest.Run(t, srcRoot, analysis.FaultSite,
+		"faultsite/faults", "faultsite/dialect")
+}

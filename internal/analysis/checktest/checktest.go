@@ -1,0 +1,190 @@
+// Package checktest is a stdlib-only analogue of x/tools'
+// analysistest: it loads fixture packages from a testdata/src tree,
+// type-checks them (resolving fixture-local imports from the same tree
+// and everything else from GOROOT source), runs one analyzer through the
+// same analysis.Run pipeline the vettool uses — including //lint:allow
+// suppression — and matches the diagnostics against `// want "regexp"`
+// expectations in the fixture source.
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"sqlancerpp/internal/analysis"
+)
+
+// wantRe extracts the expectation comment: one or more quoted or
+// backquoted regexps after "want".
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)$")
+
+var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run loads each fixture package under srcRoot, applies the analyzer,
+// and reports any mismatch between diagnostics and want expectations as
+// test errors.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:     fset,
+		srcRoot:  srcRoot,
+		cache:    map[string]*loaded{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	for _, path := range pkgPaths {
+		lp, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.Run(fset, lp.files, lp.pkg, lp.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, fset, lp.files, diags)
+	}
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks fixture packages, resolving imports that exist
+// under srcRoot recursively and delegating the rest (stdlib) to the
+// GOROOT source importer.
+type loader struct {
+	fset     *token.FileSet
+	srcRoot  string
+	cache    map[string]*loaded
+	fallback types.Importer
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if lp, ok := l.cache[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s has no Go files", path)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{Importer: importerFunc(l.importPkg)}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	l.cache[path] = lp
+	return lp, nil
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.fallback.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one parsed `// want` regexp.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkExpectations compares diagnostics against want comments: every
+// diagnostic must match an expectation on its line, and every
+// expectation must be consumed by exactly one diagnostic.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+					pattern := arg[1 : len(arg)-1]
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", pos, arg, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", p, d.Message, d.Analyzer)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported", w.file, w.line, w.re)
+		}
+	}
+}

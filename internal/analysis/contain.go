@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Containment enforces the crash-containment contract (DESIGN.md §7/§10):
+// a panic anywhere in the harness must become an attributed error, never
+// a process death. Worker fan-out goes through internal/par (whose pool
+// recovers per item); any other goroutine launched with a bare `go func`
+// literal must carry its own recover() boundary, because a panic on a
+// goroutine with no recover kills the whole process regardless of the
+// campaign's containment boundaries.
+var Containment = &Analyzer{
+	Name: "containment",
+	Doc: "bare `go func` literals outside internal/par must contain a " +
+		"recover() boundary (a goroutine panic kills the process)",
+	Run: runContainment,
+}
+
+func runContainment(pass *Pass) error {
+	if pass.PkgBaseName() == "par" {
+		return nil // the blessed pool: its workers recover per item
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !containsRecover(pass, lit) {
+				pass.Reportf(g.Pos(),
+					"goroutine body has no recover() boundary: a panic here kills "+
+						"the process and defeats crash containment; recover inside the "+
+						"goroutine, route the work through par.ForEach, or annotate "+
+						"//lint:allow containment <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// containsRecover reports whether the goroutine literal's body calls
+// recover() on this goroutine: nested function literals count (the
+// conventional `defer func() { recover() }()` boundary), but the bodies
+// of further `go` statements do not — those run on their own goroutines
+// and are checked separately.
+func containsRecover(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			// Skip the nested goroutine's own literal body, but still
+			// inspect the call's arguments (evaluated on this goroutine).
+			for _, arg := range g.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(pass.TypesInfo, call, "recover") {
+			found = true
+			return false
+		}
+		return true
+	}
+	ast.Inspect(lit.Body, walk)
+	return found
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// ErrSentinel forbids identity comparison against error sentinels.
+// Containment boundaries wrap engine errors (fmt.Errorf "%w", recovered
+// panics, chaos injection), so `err == engine.ErrX` silently stops
+// matching the moment anything on the path wraps the error — the class
+// checks (engine.ClassOf, engine.IsBudgetExceeded, …) and errors.Is
+// survive wrapping. This is the PR 6/9 attribution contract: a
+// misclassified error becomes a false positive or a lost bug.
+var ErrSentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc: "error sentinels (Err*/err* package vars) must be matched with " +
+		"errors.Is or engine.ClassOf, never ==/!=",
+	Run: runErrSentinel,
+}
+
+// sentinelName matches the conventional sentinel spellings: exported
+// ErrFoo and unexported errFoo package vars. A bare local `err` never
+// matches.
+var sentinelName = regexp.MustCompile(`^(Err|err)[A-Z0-9_]`)
+
+func runErrSentinel(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if name, ok := sentinelErrorVar(pass.TypesInfo, side); ok {
+						pass.Reportf(n.OpPos,
+							"identity comparison against error sentinel %s breaks once the "+
+								"error is wrapped; use errors.Is (or the engine.ClassOf/Is* "+
+								"class checks)", name)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				// switch err { case errBudget: } is the same identity
+				// comparison in disguise.
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinelErrorVar(pass.TypesInfo, e); ok {
+							pass.Reportf(e.Pos(),
+								"switch case matches error sentinel %s by identity; "+
+									"use errors.Is (or the engine class checks)", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelErrorVar reports whether the expression names a package-level
+// error-typed variable with a sentinel name (ErrFoo / errFoo), in this
+// package or selected from another.
+func sentinelErrorVar(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !sentinelName.MatchString(v.Name()) {
+		return "", false
+	}
+	if !implementsError(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if errIface == nil {
+		return false
+	}
+	return types.Implements(t, errIface)
+}

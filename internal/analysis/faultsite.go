@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FaultSite keeps the injected-fault catalogue honest. Every fault is
+// ground truth for the "campaign-attributed with zero false positives"
+// bar, which only holds if (a) the catalogue key is a dialect that
+// actually registers — a typo silently drops the whole fault list on the
+// floor (faults.ForDialect returns nil for unknown names) — and (b) each
+// fault kind is exercised by at least one test, so an attribution
+// regression cannot land unnoticed.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc: "fault catalogue keys must name registered dialects and every " +
+		"fault kind must be referenced by a _test.go file",
+	Run: runFaultSite,
+}
+
+func runFaultSite(pass *Pass) error {
+	if pass.PkgBaseName() != "faults" {
+		return nil
+	}
+	var catalog *ast.CompositeLit
+	var catalogFile string
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name == "catalog" && i < len(vs.Values) {
+						if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+							catalog = cl
+							catalogFile = pass.Fset.Position(cl.Pos()).Filename
+						}
+					}
+				}
+			}
+		}
+	}
+	if catalog == nil {
+		return nil
+	}
+
+	pkgDir := filepath.Dir(catalogFile)
+	dialects, err := registeredDialects(filepath.Join(pkgDir, "..", "dialect"))
+	if err != nil {
+		return err
+	}
+
+	// kindPos records the first catalogue entry using each fault kind, so
+	// an unreferenced kind is reported once, at a stable position.
+	kindPos := map[string]token.Pos{}
+	var kinds []string
+	for _, elt := range catalog.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if lit, ok := kv.Key.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			name, err := strconv.Unquote(lit.Value)
+			if err == nil && len(dialects) > 0 && !dialects[name] {
+				pass.Reportf(kv.Key.Pos(),
+					"fault catalogue key %q is not a registered dialect: "+
+						"faults.ForDialect would return nil and every fault under it "+
+						"would silently never be injected", name)
+			}
+		}
+		entries, ok := kv.Value.(*ast.CompositeLit)
+		if !ok {
+			continue // e.g. an explicit nil for a clean reference system
+		}
+		for _, entry := range entries.Elts {
+			kind, pos, ok := entryKind(entry)
+			if !ok {
+				continue
+			}
+			if _, seen := kindPos[kind]; !seen {
+				kindPos[kind] = pos
+				kinds = append(kinds, kind)
+			}
+		}
+	}
+
+	root := testScanRoot(pkgDir)
+	if root == "" {
+		return nil
+	}
+	referenced, err := kindsReferencedInTests(root, kinds)
+	if err != nil {
+		return err
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		if !referenced[kind] {
+			pass.Reportf(kindPos[kind],
+				"fault kind %s appears in the catalogue but no _test.go file "+
+					"references it: its campaign attribution is unguarded", kind)
+		}
+	}
+	return nil
+}
+
+// entryKind extracts the fault-kind identifier from one catalogue entry
+// literal, accepting both positional ({Logic, CmpNullTrue, …}) and keyed
+// ({kind: CmpNullTrue}) forms.
+func entryKind(entry ast.Expr) (string, token.Pos, bool) {
+	lit, ok := entry.(*ast.CompositeLit)
+	if !ok {
+		return "", token.NoPos, false
+	}
+	for i, e := range lit.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "kind" {
+				if id, ok := kv.Value.(*ast.Ident); ok {
+					return id.Name, id.Pos(), true
+				}
+			}
+			continue
+		}
+		if i == 1 {
+			if id, ok := e.(*ast.Ident); ok {
+				return id.Name, id.Pos(), true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// registeredDialects parses the sibling dialect package (syntax only; no
+// type information needed) and collects every name a dialect can register
+// under: `Name: "x"` struct fields, `.Name = "x"` assignments, and the
+// first string argument of the profileXxx constructor family.
+func registeredDialects(dir string) (map[string]bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // fixture without a dialect package: skip the check
+		}
+		return nil, err
+	}
+	names := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") ||
+			strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("parsing dialect package: %w", err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok && id.Name == "Name" {
+					addStringLit(names, n.Value)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if ok && sel.Sel.Name == "Name" && i < len(n.Rhs) {
+						addStringLit(names, n.Rhs[i])
+					}
+				}
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if ok && strings.HasPrefix(id.Name, "profile") && len(n.Args) > 0 {
+					addStringLit(names, n.Args[0])
+				}
+			}
+			return true
+		})
+	}
+	return names, nil
+}
+
+func addStringLit(set map[string]bool, e ast.Expr) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	if s, err := strconv.Unquote(lit.Value); err == nil {
+		set[s] = true
+	}
+}
+
+// testScanRoot finds the directory whose _test.go files count as the
+// catalogue's guard suite: the fixture root when the package lives under
+// a testdata/src tree (so analyzer tests never scan the enclosing real
+// repository), otherwise the module root (nearest ancestor with go.mod).
+func testScanRoot(dir string) string {
+	d := dir
+	for {
+		parent := filepath.Dir(d)
+		if filepath.Base(parent) == "src" &&
+			filepath.Base(filepath.Dir(parent)) == "testdata" {
+			return d
+		}
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}
+
+// kindsReferencedInTests scans every *_test.go under root for word-level
+// references to the fault kinds.
+func kindsReferencedInTests(root string, kinds []string) (map[string]bool, error) {
+	if len(kinds) == 0 {
+		return nil, nil
+	}
+	pattern := `\b(` + strings.Join(kinds, "|") + `)\b`
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, err
+	}
+	referenced := map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") || len(referenced) == len(kinds) {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range re.FindAll(data, -1) {
+			referenced[string(m)] = true
+		}
+		return nil
+	})
+	return referenced, err
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Fingerprint enforces checkpoint-fingerprint exhaustiveness in package
+// campaign: every field of campaign.Config must either be rendered by
+// fingerprint() or be declared (with a reason) in the package's
+// fingerprintExcluded list. A knob that is neither would let -resume
+// merge shards produced under a different configuration — silently, and
+// only detectably as a byte-level report divergence much later.
+var Fingerprint = &Analyzer{
+	Name: "fingerprint",
+	Doc: "every campaign.Config field must be rendered in fingerprint() " +
+		"or declared in fingerprintExcluded",
+	Run: runFingerprint,
+}
+
+func runFingerprint(pass *Pass) error {
+	if pass.PkgBaseName() != "campaign" {
+		return nil
+	}
+
+	var (
+		configStruct *ast.StructType
+		fpFunc       *ast.FuncDecl
+		exclLit      *ast.CompositeLit
+	)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.Name == "Config" {
+							if st, ok := s.Type.(*ast.StructType); ok {
+								configStruct = st
+							}
+						}
+					case *ast.ValueSpec:
+						for i, name := range s.Names {
+							if name.Name == "fingerprintExcluded" && i < len(s.Values) {
+								if cl, ok := s.Values[i].(*ast.CompositeLit); ok {
+									exclLit = cl
+								}
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name == "fingerprint" && d.Recv == nil {
+					fpFunc = d
+				}
+			}
+		}
+	}
+	if configStruct == nil || fpFunc == nil {
+		return nil // not the real campaign package (or mid-refactor)
+	}
+
+	rendered := renderedConfigFields(pass, fpFunc)
+	excluded := map[string]ast.Expr{}
+	if exclLit != nil {
+		for _, elt := range exclLit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if lit, ok := kv.Key.(*ast.BasicLit); ok {
+				if name, err := strconv.Unquote(lit.Value); err == nil {
+					excluded[name] = kv.Key
+				}
+			}
+		}
+	}
+
+	fields := map[string]bool{}
+	for _, field := range configStruct.Fields.List {
+		for _, name := range field.Names {
+			fields[name.Name] = true
+			switch {
+			case rendered[name.Name] && excluded[name.Name] != nil:
+				pass.Reportf(name.Pos(),
+					"campaign.Config field %s is rendered in fingerprint() AND listed "+
+						"in fingerprintExcluded; keep exactly one", name.Name)
+			case !rendered[name.Name] && excluded[name.Name] == nil:
+				pass.Reportf(name.Pos(),
+					"campaign.Config field %s is neither rendered in fingerprint() nor "+
+						"declared in fingerprintExcluded: a checkpoint could be resumed "+
+						"under a different %s and still pass the fingerprint check",
+					name.Name, name.Name)
+			}
+		}
+	}
+	for name, key := range excluded {
+		if !fields[name] {
+			pass.Reportf(key.Pos(),
+				"fingerprintExcluded entry %q names no campaign.Config field "+
+					"(stale after a rename?)", name)
+		}
+	}
+	return nil
+}
+
+// renderedConfigFields collects the Config fields the fingerprint
+// function reads: any selector whose base expression has type Config (or
+// *Config), at any depth (cfg.Dialect.Name counts as Dialect).
+func renderedConfigFields(pass *Pass, fn *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(sel.X)
+		if t == nil {
+			return true
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Config" || named.Obj().Pkg() != pass.Pkg {
+			return true
+		}
+		out[sel.Sel.Name] = true
+		return true
+	})
+	return out
+}

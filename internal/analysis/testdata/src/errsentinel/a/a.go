@@ -1,0 +1,61 @@
+// Package a is the errsentinel fixture: identity comparisons against
+// Err*/err* package-level error vars are flagged; errors.Is, nil checks,
+// and non-sentinel spellings are not.
+package a
+
+import (
+	"errors"
+
+	"errsentinel/sent"
+)
+
+var errLocal = errors.New("local sentinel")
+
+var plainErr = errors.New("name does not match the sentinel convention")
+
+func cmpImported(err error) bool {
+	return err == sent.ErrBudget // want `identity comparison against error sentinel ErrBudget`
+}
+
+func cmpLocal(err error) bool {
+	if err != errLocal { // want `identity comparison against error sentinel errLocal`
+		return false
+	}
+	return true
+}
+
+func cmpIs(err error) bool {
+	return errors.Is(err, sent.ErrBudget) // the survivable form
+}
+
+func cmpNil(err error) bool {
+	return err == nil
+}
+
+func cmpNonSentinelName(err error) bool {
+	return err == plainErr
+}
+
+func swSentinel(err error) string {
+	switch err {
+	case errLocal: // want `switch case matches error sentinel errLocal`
+		return "local"
+	case nil:
+		return "ok"
+	}
+	return ""
+}
+
+func cmpAllowed(err error) bool {
+	//lint:allow errsentinel fixture: identity is intended here
+	return err == sent.ErrBudget
+}
+
+// Class constants named Err* are not error sentinels: no diagnostics.
+type Class int
+
+const ErrClassBudget Class = 1
+
+func classify(c Class) bool {
+	return c == ErrClassBudget
+}

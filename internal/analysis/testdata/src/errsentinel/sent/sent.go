@@ -1,0 +1,8 @@
+// Package sent exports an error sentinel so the fixture in ../a can
+// exercise the cross-package comparison case.
+package sent
+
+import "errors"
+
+// ErrBudget mirrors an engine sentinel.
+var ErrBudget = errors.New("budget exceeded")

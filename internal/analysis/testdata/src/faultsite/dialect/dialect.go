@@ -1,0 +1,27 @@
+// Package dialect is the registration side of the faultsite fixture:
+// the analyzer parses it syntactically, exactly as it parses the real
+// internal/dialect package.
+package dialect
+
+// Dialect mirrors the real registry's value type.
+type Dialect struct {
+	Name    string
+	Display string
+}
+
+func profileReal(name, display string) *Dialect {
+	return &Dialect{Name: name, Display: display}
+}
+
+var registry = map[string]*Dialect{}
+
+func init() {
+	d := profileReal("realdb", "RealDB")
+	registry[d.Name] = d
+
+	other := &Dialect{}
+	other.Name = "assigneddb"
+	registry[other.Name] = other
+
+	registry["literaldb"] = &Dialect{Name: "literaldb", Display: "LiteralDB"}
+}

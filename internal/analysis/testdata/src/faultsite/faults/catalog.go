@@ -1,0 +1,45 @@
+// Package faults is the catalogue side of the faultsite fixture. The
+// sibling ../dialect package registers realdb, assigneddb, and
+// literaldb; guard_test.go references KnownKind but not GhostKind.
+package faults
+
+// Class labels what a fault breaks.
+type Class int
+
+// Logic faults corrupt results silently.
+const Logic Class = iota
+
+// Kind identifies one injected defect.
+type Kind int
+
+// The fixture's fault kinds.
+const (
+	KnownKind Kind = iota
+	KeyedKind
+	GhostKind
+)
+
+type spec struct {
+	class Class
+	kind  Kind
+	param string
+	desc  string
+}
+
+var catalog = map[string][]spec{
+	"realdb": {
+		{Logic, KnownKind, "", "guarded by guard_test.go"},
+		{Logic, GhostKind, "", "no test references this kind"}, // want `fault kind GhostKind appears in the catalogue but no _test\.go file references it`
+	},
+	"assigneddb": {
+		{class: Logic, kind: KeyedKind, desc: "keyed form, guarded"},
+	},
+	"literaldb": nil, // a clean reference system: an explicit empty list
+	"nosuchdb": { // want `fault catalogue key "nosuchdb" is not a registered dialect`
+		{Logic, KnownKind, "", "typo'd dialect name"},
+	},
+	//lint:allow faultsite fixture: synthetic profile, deliberately unregistered
+	"syntheticdb": {
+		{Logic, KnownKind, "", "allowed synthetic profile"},
+	},
+}

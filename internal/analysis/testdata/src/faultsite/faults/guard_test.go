@@ -1,0 +1,12 @@
+package faults
+
+import "testing"
+
+// TestKinds references KnownKind and KeyedKind (textually, which is all
+// the analyzer requires); the third fixture kind is deliberately never
+// named in any test file.
+func TestKinds(t *testing.T) {
+	if KnownKind == KeyedKind {
+		t.Fatal("distinct kinds collided")
+	}
+}

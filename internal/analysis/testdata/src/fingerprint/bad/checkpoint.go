@@ -1,0 +1,21 @@
+// Package campaign (bad fixture): one field escapes the fingerprint
+// entirely, one is both rendered and excluded, and one exclusion is
+// stale.
+package campaign
+
+import "fmt"
+
+type Config struct {
+	Seed  int64
+	Cases int // want `campaign\.Config field Cases is rendered in fingerprint\(\) AND listed in fingerprintExcluded`
+	Skew  int // want `campaign\.Config field Skew is neither rendered in fingerprint\(\) nor declared in fingerprintExcluded`
+}
+
+var fingerprintExcluded = map[string]string{
+	"Cases": "wrongly excluded: fingerprint renders it too",
+	"Gone":  "renamed away long ago", // want `fingerprintExcluded entry "Gone" names no campaign\.Config field`
+}
+
+func fingerprint(cfg Config) string {
+	return fmt.Sprintf("%d|%d", cfg.Seed, cfg.Cases)
+}

@@ -1,0 +1,11 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are exempt: tests may legitimately read the clock.
+func TestClockIsFine(t *testing.T) {
+	_ = time.Now()
+}

@@ -1,0 +1,82 @@
+// Package engine is a fixture: its package clause name puts it in the
+// deterministic set, so every construct below is exactly what the
+// nondeterminism analyzer must (or must not) flag.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().Unix() // want `wall-clock time\.Now in deterministic package engine`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time\.Since`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine
+	return r.Intn(10)
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration appends to a slice with no following sort`
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // collect-then-sort: fine
+	}
+	sort.Strings(out)
+	return out
+}
+
+func unsortedHash(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want `order-committed write`
+	}
+	return h.Sum64()
+}
+
+func unsortedReport(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		fmt.Fprintf(sb, "%s\n", k) // want `order-committed write`
+	}
+}
+
+func indexWrite(m map[string]int, out []string) {
+	i := 0
+	for k := range m {
+		out[i] = k // want `map iteration appends to a slice with no following sort`
+		i++
+	}
+}
+
+func allowedClock() int64 {
+	//lint:allow nondeterminism fixture: sanctioned wall-clock site
+	return time.Now().Unix()
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs { // ranging a slice is already ordered
+		out = append(out, x)
+	}
+	return out
+}

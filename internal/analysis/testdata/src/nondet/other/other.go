@@ -1,0 +1,20 @@
+// Package other is outside the deterministic set: nothing here is
+// flagged even though it mirrors the positive fixture.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 { return time.Now().Unix() }
+
+func globalRand() int { return rand.Intn(10) }
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// vetConfig is the JSON compilation-unit description the go command
+// writes for a -vettool (the unitchecker protocol). Field names and
+// semantics match x/tools' unitchecker.Config, which is the contract
+// cmd/go programs against.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string // import path → canonical package path
+	PackageFile               map[string]string // package path → export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/sqlint. It speaks the `go vet
+// -vettool` protocol (-V=full, -flags, unit.cfg) and, when given package
+// patterns instead of a .cfg file, re-executes itself through `go vet
+// -vettool=<self> <patterns>` so standalone runs use the exact same
+// modular pipeline and type information as the build.
+func Main(analyzers []*Analyzer) {
+	args := os.Args[1:]
+	jsonOut := false
+	var rest []string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			return
+		case arg == "-flags" || arg == "--flags":
+			printFlags(analyzers)
+			return
+		case arg == "-json" || arg == "--json":
+			jsonOut = true
+		case strings.HasPrefix(arg, "-"):
+			// Analyzer selection and context flags are accepted and
+			// ignored: the suite always runs whole (every analyzer guards
+			// a merge contract; there is no partial invariant).
+		default:
+			rest = append(rest, arg)
+		}
+	}
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(runUnit(rest[0], analyzers, jsonOut))
+	}
+	os.Exit(runStandalone(rest))
+}
+
+// printVersion implements -V=full: the go command caches vet results
+// keyed on this line, so it must change exactly when the binary does —
+// a content hash of the executable.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+}
+
+// printFlags implements -flags: the go command queries the tool for its
+// flag set before parsing the vet command line.
+func printFlags(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	flags := []jsonFlag{
+		{"json", true, "emit JSON output"},
+		{"c", false, "display offending line with this many lines of context"},
+	}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{a.Name, true, a.Doc})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}
+
+// runStandalone re-invokes the suite through go vet so package loading,
+// test-variant expansion, and export data come from the real build.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fatal(err)
+	}
+	return 0
+}
+
+// runUnit analyzes one compilation unit described by a vet.cfg file and
+// returns the process exit code.
+func runUnit(cfgFile string, analyzers []*Analyzer, jsonOut bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err))
+	}
+
+	// The go command always wants the facts output file; the suite has no
+	// cross-package facts, so it is empty — but writing it enables vet
+	// result caching.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency analyzed only for facts: nothing to do.
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fatal(err)
+	}
+
+	diags, err := Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	writeVetx()
+
+	if jsonOut {
+		printJSONDiagnostics(fset, cfg.ID, diags)
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printJSONDiagnostics emits the go-vet JSON tree shape:
+// {pkgID: {analyzer: [{posn, message}, …]}}.
+func printJSONDiagnostics(fset *token.FileSet, pkgID string, diags []Diagnostic) {
+	type jd struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jd{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer],
+			jd{fset.Position(d.Pos).String(), d.Message})
+	}
+	tree := map[string]map[string][]jd{pkgID: byAnalyzer}
+	data, err := json.MarshalIndent(tree, "", "\t")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}
+
+// newInfo allocates a fully populated types.Info, shared by the
+// unitchecker and the checktest loader so analyzers always see the same
+// fields filled.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sqlint: %v\n", err)
+	os.Exit(1)
+}

@@ -556,6 +556,11 @@ func (r *Runner) armWatchdog() *time.Timer {
 		return nil
 	}
 	c := r.cancel
+	// The canonical sanctioned wall-clock site: timed-out cases are
+	// reported as hangs (never logic bugs, exempt from false-positive
+	// accounting) and replays never arm the watchdog, so the clock cannot
+	// leak into a deterministic report.
+	//lint:allow nondeterminism watchdog timer is hang-detection infrastructure; ErrTimeout never feeds reports or validity
 	return time.AfterFunc(r.cfg.CaseTimeout, func() { c.Store(true) })
 }
 

@@ -108,12 +108,41 @@ var errCkptCorrupt = errors.New("campaign: checkpoint corrupt")
 // errInjected is the error chaos-injected infrastructure faults surface.
 var errInjected = errors.New("injected chaos fault")
 
+// fingerprintExcluded declares, next to the code it governs, the Config
+// fields deliberately NOT rendered by fingerprint(), keyed by field name
+// with the reason each exclusion is sound. The sqlint fingerprint
+// analyzer (internal/analysis) reads this declaration and fails `go vet`
+// whenever a Config field is neither rendered in fingerprint() nor
+// listed here — so a new knob can skew -resume only after being argued
+// about in review, never by being forgotten.
+var fingerprintExcluded = map[string]string{
+	"Policy":      "behavior value, unrenderable: checkpointed runs must configure via Mode (which is fingerprinted)",
+	"UseTLP":      "legacy toggle: withDefaults resolves it into Oracles (fingerprinted) before fingerprint runs",
+	"UseNoREC":    "legacy toggle: withDefaults resolves it into Oracles (fingerprinted) before fingerprint runs",
+	"BatchSize":   "execution is observationally identical at every batch width (columnar parity contract)",
+	"CaseTimeout": "wall-clock watchdog is host-dependent infrastructure; hangs never feed reports or validity",
+	"Chaos":       "injected infrastructure faults must be survivable — including by a chaos-free -resume",
+	"Coverage":    "observer sink: records engine coverage and never feeds generation or the report",
+}
+
+// Compile-time guard for the exclusion list: every excluded field must
+// still exist on Config under exactly these names, so a rename breaks
+// this keyed literal before the analyzer even runs. (The analyzer
+// separately rejects stale or contradictory entries.)
+var _ = Config{
+	Policy:      nil,
+	UseTLP:      false,
+	UseNoREC:    false,
+	BatchSize:   0,
+	CaseTimeout: 0,
+	Chaos:       nil,
+	Coverage:    nil,
+}
+
 // fingerprint renders the resolved configuration fields that determine a
-// campaign's behavior. Policy is a function value and cannot be
-// fingerprinted; checkpointed runs must configure via Mode. CaseTimeout,
-// Chaos, and the supervisor's retry knobs are deliberately excluded:
-// they are infrastructure, not campaign semantics, so a chaos-free
-// -resume can recover a chaos-interrupted run.
+// campaign's behavior; fingerprintExcluded declares (with reasons) the
+// fields deliberately left out, and the sqlint fingerprint analyzer
+// holds the two views exhaustive over Config.
 func fingerprint(cfg Config) string {
 	h := fnv.New64a()
 	h.Write(cfg.FeedbackState)

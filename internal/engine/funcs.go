@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,12 +49,13 @@ func buildFuncRegistry() map[string]*FuncDef {
 
 var regMap map[string]*FuncDef
 
-// FuncNames returns all implemented function names (for tests).
+// FuncNames returns all implemented function names, sorted (for tests).
 func FuncNames() []string {
 	out := make([]string, 0, len(funcRegistry))
 	for n := range funcRegistry {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -73,7 +73,7 @@ func TestBudgetOutranksTimeout(t *testing.T) {
 		WithCancel(cancel), WithRowBudget(0))
 	db2.budget = 0 // next charged row exceeds
 	cancel.Store(true)
-	if cerr := db2.chargeRow(); cerr != errBudget {
-		t.Fatalf("chargeRow with budget exhausted and flag set returned %v, want errBudget", cerr)
+	if cerr := db2.chargeRow(); !IsBudgetExceeded(cerr) {
+		t.Fatalf("chargeRow with budget exhausted and flag set returned %v, want budget class", cerr)
 	}
 }

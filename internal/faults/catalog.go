@@ -1,6 +1,9 @@
 package faults
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // spec is a compact catalogue entry; IDs are assigned per dialect.
 type spec struct {
@@ -194,6 +197,7 @@ var catalog = map[string][]spec{
 	// seeded campaigns over it are the ground truth that proves the
 	// campaign's recovery boundaries contain, attribute, and reduce
 	// panics with zero false positives.
+	//lint:allow faultsite panicdb is the synthetic containment-validation profile: deliberately unregistered, built ad hoc by the robustness tests
 	"panicdb": {
 		{Crash, PanicOnCompositeRebuild, "", "rebuilding a multi-column index overruns the key arena and panics the process (Go panic, not a simulated crash)"},
 		{Crash, PanicOnProbeStep, "", "the index-nested-loop probe step dereferences a detached ordered-store entry and panics the process"},
@@ -222,12 +226,13 @@ func ForDialect(name string) []Fault {
 	return out
 }
 
-// Dialects returns the dialect names present in the catalogue.
+// Dialects returns the dialect names present in the catalogue, sorted.
 func Dialects() []string {
 	out := make([]string, 0, len(catalog))
 	for name := range catalog {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

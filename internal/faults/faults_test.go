@@ -155,3 +155,28 @@ func TestSQLiteFaultsMatchPaperCaseStudies(t *testing.T) {
 		t.Error("sqlite must carry the flattener fault (paper Listing 3)")
 	}
 }
+
+// TestPanicProfileKinds pins the synthetic panicdb containment profile:
+// its catalogue must carry exactly the two process-panic mechanisms
+// (PanicOnCompositeRebuild and PanicOnProbeStep) that the campaign's
+// recovery-boundary acceptance tests rely on, resolvable through the
+// Set accessors the engine uses to arm them.
+func TestPanicProfileKinds(t *testing.T) {
+	s := NewSet(ForDialect("panicdb"))
+	if s.Len() != 2 {
+		t.Fatalf("panicdb carries %d faults, want 2", s.Len())
+	}
+	rebuild := s.PanicRebuild()
+	if rebuild == nil || rebuild.Kind != PanicOnCompositeRebuild {
+		t.Errorf("PanicRebuild() = %+v, want kind PanicOnCompositeRebuild", rebuild)
+	}
+	probe := s.PanicProbe()
+	if probe == nil || probe.Kind != PanicOnProbeStep {
+		t.Errorf("PanicProbe() = %+v, want kind PanicOnProbeStep", probe)
+	}
+	for _, f := range s.All() {
+		if f.Class != Crash {
+			t.Errorf("panicdb fault %s has class %v, want Crash", f.ID, f.Class)
+		}
+	}
+}
